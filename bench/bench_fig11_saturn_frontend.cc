@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 11: kernel-level Saturn performance with a Rocket vs a
+ * Shuttle frontend. The dual-issue Shuttle keeps the vector unit fed
+ * on the short-operand iterative kernels where the single-issue
+ * Rocket frontend is the bottleneck.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "matlib/rvv_backend.hh"
+#include "vector/saturn.hh"
+
+using namespace rtoc;
+
+int
+main()
+{
+    matlib::RvvBackend opt(512, matlib::RvvMapping::handOptimized());
+    auto prog = bench::emitQuadSolve(opt, tinympc::MappingStyle::Fused);
+
+    vector::SaturnModel rocket_fe(
+        vector::SaturnConfig::make(512, 256, false));
+    vector::SaturnModel shuttle_fe(
+        vector::SaturnConfig::make(512, 256, true));
+    auto rr = rocket_fe.run(prog);
+    auto rs = shuttle_fe.run(prog);
+    auto kr = rr.kernelBreakdown(prog);
+    auto ks = rs.kernelBreakdown(prog);
+
+    Table t("Figure 11: Saturn kernel performance, Rocket vs Shuttle "
+            "frontend (V512 D256, hand-optimized mapping)",
+            {"kernel", "rocket-fe cycles", "shuttle-fe cycles",
+             "shuttle speedup"});
+    for (const char *name : bench::kKernelOrder) {
+        uint64_t cr = bench::kernelCycles(kr, name);
+        uint64_t cs = bench::kernelCycles(ks, name);
+        if (cr == 0 || cs == 0)
+            continue;
+        t.addRow({name, Table::num(cr), Table::num(cs),
+                  Table::num(static_cast<double>(cr) / cs, 2) + "x"});
+    }
+    t.addRow({"END-TO-END", Table::num(rr.cycles), Table::num(rs.cycles),
+              Table::num(static_cast<double>(rr.cycles) / rs.cycles, 2) +
+                  "x"});
+    t.print();
+    std::printf("\nShape check: the dual-issue Shuttle frontend is "
+                "required for high vector performance (paper §5.1.2).\n");
+    return rs.cycles < rr.cycles ? 0 : 1;
+}

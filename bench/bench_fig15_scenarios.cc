@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 15: scenario difficulty overview — the difficulty table plus
+ * a sample trajectory (waypoint list) per difficulty, and measured
+ * statistics over the 20 generated scenario sets.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "quad/scenario.hh"
+
+using namespace rtoc;
+
+int
+main()
+{
+    Table t("Figure 15: scenario difficulty overview",
+            {"difficulty", "waypoints", "time between", "avg distance "
+             "(spec)", "avg distance (generated, 20 sets)"});
+    for (auto d : quad::kAllDifficulties) {
+        auto spec = quad::difficultySpec(d);
+        double mean = 0.0;
+        for (int i = 0; i < 20; ++i)
+            mean += quad::makeScenario(d, i).meanHopDistance();
+        mean /= 20.0;
+        t.addRow({spec.name,
+                  Table::num(static_cast<uint64_t>(spec.waypointCount)),
+                  Table::num(spec.timeBetweenS, 1) + "s",
+                  Table::num(spec.avgDistanceM, 1) + "m",
+                  Table::num(mean, 2) + "m"});
+    }
+    t.print();
+
+    for (auto d : quad::kAllDifficulties) {
+        auto spec = quad::difficultySpec(d);
+        quad::Scenario sc = quad::makeScenario(d, 0);
+        std::printf("\nSample %s trajectory (scenario 0):\n", spec.name);
+        std::printf("  start (0.00, 0.00, 1.00)\n");
+        for (size_t i = 0; i < sc.waypoints.size(); ++i) {
+            std::printf("  wp%zu at t=%.1fs: (%.2f, %.2f, %.2f)\n", i,
+                        sc.intervalS * static_cast<double>(i),
+                        sc.waypoints[i][0], sc.waypoints[i][1],
+                        sc.waypoints[i][2]);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table 1: mechanical and electrical parameters for the CrazyFlie
+ * variants, plus the derived quantities the §5.4 analysis relies on
+ * (thrust-to-weight, hover power, motor envelope).
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "quad/params.hh"
+
+using namespace rtoc;
+
+int
+main()
+{
+    Table t("Table 1: mechanical and electrical parameters for "
+            "CrazyFlie variants",
+            {"parameter", "CrazyFlie", "Hawk", "Heron"});
+    auto cf = quad::DroneParams::crazyflie();
+    auto hawk = quad::DroneParams::hawk();
+    auto heron = quad::DroneParams::heron();
+
+    auto row = [&](const char *name, auto get, const char *unit,
+                   int prec = 0) {
+        t.addRow({name, Table::num(get(cf), prec) + unit,
+                  Table::num(get(hawk), prec) + unit,
+                  Table::num(get(heron), prec) + unit});
+    };
+    t.addRow({"specialty", cf.specialty, hawk.specialty,
+              heron.specialty});
+    row("mass", [](auto &p) { return p.massKg * 1e3; }, " g");
+    row("propeller diameter",
+        [](auto &p) { return p.propDiameterM * 1e3; }, " mm");
+    row("motor arm length",
+        [](auto &p) { return p.armLengthM * 1e3; }, " mm");
+    row("motor Kv", [](auto &p) { return p.motorKvRpmPerV; }, " rpm/V");
+    row("battery cells",
+        [](auto &p) { return static_cast<double>(p.batteryCells); },
+        "S");
+    row("thrust/weight (derived)",
+        [](auto &p) { return p.thrustToWeight(); }, "", 2);
+    row("hover power (derived)",
+        [](auto &p) {
+            return 4.0 * quad::rotorInducedPowerW(
+                             p.hoverThrustPerMotorN(),
+                             p.rotorDiskAreaM2());
+        },
+        " W", 2);
+    row("max thrust/motor (derived)",
+        [](auto &p) { return p.maxThrustPerMotorN(); }, " N", 3);
+    t.print();
+    return 0;
+}

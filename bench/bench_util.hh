@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration benches: emitting
+ * instrumented TinyMPC solves on each backend and naming the standard
+ * configurations. Every bench prints the same rows/series the paper
+ * reports; absolute cycle counts are model-calibrated, the *shape*
+ * (who wins, by what factor, where crossovers fall) is the claim.
+ */
+
+#ifndef RTOC_BENCH_BENCH_UTIL_HH
+#define RTOC_BENCH_BENCH_UTIL_HH
+
+#include <string>
+
+#include "isa/program.hh"
+#include "matlib/backend.hh"
+#include "quad/linearize.hh"
+#include "tinympc/solver.hh"
+
+namespace rtoc::bench {
+
+/**
+ * Emit an instrumented TinyMPC solve of the standard quadrotor
+ * problem (nx=12, nu=4, N=10) with exactly @p iters ADMM iterations.
+ */
+inline isa::Program
+emitQuadSolve(matlib::Backend &backend, tinympc::MappingStyle style,
+              int iters = 5,
+              const quad::DroneParams &drone =
+                  quad::DroneParams::crazyflie())
+{
+    tinympc::Workspace ws = quad::buildQuadWorkspace(drone, 0.02, 10);
+    ws.settings.maxIters = iters;
+    ws.settings.priTol = 0.0f;
+    ws.settings.duaTol = 0.0f;
+    isa::Program prog;
+    backend.setProgram(&prog);
+    tinympc::Solver solver(ws, backend, style);
+    solver.setup();
+    float x0[12] = {0.4f, -0.2f, 0.9f, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+    ws.setInitialState(x0);
+    solver.solve();
+    backend.setProgram(nullptr);
+    return prog;
+}
+
+/** Paper kernel names in Algorithm order, for stable table rows. */
+inline const char *const kKernelOrder[] = {
+    "forward_pass_1",        "forward_pass_2",
+    "backward_pass_1",       "backward_pass_2",
+    "update_slack_1",        "update_slack_2",
+    "update_dual_1",         "update_linear_cost_1",
+    "update_linear_cost_2",  "update_linear_cost_3",
+    "update_linear_cost_4",  "primal_residual_state",
+    "dual_residual_state",   "primal_residual_input",
+    "dual_residual_input",
+};
+
+/** Find per-name cycles in a kernel breakdown (0 when missing). */
+inline uint64_t
+kernelCycles(const std::vector<isa::KernelCycles> &kcs,
+             const std::string &name)
+{
+    for (const auto &kc : kcs)
+        if (kc.name == name)
+            return kc.cycles;
+    return 0;
+}
+
+} // namespace rtoc::bench
+
+#endif // RTOC_BENCH_BENCH_UTIL_HH

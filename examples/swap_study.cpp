@@ -1,0 +1,67 @@
+/**
+ * @file
+ * SWaP (size/weight/power) study across drone morphologies (§5.4):
+ * for each Table-1 variant, find the slowest SoC frequency at which
+ * the vector implementation completes an easy mission, and report the
+ * resulting power split. Shows why Hawk wants a fast SoC and Heron a
+ * low-power one.
+ *
+ * Build & run:  ./build/examples/swap_study
+ */
+
+#include <cstdio>
+
+#include "hil/episode.hh"
+#include "hil/timing.hh"
+
+using namespace rtoc;
+
+int
+main()
+{
+    std::printf("%-10s %-9s %-12s %-12s %-12s\n", "drone", "min MHz",
+                "rotor W", "SoC W", "SoC share");
+    for (auto drone : {quad::DroneParams::crazyflie(),
+                       quad::DroneParams::hawk(),
+                       quad::DroneParams::heron()}) {
+        hil::ControllerTiming tv =
+            hil::vectorControllerTiming(drone, 0.02, 10);
+
+        double min_freq = 0;
+        hil::EpisodeResult best;
+        for (double f : {50e6, 75e6, 100e6, 150e6, 250e6, 500e6}) {
+            hil::HilConfig cfg;
+            cfg.timing = tv;
+            cfg.socFreqHz = f;
+            cfg.power = soc::PowerParams::vectorCore();
+            int ok = 0;
+            hil::EpisodeResult last;
+            for (int i = 0; i < 3; ++i) {
+                last = hil::runEpisode(
+                    drone, quad::makeScenario(quad::Difficulty::Easy, i),
+                    cfg);
+                ok += last.success;
+            }
+            if (ok == 3) {
+                min_freq = f;
+                best = last;
+                break;
+            }
+        }
+        if (min_freq == 0) {
+            std::printf("%-10s unable to complete easy missions\n",
+                        drone.name.c_str());
+            continue;
+        }
+        double total = best.avgRotorPowerW + best.avgSocPowerW;
+        std::printf("%-10s %-9.0f %-12.2f %-12.3f %.2f%%\n",
+                    drone.name.c_str(), min_freq / 1e6,
+                    best.avgRotorPowerW, best.avgSocPowerW,
+                    100.0 * best.avgSocPowerW / total);
+    }
+    std::printf("\nInterpretation: the efficient Heron flies at the "
+                "lowest frequency and its compute is a vanishing power "
+                "share; the powerful Hawk tolerates (and §5.4 shows "
+                "benefits from) much faster clocks.\n");
+    return 0;
+}

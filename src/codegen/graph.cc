@@ -1,0 +1,332 @@
+#include "graph.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "matlib/rvv_backend.hh"
+#include "matlib/scalar_backend.hh"
+
+namespace rtoc::codegen {
+
+bool
+isElementwise(OpKind k)
+{
+    switch (k) {
+      case OpKind::Saxpby:
+      case OpKind::AccumDiff:
+      case OpKind::AxpyDiff:
+      case OpKind::RowScaleNeg:
+      case OpKind::ClampVec:
+      case OpKind::Copy:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+Graph::declare(const std::string &name, int rows, int cols)
+{
+    auto it = tensors.find(name);
+    if (it != tensors.end()) {
+        if (it->second != std::make_pair(rows, cols))
+            rtoc_fatal("tensor '%s' redeclared with new dims",
+                       name.c_str());
+        return;
+    }
+    tensors[name] = {rows, cols};
+}
+
+void
+Graph::push(Statement s)
+{
+    if (!tensors.count(s.out))
+        rtoc_fatal("statement writes undeclared tensor '%s'",
+                   s.out.c_str());
+    for (const auto &in : s.ins)
+        if (!tensors.count(in))
+            rtoc_fatal("statement reads undeclared tensor '%s'",
+                       in.c_str());
+    stmts.push_back(std::move(s));
+}
+
+Graph
+Graph::admmIteration(int nx, int nu, int horizon)
+{
+    Graph g;
+    auto step_name = [](const char *base, int i) {
+        return std::string(base) + "_" + std::to_string(i);
+    };
+
+    // Cache matrices.
+    g.declare("Kinf", nu, nx);
+    g.declare("KinfT", nx, nu);
+    g.declare("Adyn", nx, nx);
+    g.declare("Bdyn", nx, nu);
+    g.declare("BdynT", nu, nx);
+    g.declare("QuuInv", nu, nu);
+    g.declare("AmBKt", nx, nx);
+    g.declare("Pinf", nx, nx);
+    g.declare("Qdiag", 1, nx);
+    g.declare("tmp_nu", 1, nu);
+
+    for (int i = 0; i < horizon; ++i) {
+        g.declare(step_name("x", i), 1, nx);
+        g.declare(step_name("v", i), 1, nx);
+        g.declare(step_name("vnew", i), 1, nx);
+        g.declare(step_name("gd", i), 1, nx);
+        g.declare(step_name("q", i), 1, nx);
+        g.declare(step_name("p", i), 1, nx);
+        g.declare(step_name("xref", i), 1, nx);
+        g.declare(step_name("xmin", i), 1, nx);
+        g.declare(step_name("xmax", i), 1, nx);
+    }
+    for (int i = 0; i < horizon - 1; ++i) {
+        g.declare(step_name("u", i), 1, nu);
+        g.declare(step_name("z", i), 1, nu);
+        g.declare(step_name("znew", i), 1, nu);
+        g.declare(step_name("yd", i), 1, nu);
+        g.declare(step_name("r", i), 1, nu);
+        g.declare(step_name("d", i), 1, nu);
+        g.declare(step_name("umin", i), 1, nu);
+        g.declare(step_name("umax", i), 1, nu);
+    }
+
+    // Forward pass.
+    for (int i = 0; i < horizon - 1; ++i) {
+        g.push({OpKind::Gemv, step_name("u", i),
+                {"Kinf", step_name("x", i)}, nu, nx, -1.0f, 0.0f});
+        g.push({OpKind::Saxpby, step_name("u", i),
+                {step_name("u", i), step_name("d", i)}, nu, 0, 1.0f,
+                -1.0f});
+        g.push({OpKind::Gemv, step_name("x", i + 1),
+                {"Adyn", step_name("x", i)}, nx, nx, 1.0f, 0.0f});
+        g.push({OpKind::Gemv, step_name("x", i + 1),
+                {"Bdyn", step_name("u", i)}, nx, nu, 1.0f, 1.0f});
+    }
+    // Slack + dual + linear-cost updates (input side).
+    for (int i = 0; i < horizon - 1; ++i) {
+        g.push({OpKind::Saxpby, step_name("znew", i),
+                {step_name("u", i), step_name("yd", i)}, nu, 0, 1.0f,
+                1.0f});
+        g.push({OpKind::ClampVec, step_name("znew", i),
+                {step_name("znew", i), step_name("umin", i),
+                 step_name("umax", i)},
+                nu, 0});
+        g.push({OpKind::AccumDiff, step_name("yd", i),
+                {step_name("u", i), step_name("znew", i)}, nu, 0});
+        g.push({OpKind::AxpyDiff, step_name("r", i),
+                {step_name("znew", i), step_name("yd", i)}, nu, 0,
+                -1.0f});
+    }
+    // State side.
+    for (int i = 0; i < horizon; ++i) {
+        g.push({OpKind::Saxpby, step_name("vnew", i),
+                {step_name("x", i), step_name("gd", i)}, nx, 0, 1.0f,
+                1.0f});
+        g.push({OpKind::ClampVec, step_name("vnew", i),
+                {step_name("vnew", i), step_name("xmin", i),
+                 step_name("xmax", i)},
+                nx, 0});
+        g.push({OpKind::AccumDiff, step_name("gd", i),
+                {step_name("x", i), step_name("vnew", i)}, nx, 0});
+        g.push({OpKind::RowScaleNeg, step_name("q", i),
+                {step_name("xref", i), "Qdiag"}, nx, 0});
+        g.push({OpKind::AxpyDiff, step_name("q", i),
+                {step_name("vnew", i), step_name("gd", i)}, nx, 0,
+                -1.0f});
+    }
+    // Terminal cost-to-go.
+    g.push({OpKind::GemvT, step_name("p", horizon - 1),
+            {"Pinf", step_name("xref", horizon - 1)}, nx, nx, -1.0f,
+            0.0f});
+    g.push({OpKind::AxpyDiff, step_name("p", horizon - 1),
+            {step_name("vnew", horizon - 1),
+             step_name("gd", horizon - 1)},
+            nx, 0, -1.0f});
+    // Backward pass.
+    for (int i = horizon - 2; i >= 0; --i) {
+        g.push({OpKind::Gemv, "tmp_nu", {"BdynT", step_name("p", i + 1)},
+                nu, nx, 1.0f, 0.0f});
+        g.push({OpKind::Saxpby, "tmp_nu", {"tmp_nu", step_name("r", i)},
+                nu, 0, 1.0f, 1.0f});
+        g.push({OpKind::Gemv, step_name("d", i), {"QuuInv", "tmp_nu"},
+                nu, nu, 1.0f, 0.0f});
+        g.push({OpKind::Gemv, step_name("p", i),
+                {"AmBKt", step_name("p", i + 1)}, nx, nx, 1.0f, 0.0f});
+        g.push({OpKind::Saxpby, step_name("p", i),
+                {step_name("p", i), step_name("q", i)}, nx, 0, 1.0f,
+                1.0f});
+        g.push({OpKind::Gemv, step_name("p", i),
+                {"KinfT", step_name("r", i)}, nx, nu, -1.0f, 1.0f});
+    }
+    // Residuals (representative first-step reductions; the solver
+    // reduces whole arrays, the graph models the same FLOP shape).
+    g.declare("scalar_out", 1, 1);
+    g.push({OpKind::AbsMaxDiff, "scalar_out",
+            {step_name("x", 0), step_name("vnew", 0)}, nx, 0});
+    g.push({OpKind::AbsMaxDiff, "scalar_out",
+            {step_name("v", 0), step_name("vnew", 0)}, nx, 0});
+    g.push({OpKind::AbsMaxDiff, "scalar_out",
+            {step_name("u", 0), step_name("znew", 0)}, nu, 0});
+    g.push({OpKind::AbsMaxDiff, "scalar_out",
+            {step_name("z", 0), step_name("znew", 0)}, nu, 0});
+    // Slack copies.
+    for (int i = 0; i < horizon; ++i) {
+        g.push({OpKind::Copy, step_name("v", i),
+                {step_name("vnew", i)}, nx, 0});
+    }
+    for (int i = 0; i < horizon - 1; ++i) {
+        g.push({OpKind::Copy, step_name("z", i),
+                {step_name("znew", i)}, nu, 0});
+    }
+    return g;
+}
+
+int
+unrollPass(Graph &g)
+{
+    int marked = 0;
+    for (auto &s : g.stmts) {
+        if (s.op == OpKind::Gemv || s.op == OpKind::GemvT) {
+            s.unrolled = true;
+            ++marked;
+        }
+    }
+    return marked;
+}
+
+int
+fusionPass(Graph &g, int max_elems)
+{
+    int group = -1;
+    std::string last_touched;
+    bool open = false;
+
+    for (auto &s : g.stmts) {
+        bool fusable_size = s.m <= max_elems;
+        bool breaks = s.op == OpKind::AbsMaxDiff || !fusable_size;
+        if (breaks) {
+            open = false;
+            s.fuseGroup = -1;
+            last_touched.clear();
+            continue;
+        }
+        bool shares = false;
+        if (open) {
+            if (s.out == last_touched)
+                shares = true;
+            for (const auto &in : s.ins)
+                if (in == last_touched)
+                    shares = true;
+        }
+        if (!open || !shares) {
+            ++group;
+            open = true;
+        }
+        s.fuseGroup = group;
+        last_touched = s.out;
+    }
+    return group + 1;
+}
+
+isa::Program
+emit(const Graph &g, const CodegenOptions &opts)
+{
+    using matlib::Mat;
+
+    // Materialize zero buffers for every tensor.
+    std::map<std::string, std::vector<float>> storage;
+    std::map<std::string, Mat> views;
+    for (const auto &kv : g.tensors) {
+        auto [rows, cols] = kv.second;
+        storage[kv.first] =
+            std::vector<float>(static_cast<size_t>(rows) * cols, 0.0f);
+        views[kv.first] =
+            Mat(storage[kv.first].data(), rows, cols);
+    }
+
+    isa::Program prog;
+    std::unique_ptr<matlib::Backend> backend;
+    matlib::RvvBackend *rvv = nullptr;
+    if (opts.vectorize) {
+        matlib::RvvMapping mapping;
+        mapping.lmul = opts.lmul;
+        mapping.unroll = false; // toggled per-statement below
+        mapping.fuse = opts.applyFusion;
+        // The generator owns the data layout and always emits
+        // column-contiguous cache matrices (unit-stride GEMV loads).
+        mapping.transposedLayout = true;
+        auto owned =
+            std::make_unique<matlib::RvvBackend>(opts.vlen, mapping);
+        rvv = owned.get();
+        backend = std::move(owned);
+    } else {
+        backend = std::make_unique<matlib::ScalarBackend>(
+            matlib::ScalarFlavor::Naive);
+    }
+    backend->setProgram(&prog);
+
+    int open_group = -1;
+    auto close_group = [&]() {
+        if (open_group >= 0) {
+            backend->endFuse();
+            open_group = -1;
+        }
+    };
+
+    for (const auto &s : g.stmts) {
+        if (opts.applyFusion) {
+            if (s.fuseGroup != open_group) {
+                close_group();
+                if (s.fuseGroup >= 0) {
+                    backend->beginFuse();
+                    open_group = s.fuseGroup;
+                }
+            }
+        }
+        if (rvv) {
+            matlib::RvvMapping m = rvv->mapping();
+            m.unroll = opts.applyUnroll && s.unrolled;
+            rvv->setMapping(m);
+        }
+
+        Mat out = views.at(s.out);
+        auto in = [&](size_t i) -> Mat { return views.at(s.ins[i]); };
+        switch (s.op) {
+          case OpKind::Gemv:
+            backend->gemv(out, in(0), in(1), s.alpha, s.beta);
+            break;
+          case OpKind::GemvT:
+            backend->gemvT(out, in(0), in(1), s.alpha, s.beta);
+            break;
+          case OpKind::Saxpby:
+            backend->saxpby(out, s.alpha, in(0), s.beta, in(1));
+            break;
+          case OpKind::AccumDiff:
+            backend->accumDiff(out, in(0), in(1));
+            break;
+          case OpKind::AxpyDiff:
+            backend->axpyDiff(out, s.alpha, in(0), in(1));
+            break;
+          case OpKind::RowScaleNeg:
+            backend->rowScaleNeg(out, in(0), in(1));
+            break;
+          case OpKind::ClampVec:
+            backend->clampVec(out, in(0), in(1), in(2));
+            break;
+          case OpKind::AbsMaxDiff:
+            close_group();
+            out[0] = backend->absMaxDiff(in(0), in(1));
+            break;
+          case OpKind::Copy:
+            backend->copy(out, in(0));
+            break;
+        }
+    }
+    close_group();
+    backend->setProgram(nullptr);
+    return prog;
+}
+
+} // namespace rtoc::codegen

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Code-generation flow of §4.3: a tensor-statement IR for embedded
+ * optimization kernels, schedule passes (software unrolling and
+ * automated operator fusion), and an emitter that lowers the
+ * scheduled graph through the matlib backends into micro-op streams.
+ *
+ * This mirrors the paper's matlib codegen: "an optimization pass that
+ * traverses the C AST to apply customized tiled and batched code
+ * unfolding, as well as automated operator fusion that can minimize
+ * register uses for compatible elementwise operations". Our IR is the
+ * post-frontend equivalent of that AST: one statement per matlib
+ * call, with schedule attributes the passes fill in.
+ */
+
+#ifndef RTOC_CODEGEN_GRAPH_HH
+#define RTOC_CODEGEN_GRAPH_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace rtoc::codegen {
+
+/** Operation kinds, one per matlib primitive. */
+enum class OpKind {
+    Gemv,       ///< out = alpha A x (+ beta out)
+    GemvT,      ///< transpose form
+    Saxpby,     ///< out = sa a + sb b
+    AccumDiff,  ///< out += a - b
+    AxpyDiff,   ///< out += s (a - b)
+    RowScaleNeg,///< out = -(a . diag)
+    ClampVec,   ///< out = clamp(a, lo, hi)
+    AbsMaxDiff, ///< scalar = max|a - b|
+    Copy,       ///< out = a
+};
+
+/** True for elementwise (fusable) kinds. */
+bool isElementwise(OpKind k);
+
+/** One tensor-statement. */
+struct Statement
+{
+    OpKind op = OpKind::Saxpby;
+    std::string out;
+    std::vector<std::string> ins;
+    int m = 0;  ///< gemv rows / elementwise length
+    int n = 0;  ///< gemv cols
+    float alpha = 1.0f;
+    float beta = 0.0f;
+
+    // Schedule attributes (filled by passes).
+    bool unrolled = false;
+    int fuseGroup = -1;
+};
+
+/** Symbolic tensor table + statement list. */
+struct Graph
+{
+    std::map<std::string, std::pair<int, int>> tensors; ///< name->dims
+    std::vector<Statement> stmts;
+
+    /** Declare a tensor (idempotent; dims must agree). */
+    void declare(const std::string &name, int rows, int cols);
+
+    /** Append a statement (operands must be declared). */
+    void push(Statement s);
+
+    /**
+     * Build the statement graph of one TinyMPC ADMM iteration for an
+     * (nx, nu, N) problem — the workload of the paper's quadrotor
+     * tracking codegen study.
+     */
+    static Graph admmIteration(int nx, int nu, int horizon);
+};
+
+/**
+ * Software-unrolling pass: marks every GEMV statement for unrolled
+ * emission (dual accumulator chains, no per-column loop bookkeeping).
+ * @return number of statements marked.
+ */
+int unrollPass(Graph &g);
+
+/**
+ * Automated operator-fusion pass: greedily groups consecutive
+ * statements that share an operand whose vector length fits the
+ * register budget, so the emitter can keep temporaries register-
+ * resident. GEMV statements join a group (their outputs chain into
+ * elementwise consumers); reductions end a group.
+ * @param max_elems register budget (elements in one vector register
+ *        group)
+ * @return number of fusion groups formed.
+ */
+int fusionPass(Graph &g, int max_elems);
+
+/** Emission configuration. */
+struct CodegenOptions
+{
+    bool vectorize = true;
+    int vlen = 512;
+    int lmul = 1;
+    bool applyUnroll = true; ///< honor Statement::unrolled
+    bool applyFusion = true; ///< honor Statement::fuseGroup
+};
+
+/**
+ * Lower the scheduled graph to a micro-op Program via the matlib
+ * backends (scalar-naive when !vectorize, RVV otherwise). Allocates
+ * zero-initialized buffers for all tensors; streams are data-
+ * independent so the values do not affect timing.
+ */
+isa::Program emit(const Graph &g, const CodegenOptions &opts);
+
+} // namespace rtoc::codegen
+
+#endif // RTOC_CODEGEN_GRAPH_HH

@@ -1,0 +1,61 @@
+#include "cli.hh"
+
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace rtoc {
+
+Cli::Cli(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            // Tolerate google-benchmark style positional args silently
+            // only if they look like benchmark filters.
+            rtoc_fatal("unexpected positional argument '%s' "
+                       "(flags are --name or --name=value)", arg.c_str());
+        }
+        arg = arg.substr(2);
+        auto eq = arg.find('=');
+        if (eq == std::string::npos)
+            flags_[arg] = "";
+        else
+            flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+}
+
+bool
+Cli::has(const std::string &name) const
+{
+    return flags_.count(name) > 0;
+}
+
+long
+Cli::getInt(const std::string &name, long def) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end() || it->second.empty())
+        return def;
+    return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double
+Cli::getDouble(const std::string &name, double def) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end() || it->second.empty())
+        return def;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string
+Cli::getString(const std::string &name, const std::string &def) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end() || it->second.empty())
+        return def;
+    return it->second;
+}
+
+} // namespace rtoc

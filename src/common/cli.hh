@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal --flag=value command-line parsing for the bench binaries.
+ * Each bench accepts e.g. --scenarios=20 --full to widen sweeps; the
+ * defaults are sized so the complete bench suite runs in minutes.
+ */
+
+#ifndef RTOC_COMMON_CLI_HH
+#define RTOC_COMMON_CLI_HH
+
+#include <map>
+#include <string>
+
+namespace rtoc {
+
+/** Parsed command line: "--key=value" and bare "--switch" flags. */
+class Cli
+{
+  public:
+    /** Parse argv; unknown positional arguments are fatal(). */
+    Cli(int argc, char **argv);
+
+    /** True when --name was given (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** Integer flag with default. */
+    long getInt(const std::string &name, long def) const;
+
+    /** Floating-point flag with default. */
+    double getDouble(const std::string &name, double def) const;
+
+    /** String flag with default. */
+    std::string getString(const std::string &name,
+                          const std::string &def) const;
+
+  private:
+    std::map<std::string, std::string> flags_;
+};
+
+} // namespace rtoc
+
+#endif // RTOC_COMMON_CLI_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Status-message and error-handling helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated: a bug in rtoc itself.
+ *            Aborts so a debugger/core dump can capture the state.
+ * fatal()  — the simulation cannot continue because of a user-level
+ *            problem (bad configuration, impossible parameters).
+ *            Exits with status 1.
+ * warn()   — something is modelled approximately or suspiciously;
+ *            simulation continues.
+ * inform() — plain status output.
+ */
+
+#ifndef RTOC_COMMON_LOGGING_HH
+#define RTOC_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace rtoc {
+
+/** Print a formatted message and abort(); use for rtoc bugs. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
+
+/** Print a formatted message and exit(1); use for user errors. */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);
+
+/** Print a formatted warning to stderr and continue. */
+void warnImpl(const char *fmt, ...);
+
+/** Print a formatted status message to stderr and continue. */
+void informImpl(const char *fmt, ...);
+
+/** Format a printf-style message into a std::string. */
+std::string csprintf(const char *fmt, ...);
+
+} // namespace rtoc
+
+#define rtoc_panic(...) ::rtoc::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define rtoc_fatal(...) ::rtoc::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define rtoc_warn(...) ::rtoc::warnImpl(__VA_ARGS__)
+#define rtoc_inform(...) ::rtoc::informImpl(__VA_ARGS__)
+
+/** Assert that holds in all build types; panics on failure. */
+#define rtoc_assert(cond)                                                   \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            rtoc_panic("assertion failed: %s", #cond);                      \
+    } while (0)
+
+#endif // RTOC_COMMON_LOGGING_HH

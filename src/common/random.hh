@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic xorshift128+ RNG. Every stochastic component of the
+ * reproduction (scenario generation, disturbance sampling) seeds one of
+ * these explicitly so experiments are bit-reproducible across runs and
+ * platforms, independent of libstdc++'s distribution implementations.
+ */
+
+#ifndef RTOC_COMMON_RANDOM_HH
+#define RTOC_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace rtoc {
+
+/** xorshift128+ generator with convenience distributions. */
+class Rng
+{
+  public:
+    /** Seed the generator; distinct seeds give independent streams. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 initialization to spread low-entropy seeds.
+        uint64_t z = seed;
+        for (int i = 0; i < 2; ++i) {
+            z += 0x9e3779b97f4a7c15ull;
+            uint64_t t = z;
+            t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ull;
+            t = (t ^ (t >> 27)) * 0x94d049bb133111ebull;
+            state_[i] = t ^ (t >> 31);
+        }
+        if (state_[0] == 0 && state_[1] == 0)
+            state_[0] = 1;
+    }
+
+    /** Next raw 64-bit draw. */
+    uint64_t
+    next()
+    {
+        uint64_t s1 = state_[0];
+        const uint64_t s0 = state_[1];
+        state_[0] = s0;
+        s1 ^= s1 << 23;
+        state_[1] = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+        return state_[1] + s0;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). @p n must be > 0. */
+    uint64_t
+    uniformInt(uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Standard normal via Box-Muller (uses two uniforms per pair). */
+    double
+    gaussian()
+    {
+        if (have_spare_) {
+            have_spare_ = false;
+            return spare_;
+        }
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        double r = __builtin_sqrt(-2.0 * __builtin_log(u1));
+        double theta = 2.0 * 3.14159265358979323846 * u2;
+        spare_ = r * __builtin_sin(theta);
+        have_spare_ = true;
+        return r * __builtin_cos(theta);
+    }
+
+  private:
+    uint64_t state_[2];
+    bool have_spare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace rtoc
+
+#endif // RTOC_COMMON_RANDOM_HH

@@ -1,0 +1,88 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace rtoc {
+
+void
+StatGroup::inc(const std::string &name, uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+StatGroup::set(const std::string &name, uint64_t value)
+{
+    counters_[name] = value;
+}
+
+uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+bool
+StatGroup::has(const std::string &name) const
+{
+    return counters_.count(name) > 0;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters_)
+        kv.second = 0;
+}
+
+std::string
+StatGroup::dump(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters_)
+        os << prefix << kv.first << " = " << kv.second << "\n";
+    return os.str();
+}
+
+namespace {
+
+/** Linear-interpolated quantile of a sorted sample vector. */
+double
+quantile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (sorted.size() == 1)
+        return sorted.front();
+    double pos = q * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+} // namespace
+
+DistSummary
+Distribution::summarize() const
+{
+    DistSummary s;
+    if (samples_.empty())
+        return s;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    s.count = sorted.size();
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+             static_cast<double>(sorted.size());
+    s.p25 = quantile(sorted, 0.25);
+    s.median = quantile(sorted, 0.50);
+    s.p75 = quantile(sorted, 0.75);
+    return s;
+}
+
+} // namespace rtoc

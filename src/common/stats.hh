@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Lightweight named-counter statistics, in the spirit of gem5's stats
+ * package but reduced to what the rtoc timing models need: scalar
+ * counters, cycle accumulators, and distributions with summary
+ * statistics (median / quartiles) for solve-time reporting.
+ */
+
+#ifndef RTOC_COMMON_STATS_HH
+#define RTOC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rtoc {
+
+/** Monotonic cycle count used by all timing models. */
+using Cycles = uint64_t;
+
+/**
+ * A group of named uint64 counters. Models register their event counts
+ * (instructions issued, stall cycles, fences, ...) here so tests and
+ * benches can introspect why a configuration is slow.
+ */
+class StatGroup
+{
+  public:
+    /** Add @p delta to counter @p name, creating it at zero if absent. */
+    void inc(const std::string &name, uint64_t delta = 1);
+
+    /** Set counter @p name to @p value. */
+    void set(const std::string &name, uint64_t value);
+
+    /** Read counter @p name; returns 0 when never touched. */
+    uint64_t get(const std::string &name) const;
+
+    /** True when counter @p name exists. */
+    bool has(const std::string &name) const;
+
+    /** Reset all counters to zero (keeps names). */
+    void reset();
+
+    /** All counters in name order, for dumping. */
+    const std::map<std::string, uint64_t> &counters() const
+    {
+        return counters_;
+    }
+
+    /** Render a "name = value" listing. */
+    std::string dump(const std::string &prefix = "") const;
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+/**
+ * Summary of a sample distribution. The HIL evaluation reports median
+ * solve time with interquartile ranges (paper Fig. 16), which this
+ * reproduces.
+ */
+struct DistSummary
+{
+    size_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p25 = 0.0;
+    double median = 0.0;
+    double p75 = 0.0;
+};
+
+/** Accumulates samples and computes a DistSummary on demand. */
+class Distribution
+{
+  public:
+    /** Record one sample. */
+    void add(double sample) { samples_.push_back(sample); }
+
+    /** Number of recorded samples. */
+    size_t size() const { return samples_.size(); }
+
+    /** Drop all samples. */
+    void reset() { samples_.clear(); }
+
+    /** Compute count/mean/min/max/quartiles; zeroes when empty. */
+    DistSummary summarize() const;
+
+    /** Raw sample access (for tests). */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+};
+
+} // namespace rtoc
+
+#endif // RTOC_COMMON_STATS_HH

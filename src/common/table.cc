@@ -1,0 +1,91 @@
+#include "table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace rtoc {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+    if (headers_.empty())
+        rtoc_panic("table '%s' created with no columns", title_.c_str());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        rtoc_panic("table '%s': row has %zu cells, expected %zu",
+                   title_.c_str(), cells.size(), headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::num(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](std::ostringstream &os,
+                        const std::vector<std::string> &row) {
+        os << "|";
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << " " << row[c];
+            os << std::string(width[c] - row[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    os << "\n== " << title_ << " ==\n";
+    emit_row(os, headers_);
+    os << "|";
+    for (size_t c = 0; c < headers_.size(); ++c)
+        os << std::string(width[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        emit_row(os, row);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace rtoc

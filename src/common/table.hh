@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Markdown-ish table printer used by every bench binary so that the
+ * regenerated rows/series of each paper table and figure share one
+ * consistent, diffable format.
+ */
+
+#ifndef RTOC_COMMON_TABLE_HH
+#define RTOC_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace rtoc {
+
+/** Column-aligned text table with a title, headers, and string cells. */
+class Table
+{
+  public:
+    /** Create a table titled @p title with column headers @p headers. */
+    Table(std::string title, std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format an integer. */
+    static std::string num(uint64_t v);
+
+    /** Convenience: format a percentage ("12.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render to a string (title, separator, aligned rows). */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Number of data rows so far. */
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rtoc
+
+#endif // RTOC_COMMON_TABLE_HH

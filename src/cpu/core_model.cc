@@ -1,0 +1,30 @@
+#include "core_model.hh"
+
+#include "common/logging.hh"
+
+namespace rtoc::cpu {
+
+std::vector<uint64_t>
+attributeRegions(const isa::Program &prog,
+                 const std::vector<uint64_t> &finish)
+{
+    const auto &uops = prog.uops();
+    if (finish.size() != uops.size())
+        rtoc_panic("attributeRegions: finish array size mismatch");
+
+    // Running max completion up to and including index i.
+    std::vector<uint64_t> prefix_max(uops.size() + 1, 0);
+    for (size_t i = 0; i < uops.size(); ++i)
+        prefix_max[i + 1] = std::max(prefix_max[i], finish[i]);
+
+    std::vector<uint64_t> out;
+    out.reserve(prog.kernels().size());
+    for (const auto &region : prog.kernels()) {
+        uint64_t before = prefix_max[region.begin];
+        uint64_t after = prefix_max[region.end];
+        out.push_back(after - before);
+    }
+    return out;
+}
+
+} // namespace rtoc::cpu

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Timing-model interface shared by every architecture backend.
+ *
+ * A model consumes a Program (micro-op stream) and returns the cycle
+ * count plus per-kernel-region attribution. Models are deterministic
+ * and purely analytical over the stream: running the same Program
+ * twice gives identical results, which the property tests rely on.
+ */
+
+#ifndef RTOC_CPU_CORE_MODEL_HH
+#define RTOC_CPU_CORE_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "isa/program.hh"
+
+namespace rtoc::cpu {
+
+/** Outcome of timing one Program on one model. */
+struct TimingResult
+{
+    /** Total cycles from first fetch to last completion. */
+    Cycles cycles = 0;
+
+    /** Cycles attributed to each kernel region (parallel to
+     *  Program::kernels()). */
+    std::vector<uint64_t> regionCycles;
+
+    /** Model-specific event counters (stalls, fences, ...). */
+    StatGroup stats;
+
+    /** Per-name kernel accumulation helper. */
+    std::vector<isa::KernelCycles>
+    kernelBreakdown(const isa::Program &prog) const
+    {
+        return isa::accumulateKernelCycles(prog.kernels(), regionCycles);
+    }
+};
+
+/** Abstract architecture timing model. */
+class CoreModel
+{
+  public:
+    virtual ~CoreModel() = default;
+
+    /** Simulate @p prog and return cycles plus attribution. */
+    virtual TimingResult run(const isa::Program &prog) const = 0;
+
+    /** Configuration name for tables ("rocket", "boom-small", ...). */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Shared region-attribution helper: given the completion cycle of each
+ * uop, a region's cost is the increase of the running max completion
+ * across the region. Monotone and exact for in-order models; for OoO
+ * models it attributes overlap to the earlier region, which matches
+ * how RTL-level kernel timers (rdcycle around calls) behave.
+ */
+std::vector<uint64_t>
+attributeRegions(const isa::Program &prog,
+                 const std::vector<uint64_t> &finish);
+
+} // namespace rtoc::cpu
+
+#endif // RTOC_CPU_CORE_MODEL_HH

@@ -1,0 +1,40 @@
+#include "inorder.hh"
+
+namespace rtoc::cpu {
+
+InOrderConfig
+InOrderConfig::rocket()
+{
+    InOrderConfig c;
+    c.name = "rocket";
+    c.issueWidth = 1;
+    c.fpuCount = 1;
+    c.memPorts = 1;
+    return c;
+}
+
+InOrderConfig
+InOrderConfig::shuttle()
+{
+    InOrderConfig c;
+    c.name = "shuttle";
+    c.issueWidth = 2;
+    c.fpuCount = 1;
+    c.memPorts = 1;
+    return c;
+}
+
+TimingResult
+InOrderCore::run(const isa::Program &prog) const
+{
+    // Pure scalar run: any coprocessor uop is a programming error.
+    return runWithCoproc(
+        prog,
+        [this](const isa::Uop &u, uint64_t, RegReadyFile &,
+               RegReadyFile &) -> std::pair<uint64_t, uint64_t> {
+            rtoc_panic("scalar core '%s' given coprocessor uop %s",
+                       cfg_.name.c_str(), isa::uopName(u.kind));
+        });
+}
+
+} // namespace rtoc::cpu

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Inline implementation of the in-order scoreboard loop, templated on
+ * the coprocessor callback so the Saturn and Gemmini wrappers reuse
+ * one frontend model without virtual-dispatch overhead per uop.
+ */
+
+#ifndef RTOC_CPU_INORDER_IMPL_HH
+#define RTOC_CPU_INORDER_IMPL_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace rtoc::cpu {
+
+/** Growable map from virtual register id to ready cycle. */
+class RegReadyFile
+{
+  public:
+    uint64_t
+    readyTime(uint32_t reg) const
+    {
+        uint32_t idx = reg & 0x7fffffffu;
+        if (reg == isa::kNoReg || idx >= ready_.size())
+            return 0;
+        return ready_[idx];
+    }
+
+    void
+    setReady(uint32_t reg, uint64_t t)
+    {
+        if (reg == isa::kNoReg)
+            return;
+        uint32_t idx = reg & 0x7fffffffu;
+        if (idx >= ready_.size())
+            ready_.resize(static_cast<size_t>(idx) * 2 + 16, 0);
+        ready_[idx] = t;
+    }
+
+  private:
+    std::vector<uint64_t> ready_;
+};
+
+template <typename CoprocFn>
+TimingResult
+InOrderCore::runWithCoproc(const isa::Program &prog,
+                           CoprocFn &&coproc) const
+{
+    using isa::Uop;
+    using isa::UopKind;
+
+    TimingResult result;
+    const auto &uops = prog.uops();
+    std::vector<uint64_t> finish(uops.size(), 0);
+
+    RegReadyFile sregs;  // scalar registers
+    RegReadyFile vregs;  // vector registers (only coproc uses these)
+
+    uint64_t cycle = 0;
+    int slots = 0;
+    int fp_used = 0;
+    int mem_used = 0;
+    uint64_t stall_data = 0;
+    uint64_t stall_struct = 0;
+
+    auto advance_to = [&](uint64_t c) {
+        if (c > cycle) {
+            cycle = c;
+            slots = 0;
+            fp_used = 0;
+            mem_used = 0;
+        }
+    };
+
+    auto latency_of = [&](UopKind k) -> int {
+        switch (k) {
+          case UopKind::IntAlu: return 1;
+          case UopKind::IntMul: return cfg_.intMulLatency;
+          case UopKind::FpAdd:
+          case UopKind::FpMul:
+          case UopKind::FpFma:
+          case UopKind::FpMinMax:
+          case UopKind::FpAbs: return cfg_.fpLatency;
+          case UopKind::FpDiv: return cfg_.fpDivLatency;
+          case UopKind::FpCmp:
+          case UopKind::FpMove: return 2;
+          case UopKind::Load: return cfg_.loadLatency;
+          case UopKind::Store: return 1;
+          case UopKind::Branch: return 1;
+          default:
+            rtoc_panic("in-order core '%s': non-scalar uop %s",
+                       cfg_.name.c_str(), isa::uopName(k));
+        }
+    };
+
+    auto is_fp = [](UopKind k) {
+        return k == UopKind::FpAdd || k == UopKind::FpMul ||
+               k == UopKind::FpFma || k == UopKind::FpDiv ||
+               k == UopKind::FpMinMax || k == UopKind::FpAbs ||
+               k == UopKind::FpCmp;
+    };
+    auto is_mem = [](UopKind k) {
+        return k == UopKind::Load || k == UopKind::Store;
+    };
+
+    for (size_t i = 0; i < uops.size(); ++i) {
+        const Uop &u = uops[i];
+
+        if (!isa::isScalar(u.kind)) {
+            // Frontend presents the coprocessor instruction: it costs
+            // one issue slot, then the coprocessor decides when the
+            // frontend may continue (back-pressure, fences).
+            while (slots >= cfg_.issueWidth)
+                advance_to(cycle + 1);
+            // Scalar operand of the coprocessor op must be ready
+            // (e.g. vfmacc.vf reads a scalar f-register).
+            uint64_t ready = std::max(
+                {sregs.readyTime(isa::Program::isVReg(u.src0)
+                                     ? isa::kNoReg : u.src0),
+                 sregs.readyTime(isa::Program::isVReg(u.src1)
+                                     ? isa::kNoReg : u.src1),
+                 sregs.readyTime(isa::Program::isVReg(u.src2)
+                                     ? isa::kNoReg : u.src2)});
+            if (ready > cycle) {
+                stall_data += ready - cycle;
+                advance_to(ready);
+            }
+            ++slots;
+            auto [release, done] = coproc(u, cycle, sregs, vregs);
+            finish[i] = done;
+            if (release > cycle)
+                advance_to(release);
+            continue;
+        }
+
+        uint64_t ready =
+            std::max({sregs.readyTime(u.src0), sregs.readyTime(u.src1),
+                      sregs.readyTime(u.src2)});
+        if (ready > cycle) {
+            stall_data += ready - cycle;
+            advance_to(ready);
+        }
+        while (slots >= cfg_.issueWidth ||
+               (is_fp(u.kind) && fp_used >= cfg_.fpuCount) ||
+               (is_mem(u.kind) && mem_used >= cfg_.memPorts)) {
+            ++stall_struct;
+            advance_to(cycle + 1);
+        }
+        ++slots;
+        if (is_fp(u.kind))
+            ++fp_used;
+        if (is_mem(u.kind))
+            ++mem_used;
+
+        uint64_t done = cycle + static_cast<uint64_t>(latency_of(u.kind));
+        finish[i] = done;
+        sregs.setReady(u.dst, done);
+
+        if (u.kind == UopKind::Branch && u.taken)
+            advance_to(cycle + 1 + static_cast<uint64_t>(cfg_.branchBubble));
+    }
+
+    uint64_t total = cycle;
+    for (uint64_t f : finish)
+        total = std::max(total, f);
+
+    result.cycles = total;
+    result.regionCycles = attributeRegions(prog, finish);
+    result.stats.set("uops", uops.size());
+    result.stats.set("stall_data", stall_data);
+    result.stats.set("stall_struct", stall_struct);
+    return result;
+}
+
+} // namespace rtoc::cpu
+
+#endif // RTOC_CPU_INORDER_IMPL_HH

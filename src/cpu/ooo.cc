@@ -1,0 +1,215 @@
+#include "ooo.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace rtoc::cpu {
+
+OooConfig
+OooConfig::boomSmall()
+{
+    OooConfig c;
+    c.name = "boom-small";
+    c.frontWidth = 1;
+    c.robSize = 64;
+    c.intIssue = 1;
+    c.memIssue = 1;
+    c.fpIssue = 1;
+    return c;
+}
+
+OooConfig
+OooConfig::boomMedium()
+{
+    OooConfig c;
+    c.name = "boom-medium";
+    c.frontWidth = 2;
+    c.robSize = 96;
+    c.intIssue = 2;
+    c.memIssue = 1;
+    c.fpIssue = 1;
+    return c;
+}
+
+OooConfig
+OooConfig::boomLarge()
+{
+    OooConfig c;
+    c.name = "boom-large";
+    c.frontWidth = 3;
+    c.robSize = 128;
+    c.intIssue = 3;
+    c.memIssue = 2;
+    c.fpIssue = 1;
+    return c;
+}
+
+OooConfig
+OooConfig::boomMega()
+{
+    OooConfig c;
+    c.name = "boom-mega";
+    c.frontWidth = 4;
+    c.robSize = 192;
+    c.intIssue = 4;
+    c.memIssue = 2;
+    c.fpIssue = 2;
+    return c;
+}
+
+namespace {
+
+enum class PipeClass { Int, Mem, Fp };
+
+PipeClass
+classOf(isa::UopKind k)
+{
+    using isa::UopKind;
+    switch (k) {
+      case UopKind::Load:
+      case UopKind::Store:
+        return PipeClass::Mem;
+      case UopKind::FpAdd:
+      case UopKind::FpMul:
+      case UopKind::FpFma:
+      case UopKind::FpDiv:
+      case UopKind::FpMinMax:
+      case UopKind::FpAbs:
+      case UopKind::FpCmp:
+      case UopKind::FpMove:
+        return PipeClass::Fp;
+      default:
+        return PipeClass::Int;
+    }
+}
+
+/** Per-cycle issue-slot occupancy for one pipeline class. */
+class SlotMap
+{
+  public:
+    explicit SlotMap(int width) : width_(width) {}
+
+    /** Earliest cycle >= t with a free slot; claims it. */
+    uint64_t
+    claimFrom(uint64_t t)
+    {
+        while (true) {
+            if (t >= used_.size())
+                used_.resize(t * 2 + 64, 0);
+            if (used_[t] < width_) {
+                ++used_[t];
+                return t;
+            }
+            ++t;
+        }
+    }
+
+  private:
+    int width_;
+    std::vector<uint8_t> used_;
+};
+
+} // namespace
+
+TimingResult
+OooCore::run(const isa::Program &prog) const
+{
+    using isa::Uop;
+    using isa::UopKind;
+
+    const auto &uops = prog.uops();
+    TimingResult result;
+    std::vector<uint64_t> finish(uops.size(), 0);
+
+    // Register ready times (indexed by virtual id).
+    std::vector<uint64_t> ready;
+    auto ready_of = [&](uint32_t reg) -> uint64_t {
+        uint32_t idx = reg & 0x7fffffffu;
+        if (reg == isa::kNoReg || idx >= ready.size())
+            return 0;
+        return ready[idx];
+    };
+    auto set_ready = [&](uint32_t reg, uint64_t t) {
+        if (reg == isa::kNoReg)
+            return;
+        uint32_t idx = reg & 0x7fffffffu;
+        if (idx >= ready.size())
+            ready.resize(static_cast<size_t>(idx) * 2 + 16, 0);
+        ready[idx] = t;
+    };
+
+    auto latency_of = [&](UopKind k) -> uint64_t {
+        switch (k) {
+          case UopKind::IntAlu: return 1;
+          case UopKind::IntMul:
+            return static_cast<uint64_t>(cfg_.intMulLatency);
+          case UopKind::FpAdd:
+          case UopKind::FpMul:
+          case UopKind::FpFma:
+          case UopKind::FpMinMax:
+          case UopKind::FpAbs:
+            return static_cast<uint64_t>(cfg_.fpLatency);
+          case UopKind::FpDiv:
+            return static_cast<uint64_t>(cfg_.fpDivLatency);
+          case UopKind::FpCmp:
+          case UopKind::FpMove: return 2;
+          case UopKind::Load:
+            return static_cast<uint64_t>(cfg_.loadLatency);
+          case UopKind::Store: return 1;
+          case UopKind::Branch: return 1;
+          default:
+            rtoc_panic("OoO core '%s': non-scalar uop %s",
+                       cfg_.name.c_str(), isa::uopName(k));
+        }
+    };
+
+    SlotMap int_slots(cfg_.intIssue);
+    SlotMap mem_slots(cfg_.memIssue);
+    SlotMap fp_slots(cfg_.fpIssue);
+
+    // In-order commit ring for the ROB-occupancy constraint.
+    std::vector<uint64_t> commit(static_cast<size_t>(cfg_.robSize), 0);
+    uint64_t last_commit = 0;
+
+    for (size_t i = 0; i < uops.size(); ++i) {
+        const Uop &u = uops[i];
+        if (!isa::isScalar(u.kind)) {
+            rtoc_panic("OoO core '%s' given coprocessor uop %s "
+                       "(BOOM cores are evaluated scalar-only)",
+                       cfg_.name.c_str(), isa::uopName(u.kind));
+        }
+
+        uint64_t fetch =
+            static_cast<uint64_t>(i) /
+            static_cast<uint64_t>(cfg_.frontWidth);
+        uint64_t rob_free = commit[i % cfg_.robSize];
+        uint64_t operands = std::max(
+            {ready_of(u.src0), ready_of(u.src1), ready_of(u.src2)});
+        uint64_t t = std::max({fetch, rob_free, operands});
+
+        SlotMap &slots = classOf(u.kind) == PipeClass::Int ? int_slots
+                         : classOf(u.kind) == PipeClass::Mem
+                             ? mem_slots
+                             : fp_slots;
+        uint64_t issue = slots.claimFrom(t);
+        uint64_t done = issue + latency_of(u.kind);
+        finish[i] = done;
+        set_ready(u.dst, done);
+
+        last_commit = std::max(last_commit, done);
+        commit[i % cfg_.robSize] = last_commit;
+    }
+
+    uint64_t total = 0;
+    for (uint64_t f : finish)
+        total = std::max(total, f);
+
+    result.cycles = total;
+    result.regionCycles = attributeRegions(prog, finish);
+    result.stats.set("uops", uops.size());
+    return result;
+}
+
+} // namespace rtoc::cpu

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Greedy-dataflow out-of-order core model for the BOOM family.
+ *
+ * Mirrors the configuration axes the paper sweeps in §5.1.1: front-end
+ * width (fetch/decode), per-pipeline issue queues (MEM / INT / FP),
+ * ROB capacity, and FPU count (Mega BOOM has two FPUs). Scheduling is
+ * idealized (perfect branch prediction, full renaming): each uop
+ * issues at the earliest cycle allowed by its operands, its pipeline's
+ * issue width, the front-end supply rate and ROB occupancy. This is
+ * the standard first-order OoO model and upper-bounds the RTL, which
+ * is the right fidelity for the paper's "more OoO is not worth the
+ * area for this workload" conclusion.
+ */
+
+#ifndef RTOC_CPU_OOO_HH
+#define RTOC_CPU_OOO_HH
+
+#include <string>
+
+#include "cpu/core_model.hh"
+
+namespace rtoc::cpu {
+
+/** Microarchitectural parameters of a BOOM-like OoO core. */
+struct OooConfig
+{
+    std::string name = "boom-small";
+    int frontWidth = 1;  ///< sustained decode/rename per cycle
+    int robSize = 64;
+    int intIssue = 1;    ///< INT pipeline issue width
+    int memIssue = 1;    ///< MEM pipeline issue width
+    int fpIssue = 1;     ///< FP pipeline issue width (== FPU count)
+    int loadLatency = 3;
+    int fpLatency = 4;
+    int fpDivLatency = 16;
+    int intMulLatency = 3;
+
+    static OooConfig boomSmall();
+    static OooConfig boomMedium();
+    static OooConfig boomLarge();
+    static OooConfig boomMega();
+};
+
+/** Greedy-dataflow timing model of an OoO scalar core. */
+class OooCore : public CoreModel
+{
+  public:
+    explicit OooCore(OooConfig cfg) : cfg_(std::move(cfg)) {}
+
+    TimingResult run(const isa::Program &prog) const override;
+
+    std::string name() const override { return cfg_.name; }
+
+    const OooConfig &config() const { return cfg_; }
+
+  private:
+    OooConfig cfg_;
+};
+
+} // namespace rtoc::cpu
+
+#endif // RTOC_CPU_OOO_HH

@@ -1,0 +1,76 @@
+#include "dronet.hh"
+
+namespace rtoc::dronet {
+
+double
+Layer::macs() const
+{
+    if (dense) {
+        return static_cast<double>(inH) * inW * inC * outC;
+    }
+    double positions = static_cast<double>(outH()) * outW();
+    return positions * kernel * kernel * inC * outC;
+}
+
+std::vector<Layer>
+dronetLayers()
+{
+    // DroNet: 200x200x1 input, 5x5/2 conv stem + 3x3/2 maxpool, then
+    // three ResNet blocks (two 3x3 convs each, strided entry, 1x1
+    // shortcut), then dense heads for steering and collision.
+    std::vector<Layer> layers;
+    layers.push_back({"conv_stem", 200, 200, 1, 32, 5, 2, false});
+    // After stem + pool: 50x50x32.
+    layers.push_back({"res1_conv1", 50, 50, 32, 32, 3, 2, false});
+    layers.push_back({"res1_conv2", 25, 25, 32, 32, 3, 1, false});
+    layers.push_back({"res1_short", 50, 50, 32, 32, 1, 2, false});
+    layers.push_back({"res2_conv1", 25, 25, 32, 64, 3, 2, false});
+    layers.push_back({"res2_conv2", 13, 13, 64, 64, 3, 1, false});
+    layers.push_back({"res2_short", 25, 25, 32, 64, 1, 2, false});
+    layers.push_back({"res3_conv1", 13, 13, 64, 128, 3, 2, false});
+    layers.push_back({"res3_conv2", 7, 7, 128, 128, 3, 1, false});
+    layers.push_back({"res3_short", 13, 13, 64, 128, 1, 2, false});
+    layers.push_back({"fc_steer", 7, 7, 128, 1, 1, 1, true});
+    layers.push_back({"fc_coll", 7, 7, 128, 1, 1, 1, true});
+    return layers;
+}
+
+double
+dronetTotalMacs()
+{
+    double total = 0.0;
+    for (const Layer &l : dronetLayers())
+        total += l.macs();
+    return total;
+}
+
+double
+CnnCostModel::cyclesPerFrame() const
+{
+    double cycles = 0.0;
+    for (const Layer &l : dronetLayers())
+        cycles += l.macs() / macsPerCycle + layerOverheadCycles;
+    return cycles;
+}
+
+CnnCostModel
+CnnCostModel::vectorized(int dlen_bits)
+{
+    CnnCostModel m;
+    int lanes = dlen_bits / 32;
+    // ~55% sustained efficiency of the FMA datapath on 3x3 convs.
+    m.macsPerCycle = lanes * 0.55;
+    m.layerOverheadCycles = 30000.0;
+    return m;
+}
+
+CnnCostModel
+CnnCostModel::scalar()
+{
+    CnnCostModel m;
+    m.macsPerCycle = 0.35; // load + fma + indexing per MAC, in-order
+    m.layerOverheadCycles = 15000.0;
+    return m;
+}
+
+} // namespace rtoc::dronet

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * DroNet workload model for the concurrent-task study (§5.3).
+ *
+ * DroNet (Loquercio et al., RA-L 2018) is an 8-layer residual CNN
+ * taking a 200x200 grayscale frame and producing steering +
+ * collision-probability outputs. We model it layer by layer (conv
+ * MAC counts, pooling, dense) and map it onto the same core models
+ * used for MPC: a vectorized conv kernel sustains a calibrated
+ * fraction of the datapath's peak MACs/cycle, plus per-layer
+ * invocation overhead. The paper runs DroNet as a background Zephyr
+ * thread under a 50 Hz TinyMPC task on a 100 MHz RVV core.
+ */
+
+#ifndef RTOC_DRONET_DRONET_HH
+#define RTOC_DRONET_DRONET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtoc::dronet {
+
+/** One layer of the network. */
+struct Layer
+{
+    std::string name;
+    int inH = 0, inW = 0, inC = 0;
+    int outC = 0;
+    int kernel = 3;
+    int stride = 1;
+    bool dense = false;
+
+    /** Output spatial dims. */
+    int outH() const { return dense ? 1 : (inH + stride - 1) / stride; }
+    int outW() const { return dense ? 1 : (inW + stride - 1) / stride; }
+
+    /** Multiply-accumulates for this layer. */
+    double macs() const;
+};
+
+/** The DroNet topology (conv stem, 3 residual blocks, 2 heads). */
+std::vector<Layer> dronetLayers();
+
+/** Total MACs of the network. */
+double dronetTotalMacs();
+
+/** Cost model of running the network on a core. */
+struct CnnCostModel
+{
+    double macsPerCycle = 4.4;   ///< sustained (8-lane RVV conv)
+    double layerOverheadCycles = 30000.0; ///< im2col/bookkeeping
+
+    /** Cycles for one inference. */
+    double cyclesPerFrame() const;
+
+    /** Vectorized mapping on a DLEN-bit datapath. */
+    static CnnCostModel vectorized(int dlen_bits);
+
+    /** Scalar mapping (for comparison). */
+    static CnnCostModel scalar();
+};
+
+} // namespace rtoc::dronet
+
+#endif // RTOC_DRONET_DRONET_HH

@@ -1,0 +1,218 @@
+#include "disturbance.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "matlib/scalar_backend.hh"
+#include "quad/linearize.hh"
+#include "tinympc/solver.hh"
+
+namespace rtoc::hil {
+
+using quad::Vec3;
+
+const char *
+disturbKindName(DisturbKind k)
+{
+    switch (k) {
+      case DisturbKind::StepForce: return "step-force";
+      case DisturbKind::ImpulseForce: return "impulse-force";
+      case DisturbKind::StepTorque: return "step-torque";
+      case DisturbKind::ImpulseTorque: return "impulse-torque";
+      case DisturbKind::StepCombined: return "step-combined";
+      case DisturbKind::ImpulseCombined: return "impulse-combined";
+    }
+    rtoc_panic("bad disturbance kind");
+}
+
+namespace {
+
+bool
+isForce(DisturbKind k)
+{
+    return k == DisturbKind::StepForce || k == DisturbKind::ImpulseForce;
+}
+
+bool
+isTorque(DisturbKind k)
+{
+    return k == DisturbKind::StepTorque ||
+           k == DisturbKind::ImpulseTorque;
+}
+
+bool
+isStep(DisturbKind k)
+{
+    return k == DisturbKind::StepForce || k == DisturbKind::StepTorque ||
+           k == DisturbKind::StepCombined;
+}
+
+} // namespace
+
+DisturbResult
+runDisturbTrial(const quad::DroneParams &drone, const DisturbSpec &spec,
+                const HilConfig &cfg)
+{
+    DisturbResult res;
+
+    quad::QuadSim sim(drone);
+    const Vec3 hover_point = {0, 0, 1.0};
+    sim.resetHover(hover_point);
+
+    tinympc::Workspace ws =
+        quad::buildQuadWorkspace(drone, cfg.controlPeriodS, cfg.horizon);
+    matlib::ScalarBackend backend(matlib::ScalarFlavor::Optimized);
+    tinympc::Solver solver(ws, backend, tinympc::MappingStyle::Library);
+    ws.setReferenceAll(quad::hoverReference(hover_point));
+
+    double hover_cmd = sim.hoverCmd();
+    std::array<double, 4> current_cmd = {hover_cmd, hover_cmd,
+                                         hover_cmd, hover_cmd};
+    std::array<double, 4> pending_cmd = current_cmd;
+    double pending_apply_at = -1.0;
+    double controller_free_at = 0.0;
+    double next_tick = 0.0;
+
+    const double uart_latency =
+        cfg.uart.uplinkS() + cfg.uart.downlinkS();
+    const double onset = 0.5;
+    const double duration = isStep(spec.kind) ? 0.100 : 0.015;
+    const double settle_window = 0.250;
+    const double recover_radius = 0.05;
+    const double limit = onset + 4.0;
+
+    double within_since = -1.0;
+    double t = 0.0;
+    while (t < limit) {
+        if (pending_apply_at >= 0.0 && t >= pending_apply_at) {
+            current_cmd = pending_cmd;
+            pending_apply_at = -1.0;
+        }
+        if (t >= next_tick && t >= controller_free_at) {
+            float x0[12];
+            quad::packMpcState(sim.state(), x0);
+            ws.setInitialState(x0);
+            tinympc::SolveResult sr = solver.solve();
+            double solve_s =
+                cfg.timing.solveCycles(sr.iterations) / cfg.socFreqHz;
+            matlib::Mat u0 = solver.firstInput();
+            double tmax = drone.maxThrustPerMotorN();
+            for (int m = 0; m < 4; ++m) {
+                pending_cmd[m] =
+                    std::clamp(hover_cmd + static_cast<double>(u0[m]),
+                               0.0, tmax);
+            }
+            double done = t + uart_latency + solve_s;
+            pending_apply_at = done;
+            controller_free_at = done;
+            double period = cfg.controlPeriodS;
+            next_tick = std::max(t + period,
+                                 std::ceil(done / period) * period);
+        }
+
+        quad::ExternalWrench wrench;
+        if (t >= onset && t < onset + duration) {
+            double mag = spec.magnitude;
+            if (isForce(spec.kind)) {
+                wrench.forceN[spec.axis] = mag;
+            } else if (isTorque(spec.kind)) {
+                wrench.torqueNm[spec.axis] = mag * 1e-3;
+            } else {
+                // Combined: force plus proportional torque.
+                wrench.forceN[spec.axis] = mag;
+                wrench.torqueNm[(spec.axis + 1) % 3] = mag * 0.3e-3;
+            }
+        }
+
+        sim.step(current_cmd, cfg.physicsDtS, wrench);
+        t = sim.timeS();
+
+        double dev = 0.0;
+        for (int i = 0; i < 3; ++i) {
+            double d = sim.state().pos[i] - hover_point[i];
+            dev += d * d;
+        }
+        dev = std::sqrt(dev);
+        if (t > onset)
+            res.maxDeviationM = std::max(res.maxDeviationM, dev);
+
+        if (sim.crashed()) {
+            res.crashed = true;
+            return res;
+        }
+
+        if (t > onset + duration) {
+            if (dev < recover_radius) {
+                if (within_since < 0.0)
+                    within_since = t;
+                if (t - within_since >= settle_window) {
+                    res.recovered = true;
+                    res.ttrS = within_since - onset;
+                    return res;
+                }
+            } else {
+                within_since = -1.0;
+            }
+        }
+    }
+    return res;
+}
+
+double
+maxRecoverableMagnitude(const quad::DroneParams &drone, DisturbKind kind,
+                        int axis, const HilConfig &cfg)
+{
+    DisturbSpec spec;
+    spec.kind = kind;
+    spec.axis = axis;
+
+    // Exponential search for an upper failure bound.
+    double lo = 0.0;
+    double hi = isForce(kind) ? 0.05 : 0.05;
+    for (int i = 0; i < 12; ++i) {
+        spec.magnitude = hi;
+        if (!runDisturbTrial(drone, spec, cfg).recovered)
+            break;
+        lo = hi;
+        hi *= 2.0;
+    }
+    // Bisection.
+    for (int i = 0; i < 8; ++i) {
+        double mid = 0.5 * (lo + hi);
+        spec.magnitude = mid;
+        if (runDisturbTrial(drone, spec, cfg).recovered)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+DisturbCell
+runDisturbCell(const quad::DroneParams &drone, DisturbKind kind,
+               const HilConfig &cfg, double magnitude_fraction)
+{
+    DisturbCell cell;
+    cell.impl = cfg.timing.mappingName;
+    cell.kind = kind;
+
+    double ttr_sum = 0.0;
+    double mag_sum = 0.0;
+    int axes = isTorque(kind) ? 3 : 3;
+    for (int axis = 0; axis < axes; ++axis) {
+        double mag = maxRecoverableMagnitude(drone, kind, axis, cfg);
+        mag_sum += mag;
+        DisturbSpec spec{kind, axis, mag * magnitude_fraction};
+        DisturbResult r = runDisturbTrial(drone, spec, cfg);
+        if (r.recovered) {
+            ttr_sum += r.ttrS;
+            cell.trials += 1;
+        }
+    }
+    cell.avgTtrS = cell.trials ? ttr_sum / cell.trials : 0.0;
+    cell.maxMagnitude = mag_sum / axes;
+    return cell;
+}
+
+} // namespace rtoc::hil

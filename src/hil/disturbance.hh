@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Disturbance-rejection experiment (§5.2, Fig. 17): apply 100 ms step
+ * and impulse disturbances — axis-aligned forces, torques and
+ * combined vectors — to a hovering drone under closed-loop MPC,
+ * measure time-to-recovery (return within 5 cm of the hover point for
+ * 250 ms) and the maximum recoverable magnitude via bisection.
+ */
+
+#ifndef RTOC_HIL_DISTURBANCE_HH
+#define RTOC_HIL_DISTURBANCE_HH
+
+#include <string>
+#include <vector>
+
+#include "hil/episode.hh"
+
+namespace rtoc::hil {
+
+/** Disturbance categories of Fig. 17. */
+enum class DisturbKind {
+    StepForce,
+    ImpulseForce,
+    StepTorque,
+    ImpulseTorque,
+    StepCombined,
+    ImpulseCombined,
+};
+
+/** Printable name. */
+const char *disturbKindName(DisturbKind k);
+
+/** All categories for sweeps. */
+inline const DisturbKind kAllDisturbKinds[] = {
+    DisturbKind::StepForce,    DisturbKind::ImpulseForce,
+    DisturbKind::StepTorque,   DisturbKind::ImpulseTorque,
+    DisturbKind::StepCombined, DisturbKind::ImpulseCombined,
+};
+
+/** One trial description. */
+struct DisturbSpec
+{
+    DisturbKind kind = DisturbKind::StepForce;
+    int axis = 0;       ///< 0/1/2 = x/y/z
+    double magnitude = 0.1; ///< N for forces, mN·m for torques
+};
+
+/** Result of one disturbance trial. */
+struct DisturbResult
+{
+    bool recovered = false;
+    bool crashed = false;
+    double ttrS = 0.0;     ///< time to recovery from onset
+    double maxDeviationM = 0.0;
+};
+
+/** Run one hover + disturbance trial under the HIL pipeline. */
+DisturbResult runDisturbTrial(const quad::DroneParams &drone,
+                              const DisturbSpec &spec,
+                              const HilConfig &cfg);
+
+/** Bisect the largest recoverable magnitude for @p kind/@p axis. */
+double maxRecoverableMagnitude(const quad::DroneParams &drone,
+                               DisturbKind kind, int axis,
+                               const HilConfig &cfg);
+
+/** Aggregates for one (implementation, kind) cell of Fig. 17. */
+struct DisturbCell
+{
+    std::string impl;
+    DisturbKind kind = DisturbKind::StepForce;
+    double avgTtrS = 0.0;
+    double maxMagnitude = 0.0;
+    int trials = 0;
+};
+
+/** Average TTR across axes at a fraction of the recoverable limit. */
+DisturbCell runDisturbCell(const quad::DroneParams &drone,
+                           DisturbKind kind, const HilConfig &cfg,
+                           double magnitude_fraction = 0.6);
+
+} // namespace rtoc::hil
+
+#endif // RTOC_HIL_DISTURBANCE_HH

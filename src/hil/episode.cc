@@ -1,0 +1,220 @@
+#include "episode.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "matlib/scalar_backend.hh"
+#include "quad/linearize.hh"
+#include "tinympc/solver.hh"
+
+namespace rtoc::hil {
+
+using quad::Vec3;
+
+namespace {
+
+double
+dist3(const Vec3 &a, const Vec3 &b)
+{
+    double dx = a[0] - b[0];
+    double dy = a[1] - b[1];
+    double dz = a[2] - b[2];
+    return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+} // namespace
+
+EpisodeResult
+runEpisode(const quad::DroneParams &drone, const quad::Scenario &sc,
+           const HilConfig &cfg)
+{
+    EpisodeResult res;
+
+    quad::QuadSim sim(drone);
+    sim.resetHover({0, 0, 1.0});
+
+    tinympc::Workspace ws =
+        quad::buildQuadWorkspace(drone, cfg.controlPeriodS, cfg.horizon);
+    // Functional-only backend: identical arithmetic, no emission.
+    matlib::ScalarBackend backend(matlib::ScalarFlavor::Optimized);
+    tinympc::Solver solver(ws, backend, tinympc::MappingStyle::Library);
+
+    double hover = sim.hoverCmd();
+    std::array<double, 4> current_cmd = {hover, hover, hover, hover};
+    std::array<double, 4> pending_cmd = current_cmd;
+    double pending_apply_at = -1.0;
+    double controller_free_at = 0.0;
+    double next_tick = 0.0;
+    double busy_time = 0.0;
+
+    const double uart_latency =
+        cfg.idealPolicy ? 0.0
+                        : cfg.uart.uplinkS() + cfg.uart.downlinkS();
+
+    int revealed = 0;
+    int reached = 0;
+    bool final_reached = false;
+    double final_within_since = -1.0;
+    const double reach_radius = 0.12;
+    const double settle_s = 0.2;
+    const double limit = sc.timeLimitS();
+
+    auto run_solve = [&](double now) -> double {
+        // Sample state, set reference to the newest revealed waypoint.
+        float x0[12];
+        quad::packMpcState(sim.state(), x0);
+        ws.setInitialState(x0);
+        int target_idx = std::max(0, revealed - 1);
+        ws.setReferenceAll(
+            quad::hoverReference(sc.waypoints[target_idx]));
+
+        tinympc::SolveResult sr = solver.solve();
+        res.iterations.add(static_cast<double>(sr.iterations));
+
+        double solve_s = cfg.idealPolicy
+                             ? 0.0
+                             : cfg.timing.solveCycles(sr.iterations) /
+                                   cfg.socFreqHz;
+        res.solveTimesS.add(cfg.timing.solveCycles(sr.iterations) /
+                            cfg.socFreqHz);
+        busy_time += solve_s;
+
+        matlib::Mat u0 = solver.firstInput();
+        double tmax = drone.maxThrustPerMotorN();
+        for (int m = 0; m < 4; ++m) {
+            pending_cmd[m] = std::clamp(
+                hover + static_cast<double>(u0[m]), 0.0, tmax);
+        }
+        (void)now;
+        return solve_s;
+    };
+
+    double t = 0.0;
+    while (t < limit) {
+        // Waypoint reveals (UART downstream of the host simulator).
+        while (revealed < static_cast<int>(sc.waypoints.size()) &&
+               t >= sc.intervalS * static_cast<double>(revealed)) {
+            ++revealed;
+        }
+
+        if (cfg.idealPolicy) {
+            run_solve(t);
+            current_cmd = pending_cmd;
+        } else {
+            // Apply a completed solve's command.
+            if (pending_apply_at >= 0.0 && t >= pending_apply_at) {
+                current_cmd = pending_cmd;
+                pending_apply_at = -1.0;
+            }
+            // Start a new solve at period boundaries when idle.
+            if (t >= next_tick && t >= controller_free_at) {
+                double solve_s = run_solve(t);
+                double done = t + uart_latency + solve_s;
+                pending_apply_at = done;
+                controller_free_at = done;
+                double period = cfg.controlPeriodS;
+                double boundary =
+                    std::ceil(done / period) * period;
+                next_tick = std::max(t + period, boundary);
+            }
+        }
+
+        sim.step(current_cmd, cfg.physicsDtS);
+        t = sim.timeS();
+
+        if (sim.crashed()) {
+            res.crashed = true;
+            break;
+        }
+
+        // Waypoint progress diagnostic: furthest visited in order.
+        while (reached < revealed &&
+               dist3(sim.state().pos, sc.waypoints[reached]) <
+                   reach_radius) {
+            ++reached;
+        }
+        // Mission success: navigate to the *final* waypoint (the
+        // paper's criterion) and hold it briefly.
+        if (revealed == static_cast<int>(sc.waypoints.size())) {
+            double dev =
+                dist3(sim.state().pos, sc.waypoints.back());
+            if (dev < reach_radius) {
+                if (final_within_since < 0.0)
+                    final_within_since = t;
+                if (t - final_within_since >= settle_s) {
+                    final_reached = true;
+                    break;
+                }
+            } else {
+                final_within_since = -1.0;
+            }
+        }
+    }
+
+    res.waypointsReached = reached;
+    res.success = !res.crashed && final_reached;
+    res.missionTimeS = sim.timeS();
+    res.rotorEnergyJ = sim.rotorEnergyJ();
+    res.avgRotorPowerW =
+        res.missionTimeS > 0 ? res.rotorEnergyJ / res.missionTimeS : 0.0;
+
+    res.computeUtilization =
+        res.missionTimeS > 0 ? std::min(1.0, busy_time / res.missionTimeS)
+                             : 0.0;
+    soc::PowerModel pm(cfg.power);
+    res.avgSocPowerW =
+        pm.powerW(cfg.socFreqHz, res.computeUtilization);
+    res.socEnergyJ = res.avgSocPowerW * res.missionTimeS;
+    return res;
+}
+
+SweepCell
+runCell(const quad::DroneParams &drone, quad::Difficulty d,
+        int n_scenarios, const HilConfig &cfg)
+{
+    SweepCell cell;
+    cell.arch = cfg.idealPolicy ? "ideal" : cfg.timing.mappingName;
+    cell.freqMhz = cfg.socFreqHz / 1e6;
+    cell.difficulty = d;
+
+    Distribution solve_ms;
+    double iters_sum = 0.0;
+    uint64_t iters_count = 0;
+    double rotor_sum = 0.0;
+    double soc_sum = 0.0;
+    int successes = 0;
+
+    for (int i = 0; i < n_scenarios; ++i) {
+        quad::Scenario sc = quad::makeScenario(d, i);
+        EpisodeResult er = runEpisode(drone, sc, cfg);
+        cell.episodes += 1;
+        if (er.success)
+            ++successes;
+        for (double s : er.solveTimesS.samples())
+            solve_ms.add(s * 1e3);
+        for (double it : er.iterations.samples()) {
+            iters_sum += it;
+            ++iters_count;
+        }
+        // The paper reports power only for successfully completed
+        // tasks (Fig. 16c).
+        if (er.success) {
+            rotor_sum += er.avgRotorPowerW;
+            soc_sum += er.avgSocPowerW;
+        }
+    }
+
+    cell.successRate =
+        cell.episodes ? static_cast<double>(successes) / cell.episodes
+                      : 0.0;
+    cell.solveTimeMs = solve_ms.summarize();
+    cell.avgIterations =
+        iters_count ? iters_sum / static_cast<double>(iters_count) : 0.0;
+    cell.avgRotorPowerW = successes ? rotor_sum / successes : 0.0;
+    cell.avgSocPowerW = successes ? soc_sum / successes : 0.0;
+    cell.avgTotalPowerW = cell.avgRotorPowerW + cell.avgSocPowerW;
+    return cell;
+}
+
+} // namespace rtoc::hil

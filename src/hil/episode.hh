@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Closed-loop HIL episode runner (§5.2): physics stepping at the
+ * simulator rate, a 50 Hz control task on the modelled SoC, UART
+ * transfer latencies on both directions, and zero-order hold of the
+ * last command while a solve is in flight. When the solve overruns
+ * the control period the next state sample slips to a later period
+ * boundary, degrading the effective control rate — the mechanism
+ * behind the success/power cliffs of Figure 16.
+ */
+
+#ifndef RTOC_HIL_EPISODE_HH
+#define RTOC_HIL_EPISODE_HH
+
+#include "common/stats.hh"
+#include "hil/timing.hh"
+#include "quad/scenario.hh"
+#include "soc/power_model.hh"
+#include "soc/uart.hh"
+
+namespace rtoc::hil {
+
+/** Static configuration of a HIL run. */
+struct HilConfig
+{
+    double physicsDtS = 1.0 / 240.0; ///< gym-pybullet default rate
+    double controlPeriodS = 0.02;    ///< 50 Hz MPC task
+    double socFreqHz = 100e6;
+    bool idealPolicy = false; ///< solve every physics step, zero latency
+    int horizon = 10;
+    ControllerTiming timing;
+    soc::UartModel uart;
+    soc::PowerParams power = soc::PowerParams::scalarCore();
+};
+
+/** Outcome of one episode. */
+struct EpisodeResult
+{
+    bool success = false;
+    bool crashed = false;
+    int waypointsReached = 0;
+    double missionTimeS = 0.0;
+    Distribution solveTimesS;  ///< per-solve latency samples
+    Distribution iterations;   ///< per-solve ADMM iterations
+    double rotorEnergyJ = 0.0;
+    double avgRotorPowerW = 0.0;
+    double socEnergyJ = 0.0;
+    double avgSocPowerW = 0.0;
+    double computeUtilization = 0.0;
+};
+
+/** Run scenario @p sc on drone @p drone under @p cfg. */
+EpisodeResult runEpisode(const quad::DroneParams &drone,
+                         const quad::Scenario &sc, const HilConfig &cfg);
+
+/** Aggregated metrics over a set of episodes. */
+struct SweepCell
+{
+    std::string arch;
+    double freqMhz = 0.0;
+    quad::Difficulty difficulty = quad::Difficulty::Easy;
+    int episodes = 0;
+    double successRate = 0.0;
+    DistSummary solveTimeMs;
+    double avgIterations = 0.0;
+    double avgRotorPowerW = 0.0;
+    double avgSocPowerW = 0.0;
+    double avgTotalPowerW = 0.0;
+};
+
+/** Run @p n_scenarios seeded scenarios of @p d and aggregate. */
+SweepCell runCell(const quad::DroneParams &drone, quad::Difficulty d,
+                  int n_scenarios, const HilConfig &cfg);
+
+} // namespace rtoc::hil
+
+#endif // RTOC_HIL_EPISODE_HH

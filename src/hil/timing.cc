@@ -1,0 +1,72 @@
+#include "timing.hh"
+
+#include "common/logging.hh"
+#include "cpu/inorder.hh"
+#include "matlib/rvv_backend.hh"
+#include "matlib/scalar_backend.hh"
+#include "vector/saturn.hh"
+
+namespace rtoc::hil {
+
+ControllerTiming
+calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
+                tinympc::MappingStyle style,
+                const quad::DroneParams &drone, double dt, int horizon)
+{
+    auto run_iters = [&](int iters) -> double {
+        tinympc::Workspace ws =
+            quad::buildQuadWorkspace(drone, dt, horizon);
+        ws.settings.maxIters = iters;
+        ws.settings.checkTermination = 5;
+        ws.settings.priTol = 0.0f; // force exactly maxIters iterations
+        ws.settings.duaTol = 0.0f;
+        ws.coldStart();
+        float x0[12] = {0.3f, -0.2f, 0.8f, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+        ws.setInitialState(x0);
+
+        isa::Program prog;
+        backend.setProgram(&prog);
+        tinympc::Solver solver(ws, backend, style);
+        solver.setup();
+        tinympc::SolveResult res = solver.solve();
+        backend.setProgram(nullptr);
+        if (res.iterations != iters)
+            rtoc_panic("calibration expected %d iters, got %d", iters,
+                       res.iterations);
+        return static_cast<double>(model.run(prog).cycles);
+    };
+
+    double c_lo = run_iters(5);
+    double c_hi = run_iters(25);
+
+    ControllerTiming t;
+    t.archName = model.name();
+    t.mappingName = backend.name();
+    t.cyclesPerIter = (c_hi - c_lo) / 20.0;
+    t.baseCycles = c_lo - 5.0 * t.cyclesPerIter;
+    if (t.baseCycles < 0.0)
+        t.baseCycles = 0.0;
+    return t;
+}
+
+ControllerTiming
+scalarControllerTiming(const quad::DroneParams &drone, double dt,
+                       int horizon)
+{
+    cpu::InOrderCore core(cpu::InOrderConfig::shuttle());
+    matlib::ScalarBackend backend(matlib::ScalarFlavor::Optimized);
+    return calibrateTiming(core, backend, tinympc::MappingStyle::Library,
+                           drone, dt, horizon);
+}
+
+ControllerTiming
+vectorControllerTiming(const quad::DroneParams &drone, double dt,
+                       int horizon)
+{
+    vector::SaturnModel saturn(vector::SaturnConfig::make(512, 256, true));
+    matlib::RvvBackend backend(512, matlib::RvvMapping::handOptimized());
+    return calibrateTiming(saturn, backend, tinympc::MappingStyle::Fused,
+                           drone, dt, horizon);
+}
+
+} // namespace rtoc::hil

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Controller timing calibration: measure cycles-per-ADMM-iteration of
+ * a (architecture model, software mapping) pair by running the
+ * instrumented solver through the timing simulator at two iteration
+ * counts and fitting base + perIter·iters. The HIL loop then treats
+ * the SoC exactly as the paper's setup treats the Cygnus chip: a
+ * black box whose solve latency is cycles(iterations) / frequency.
+ */
+
+#ifndef RTOC_HIL_TIMING_HH
+#define RTOC_HIL_TIMING_HH
+
+#include <string>
+
+#include "cpu/core_model.hh"
+#include "matlib/backend.hh"
+#include "quad/linearize.hh"
+#include "tinympc/solver.hh"
+
+namespace rtoc::hil {
+
+/** Linear per-solve cycle model of one controller implementation. */
+struct ControllerTiming
+{
+    std::string archName;
+    std::string mappingName;
+    double baseCycles = 0.0;
+    double cyclesPerIter = 0.0;
+
+    /** Cycles for a solve with @p iters ADMM iterations. */
+    double
+    solveCycles(int iters) const
+    {
+        return baseCycles + cyclesPerIter * static_cast<double>(iters);
+    }
+};
+
+/**
+ * Calibrate @p backend/@p style on @p model using a freshly-built
+ * quadrotor workspace of @p drone.
+ */
+ControllerTiming
+calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
+                tinympc::MappingStyle style,
+                const quad::DroneParams &drone, double dt, int horizon);
+
+/**
+ * Convenience calibrations of the two on-chip implementations the
+ * paper flies (§5.2): optimized scalar (Eigen-style on the Shuttle
+ * scalar pipeline) and hand-optimized RVV on the large Saturn core
+ * (VLEN=512, DLEN=256, Shuttle frontend).
+ */
+ControllerTiming scalarControllerTiming(const quad::DroneParams &drone,
+                                        double dt, int horizon);
+ControllerTiming vectorControllerTiming(const quad::DroneParams &drone,
+                                        double dt, int horizon);
+
+} // namespace rtoc::hil
+
+#endif // RTOC_HIL_TIMING_HH

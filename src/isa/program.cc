@@ -1,0 +1,119 @@
+#include "program.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace rtoc::isa {
+
+size_t
+Program::push(const Uop &u)
+{
+    uops_.push_back(u);
+    return uops_.size() - 1;
+}
+
+void
+Program::beginKernel(const std::string &name)
+{
+    if (kernel_open_)
+        rtoc_panic("beginKernel('%s'): region already open", name.c_str());
+    kernel_open_ = true;
+    kernels_.push_back({name, uops_.size(), uops_.size()});
+}
+
+void
+Program::endKernel()
+{
+    if (!kernel_open_)
+        rtoc_panic("endKernel: no region open");
+    kernel_open_ = false;
+    kernels_.back().end = uops_.size();
+}
+
+double
+Program::flops() const
+{
+    double total = 0.0;
+    for (const auto &u : uops_) {
+        double per = flopsPerElement(u.kind);
+        if (per == 0.0)
+            continue;
+        if (isVector(u.kind))
+            total += per * static_cast<double>(u.vl);
+        else if (u.kind == UopKind::RoccCompute)
+            total += 0.0; // counted explicitly below
+        else
+            total += per;
+    }
+    // Systolic compute: rows x cols tile MACs against mesh operand.
+    for (const auto &u : uops_) {
+        if (u.kind == UopKind::RoccCompute) {
+            total += 2.0 * static_cast<double>(u.rows) *
+                     static_cast<double>(u.cols);
+        }
+    }
+    return total;
+}
+
+size_t
+Program::countScalar() const
+{
+    size_t n = 0;
+    for (const auto &u : uops_)
+        if (isScalar(u.kind))
+            ++n;
+    return n;
+}
+
+size_t
+Program::countVector() const
+{
+    size_t n = 0;
+    for (const auto &u : uops_)
+        if (isVector(u.kind))
+            ++n;
+    return n;
+}
+
+size_t
+Program::countRocc() const
+{
+    size_t n = 0;
+    for (const auto &u : uops_)
+        if (isRocc(u.kind))
+            ++n;
+    return n;
+}
+
+void
+Program::clear()
+{
+    uops_.clear();
+    kernels_.clear();
+    kernel_open_ = false;
+}
+
+std::vector<KernelCycles>
+accumulateKernelCycles(const std::vector<KernelRegion> &regions,
+                       const std::vector<uint64_t> &region_cycles)
+{
+    if (regions.size() != region_cycles.size()) {
+        rtoc_panic("kernel accounting mismatch: %zu regions, %zu samples",
+                   regions.size(), region_cycles.size());
+    }
+    std::map<std::string, KernelCycles> by_name;
+    for (size_t i = 0; i < regions.size(); ++i) {
+        auto &kc = by_name[regions[i].name];
+        kc.name = regions[i].name;
+        kc.cycles += region_cycles[i];
+        kc.invocations += 1;
+    }
+    std::vector<KernelCycles> out;
+    out.reserve(by_name.size());
+    for (auto &kv : by_name)
+        out.push_back(kv.second);
+    return out;
+}
+
+} // namespace rtoc::isa

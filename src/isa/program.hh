@@ -1,0 +1,104 @@
+/**
+ * @file
+ * A Program is the unit of timing simulation: an ordered micro-op
+ * stream with virtual-register allocation and named kernel regions.
+ * Kernel regions let the models attribute cycles to the TinyMPC
+ * kernels of Algorithms 1-3 (forward_pass_1, update_slack_1, ...),
+ * which is how the paper's kernel-level figures (11, 12, 13) are
+ * regenerated.
+ */
+
+#ifndef RTOC_ISA_PROGRAM_HH
+#define RTOC_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/uop.hh"
+
+namespace rtoc::isa {
+
+/** Half-open uop index range attributed to a named kernel. */
+struct KernelRegion
+{
+    std::string name;
+    size_t begin = 0;
+    size_t end = 0;
+};
+
+/** Ordered micro-op stream plus region markers and counters. */
+class Program
+{
+  public:
+    /** Allocate a fresh scalar virtual register. */
+    uint32_t newReg() { return next_reg_++; }
+
+    /** Allocate a fresh vector virtual register (separate id space). */
+    uint32_t newVReg() { return next_vreg_++ | kVRegBit; }
+
+    /** True when @p reg names a vector register. */
+    static bool isVReg(uint32_t reg)
+    {
+        return reg != kNoReg && (reg & kVRegBit) != 0;
+    }
+
+    /** Append one micro-op, returning its index. */
+    size_t push(const Uop &u);
+
+    /** Open a named kernel region; regions must not nest. */
+    void beginKernel(const std::string &name);
+
+    /** Close the currently open region. */
+    void endKernel();
+
+    /** All micro-ops in program order. */
+    const std::vector<Uop> &uops() const { return uops_; }
+
+    /** Closed kernel regions in program order. */
+    const std::vector<KernelRegion> &kernels() const { return kernels_; }
+
+    /** Total floating-point operations (vector ops weighted by VL). */
+    double flops() const;
+
+    /** Count of uops matching a predicate class. */
+    size_t countScalar() const;
+    size_t countVector() const;
+    size_t countRocc() const;
+
+    /** Drop all uops/regions but keep register counters monotonic. */
+    void clear();
+
+    /** Number of uops. */
+    size_t size() const { return uops_.size(); }
+
+  private:
+    static constexpr uint32_t kVRegBit = 0x80000000u;
+
+    std::vector<Uop> uops_;
+    std::vector<KernelRegion> kernels_;
+    uint32_t next_reg_ = 1;
+    uint32_t next_vreg_ = 1;
+    bool kernel_open_ = false;
+};
+
+/**
+ * Cycles attributed per kernel region, produced by every timing model.
+ * Regions with the same name (e.g. forward_pass_1 across horizon
+ * steps and ADMM iterations) are accumulated.
+ */
+struct KernelCycles
+{
+    std::string name;
+    uint64_t cycles = 0;
+    uint64_t invocations = 0;
+};
+
+/** Merge per-region cycle samples into per-name totals. */
+std::vector<KernelCycles>
+accumulateKernelCycles(const std::vector<KernelRegion> &regions,
+                       const std::vector<uint64_t> &region_cycles);
+
+} // namespace rtoc::isa
+
+#endif // RTOC_ISA_PROGRAM_HH

@@ -1,0 +1,170 @@
+#include "uop.hh"
+
+#include "common/logging.hh"
+
+namespace rtoc::isa {
+
+bool
+isScalar(UopKind k)
+{
+    switch (k) {
+      case UopKind::IntAlu:
+      case UopKind::IntMul:
+      case UopKind::FpAdd:
+      case UopKind::FpMul:
+      case UopKind::FpFma:
+      case UopKind::FpDiv:
+      case UopKind::FpMinMax:
+      case UopKind::FpAbs:
+      case UopKind::FpCmp:
+      case UopKind::FpMove:
+      case UopKind::Load:
+      case UopKind::Store:
+      case UopKind::Branch:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isVector(UopKind k)
+{
+    switch (k) {
+      case UopKind::VSetVl:
+      case UopKind::VLoad:
+      case UopKind::VStore:
+      case UopKind::VLoadStrided:
+      case UopKind::VArith:
+      case UopKind::VFma:
+      case UopKind::VRed:
+      case UopKind::VMove:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isRocc(UopKind k)
+{
+    switch (k) {
+      case UopKind::RoccConfig:
+      case UopKind::RoccMvin:
+      case UopKind::RoccMvout:
+      case UopKind::RoccPreload:
+      case UopKind::RoccCompute:
+      case UopKind::RoccFence:
+        return true;
+      default:
+        return false;
+    }
+}
+
+double
+flopsPerElement(UopKind k)
+{
+    switch (k) {
+      case UopKind::FpAdd:
+      case UopKind::FpMul:
+      case UopKind::FpMinMax:
+      case UopKind::FpAbs:
+      case UopKind::FpDiv:
+        return 1.0;
+      case UopKind::FpFma:
+        return 2.0;
+      case UopKind::VArith:
+      case UopKind::VRed:
+        return 1.0;
+      case UopKind::VFma:
+        return 2.0;
+      default:
+        return 0.0;
+    }
+}
+
+const char *
+uopName(UopKind k)
+{
+    switch (k) {
+      case UopKind::IntAlu: return "int_alu";
+      case UopKind::IntMul: return "int_mul";
+      case UopKind::FpAdd: return "fp_add";
+      case UopKind::FpMul: return "fp_mul";
+      case UopKind::FpFma: return "fp_fma";
+      case UopKind::FpDiv: return "fp_div";
+      case UopKind::FpMinMax: return "fp_minmax";
+      case UopKind::FpAbs: return "fp_abs";
+      case UopKind::FpCmp: return "fp_cmp";
+      case UopKind::FpMove: return "fp_move";
+      case UopKind::Load: return "load";
+      case UopKind::Store: return "store";
+      case UopKind::Branch: return "branch";
+      case UopKind::VSetVl: return "vsetvl";
+      case UopKind::VLoad: return "vload";
+      case UopKind::VStore: return "vstore";
+      case UopKind::VLoadStrided: return "vload_strided";
+      case UopKind::VArith: return "varith";
+      case UopKind::VFma: return "vfma";
+      case UopKind::VRed: return "vred";
+      case UopKind::VMove: return "vmove";
+      case UopKind::RoccConfig: return "rocc_config";
+      case UopKind::RoccMvin: return "rocc_mvin";
+      case UopKind::RoccMvout: return "rocc_mvout";
+      case UopKind::RoccPreload: return "rocc_preload";
+      case UopKind::RoccCompute: return "rocc_compute";
+      case UopKind::RoccFence: return "rocc_fence";
+      default:
+        rtoc_panic("uopName: bad kind %d", static_cast<int>(k));
+    }
+}
+
+Uop
+Uop::scalar(UopKind k, uint32_t dst, uint32_t s0, uint32_t s1, uint32_t s2)
+{
+    Uop u;
+    u.kind = k;
+    u.dst = dst;
+    u.src0 = s0;
+    u.src1 = s1;
+    u.src2 = s2;
+    return u;
+}
+
+Uop
+Uop::mem(UopKind k, uint32_t dst, uint32_t addr_reg, uint32_t bytes)
+{
+    Uop u;
+    u.kind = k;
+    u.dst = dst;
+    u.src0 = addr_reg;
+    u.bytes = bytes;
+    return u;
+}
+
+Uop
+Uop::vec(UopKind k, uint32_t dst, uint32_t s0, uint32_t s1, uint32_t vl,
+         uint16_t lmul8)
+{
+    Uop u;
+    u.kind = k;
+    u.dst = dst;
+    u.src0 = s0;
+    u.src1 = s1;
+    u.vl = vl;
+    u.lmul8 = lmul8;
+    return u;
+}
+
+Uop
+Uop::rocc(UopKind k, uint16_t rows, uint16_t cols, uint32_t bytes)
+{
+    Uop u;
+    u.kind = k;
+    u.rows = rows;
+    u.cols = cols;
+    u.bytes = bytes;
+    return u;
+}
+
+} // namespace rtoc::isa

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Backend interface: functional compute plus micro-op emission.
+ *
+ * A Backend is handed to the TinyMPC solver (and to the code
+ * generator). Each operation computes the reference float32 result
+ * *and* appends the micro-op stream of its software mapping to the
+ * attached Program. Passing a null Program turns a backend into a
+ * pure functional library (used to cross-check results).
+ *
+ * Fusion scopes model §4.1.2: between beginFuse()/endFuse(), backends
+ * that support register-resident temporaries (the RVV backend, and
+ * the Gemmini backend's scratchpad residency) skip the store/load
+ * round trips that separate library calls would require.
+ */
+
+#ifndef RTOC_MATLIB_BACKEND_HH
+#define RTOC_MATLIB_BACKEND_HH
+
+#include <string>
+
+#include "isa/program.hh"
+#include "matlib/mat.hh"
+
+namespace rtoc::matlib {
+
+/** Abstract compute+emit backend. */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    /** Short name for tables. */
+    virtual std::string name() const = 0;
+
+    /** Attach/detach the emission target. */
+    void setProgram(isa::Program *prog) { prog_ = prog; }
+    isa::Program *program() const { return prog_; }
+
+    // --- operations (see ref:: for semantics) ---
+    virtual void gemv(Mat y, const Mat &a, Mat x, float alpha = 1.0f,
+                      float beta = 0.0f) = 0;
+    virtual void gemvT(Mat y, const Mat &a, Mat x, float alpha = 1.0f,
+                       float beta = 0.0f) = 0;
+    virtual void gemm(Mat c, const Mat &a, const Mat &b) = 0;
+    virtual void saxpby(Mat out, float sa, const Mat &a, float sb,
+                        const Mat &b) = 0;
+    virtual void scale(Mat out, const Mat &a, float s) = 0;
+    virtual void accumDiff(Mat acc, const Mat &a, const Mat &b) = 0;
+    virtual void axpyDiff(Mat acc, float s, const Mat &a,
+                          const Mat &b) = 0;
+    virtual void rowScaleNeg(Mat out, const Mat &a, const Mat &diag) = 0;
+    virtual void clampVec(Mat out, const Mat &a, const Mat &lo,
+                          const Mat &hi) = 0;
+    virtual void clampConst(Mat out, const Mat &a, float lo,
+                            float hi) = 0;
+    virtual float absMaxDiff(const Mat &a, const Mat &b) = 0;
+    virtual void copy(Mat out, const Mat &a) = 0;
+    virtual void fill(Mat out, float s) = 0;
+
+    /** Convenience wrappers expressed via the primitives above. */
+    void add(Mat out, const Mat &a, const Mat &b)
+    {
+        saxpby(out, 1.0f, a, 1.0f, b);
+    }
+    void sub(Mat out, const Mat &a, const Mat &b)
+    {
+        saxpby(out, 1.0f, a, -1.0f, b);
+    }
+
+    /** Open a fusion region (default: no effect). */
+    virtual void beginFuse() {}
+
+    /** Close a fusion region, writing back dirty temporaries. */
+    virtual void endFuse() {}
+
+    /** Make all results CPU-visible (Gemmini: fence; others: no-op). */
+    virtual void sync() {}
+
+  protected:
+    /** True when emission is active. */
+    bool emitting() const { return prog_ != nullptr; }
+
+    isa::Program *prog_ = nullptr;
+};
+
+} // namespace rtoc::matlib
+
+#endif // RTOC_MATLIB_BACKEND_HH

@@ -1,0 +1,138 @@
+#include "mat.hh"
+
+namespace rtoc::matlib::ref {
+
+void
+gemv(Mat y, const Mat &a, Mat x, float alpha, float beta)
+{
+    rtoc_assert(y.isVec() && x.isVec());
+    rtoc_assert(a.rows == y.cols && a.cols == x.cols);
+    for (int i = 0; i < a.rows; ++i) {
+        float acc = 0.0f;
+        for (int j = 0; j < a.cols; ++j)
+            acc += a.at(i, j) * x[j];
+        y[i] = alpha * acc + beta * y[i];
+    }
+}
+
+void
+gemvT(Mat y, const Mat &a, Mat x, float alpha, float beta)
+{
+    rtoc_assert(y.isVec() && x.isVec());
+    rtoc_assert(a.cols == y.cols && a.rows == x.cols);
+    for (int j = 0; j < a.cols; ++j) {
+        float acc = 0.0f;
+        for (int i = 0; i < a.rows; ++i)
+            acc += a.at(i, j) * x[i];
+        y[j] = alpha * acc + beta * y[j];
+    }
+}
+
+void
+gemm(Mat c, const Mat &a, const Mat &b)
+{
+    rtoc_assert(a.cols == b.rows);
+    rtoc_assert(c.rows == a.rows && c.cols == b.cols);
+    for (int i = 0; i < c.rows; ++i) {
+        for (int j = 0; j < c.cols; ++j) {
+            float acc = 0.0f;
+            for (int k = 0; k < a.cols; ++k)
+                acc += a.at(i, k) * b.at(k, j);
+            c.at(i, j) = acc;
+        }
+    }
+}
+
+void
+saxpby(Mat out, float sa, const Mat &a, float sb, const Mat &b)
+{
+    rtoc_assert(out.size() == a.size() && out.size() == b.size());
+    for (int i = 0; i < out.size(); ++i)
+        out.data[i] = sa * a.data[i] + sb * b.data[i];
+}
+
+void
+scale(Mat out, const Mat &a, float s)
+{
+    rtoc_assert(out.size() == a.size());
+    for (int i = 0; i < out.size(); ++i)
+        out.data[i] = a.data[i] * s;
+}
+
+void
+accumDiff(Mat acc, const Mat &a, const Mat &b)
+{
+    rtoc_assert(acc.size() == a.size() && acc.size() == b.size());
+    for (int i = 0; i < acc.size(); ++i)
+        acc.data[i] += a.data[i] - b.data[i];
+}
+
+void
+axpyDiff(Mat acc, float s, const Mat &a, const Mat &b)
+{
+    rtoc_assert(acc.size() == a.size() && acc.size() == b.size());
+    for (int i = 0; i < acc.size(); ++i)
+        acc.data[i] += s * (a.data[i] - b.data[i]);
+}
+
+void
+rowScaleNeg(Mat out, const Mat &a, const Mat &diag)
+{
+    rtoc_assert(out.rows == a.rows && out.cols == a.cols);
+    rtoc_assert(diag.isVec() && diag.cols == a.cols);
+    for (int i = 0; i < out.rows; ++i)
+        for (int j = 0; j < out.cols; ++j)
+            out.at(i, j) = -a.at(i, j) * diag[j];
+}
+
+void
+clampVec(Mat out, const Mat &a, const Mat &lo, const Mat &hi)
+{
+    rtoc_assert(out.size() == a.size());
+    rtoc_assert(out.size() == lo.size() && out.size() == hi.size());
+    for (int i = 0; i < out.size(); ++i) {
+        float v = a.data[i];
+        v = std::fmax(v, lo.data[i]);
+        v = std::fmin(v, hi.data[i]);
+        out.data[i] = v;
+    }
+}
+
+void
+clampConst(Mat out, const Mat &a, float lo, float hi)
+{
+    rtoc_assert(out.size() == a.size());
+    for (int i = 0; i < out.size(); ++i) {
+        float v = a.data[i];
+        v = std::fmax(v, lo);
+        v = std::fmin(v, hi);
+        out.data[i] = v;
+    }
+}
+
+float
+absMaxDiff(const Mat &a, const Mat &b)
+{
+    rtoc_assert(a.size() == b.size());
+    float m = 0.0f;
+    for (int i = 0; i < a.size(); ++i)
+        m = std::fmax(m, std::fabs(a.data[i] - b.data[i]));
+    return m;
+}
+
+void
+copy(Mat out, const Mat &a)
+{
+    rtoc_assert(out.size() == a.size());
+    for (int i = 0; i < out.size(); ++i)
+        out.data[i] = a.data[i];
+}
+
+void
+fill(Mat out, float s)
+{
+    for (int i = 0; i < out.size(); ++i)
+        out.data[i] = s;
+}
+
+} // namespace rtoc::matlib::ref

@@ -1,0 +1,319 @@
+#include "scalar_backend.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace rtoc::matlib {
+
+using isa::kNoReg;
+using isa::Uop;
+using isa::UopKind;
+
+void
+ScalarBackend::emitCallOverhead()
+{
+    if (!emitting() || flavor_ != ScalarFlavor::Naive)
+        return;
+    // Argument marshalling, stack frame, callee-saved spill of the
+    // C library entry point.
+    for (int i = 0; i < 6; ++i)
+        prog_->push(Uop::scalar(UopKind::IntAlu, prog_->newReg()));
+    Uop call = Uop::scalar(UopKind::Branch, kNoReg);
+    call.taken = 1;
+    prog_->push(call);
+}
+
+void
+ScalarBackend::emitEwiseLoop(int n, int loads, int fp_ops, UopKind k)
+{
+    if (!emitting())
+        return;
+    if (flavor_ == ScalarFlavor::Naive) {
+        uint32_t idx = prog_->newReg();
+        for (int i = 0; i < n; ++i) {
+            uint32_t addr = prog_->newReg();
+            prog_->push(Uop::scalar(UopKind::IntAlu, addr, idx));
+            uint32_t val = kNoReg;
+            for (int l = 0; l < loads; ++l) {
+                val = prog_->newReg();
+                prog_->push(Uop::mem(UopKind::Load, val, addr));
+            }
+            for (int f = 0; f < fp_ops; ++f) {
+                uint32_t nv = prog_->newReg();
+                prog_->push(Uop::scalar(k, nv, val));
+                val = nv;
+            }
+            prog_->push(Uop::mem(UopKind::Store, kNoReg, val));
+            uint32_t nidx = prog_->newReg();
+            prog_->push(Uop::scalar(UopKind::IntAlu, nidx, idx));
+            idx = nidx;
+            Uop br = Uop::scalar(UopKind::Branch, kNoReg, idx);
+            br.taken = i + 1 < n;
+            prog_->push(br);
+        }
+    } else {
+        // Unrolled by 4: loop overhead amortized; independent element
+        // chains expose ILP.
+        for (int i = 0; i < n; ++i) {
+            uint32_t val = kNoReg;
+            for (int l = 0; l < loads; ++l) {
+                val = prog_->newReg();
+                prog_->push(Uop::mem(UopKind::Load, val, kNoReg));
+            }
+            for (int f = 0; f < fp_ops; ++f) {
+                uint32_t nv = prog_->newReg();
+                prog_->push(Uop::scalar(k, nv, val));
+                val = nv;
+            }
+            prog_->push(Uop::mem(UopKind::Store, kNoReg, val));
+            if (i % 4 == 3) {
+                uint32_t idx = prog_->newReg();
+                prog_->push(Uop::scalar(UopKind::IntAlu, idx));
+                Uop br = Uop::scalar(UopKind::Branch, kNoReg, idx);
+                br.taken = i + 1 < n;
+                prog_->push(br);
+            }
+        }
+    }
+}
+
+void
+ScalarBackend::emitGemv(int m, int n, bool accumulate_into_y, bool scaled)
+{
+    if (!emitting())
+        return;
+    if (flavor_ == ScalarFlavor::Naive) {
+        // Row loop with a serial accumulator chain; x reloaded every
+        // row (the library cannot know x fits in registers).
+        for (int i = 0; i < m; ++i) {
+            prog_->push(Uop::scalar(UopKind::IntAlu, prog_->newReg()));
+            uint32_t acc = prog_->newReg();
+            prog_->push(Uop::scalar(UopKind::FpMove, acc));
+            for (int j = 0; j < n; ++j) {
+                uint32_t addr = prog_->newReg();
+                prog_->push(Uop::scalar(UopKind::IntAlu, addr));
+                uint32_t aij = prog_->newReg();
+                prog_->push(Uop::mem(UopKind::Load, aij, addr));
+                uint32_t xj = prog_->newReg();
+                prog_->push(Uop::mem(UopKind::Load, xj, addr));
+                uint32_t nacc = prog_->newReg();
+                prog_->push(
+                    Uop::scalar(UopKind::FpFma, nacc, aij, xj, acc));
+                acc = nacc;
+                Uop br = Uop::scalar(UopKind::Branch, kNoReg);
+                br.taken = j + 1 < n;
+                prog_->push(br);
+            }
+            if (scaled) {
+                uint32_t s = prog_->newReg();
+                prog_->push(Uop::scalar(UopKind::FpMul, s, acc));
+                acc = s;
+            }
+            if (accumulate_into_y) {
+                uint32_t yold = prog_->newReg();
+                prog_->push(Uop::mem(UopKind::Load, yold, kNoReg));
+                uint32_t sum = prog_->newReg();
+                prog_->push(Uop::scalar(UopKind::FpAdd, sum, acc, yold));
+                acc = sum;
+            }
+            prog_->push(Uop::mem(UopKind::Store, kNoReg, acc));
+            Uop br = Uop::scalar(UopKind::Branch, kNoReg);
+            br.taken = i + 1 < m;
+            prog_->push(br);
+        }
+    } else {
+        // Eigen-style: x kept in registers (n loads once), rows
+        // processed in pairs with two accumulator chains each, fully
+        // unrolled, addresses hoisted.
+        std::vector<uint32_t> xregs(static_cast<size_t>(n));
+        for (int j = 0; j < n; ++j) {
+            xregs[j] = prog_->newReg();
+            prog_->push(Uop::mem(UopKind::Load, xregs[j], kNoReg));
+        }
+        for (int i = 0; i < m; i += 2) {
+            int rows_here = std::min(2, m - i);
+            // Two chains per row: acc[row][chain].
+            uint32_t acc[2][2] = {{kNoReg, kNoReg}, {kNoReg, kNoReg}};
+            for (int j = 0; j < n; ++j) {
+                for (int r = 0; r < rows_here; ++r) {
+                    uint32_t aij = prog_->newReg();
+                    prog_->push(Uop::mem(UopKind::Load, aij, kNoReg));
+                    int chain = j & 1;
+                    uint32_t nacc = prog_->newReg();
+                    prog_->push(Uop::scalar(UopKind::FpFma, nacc, aij,
+                                            xregs[j], acc[r][chain]));
+                    acc[r][chain] = nacc;
+                }
+            }
+            for (int r = 0; r < rows_here; ++r) {
+                uint32_t sum = prog_->newReg();
+                prog_->push(Uop::scalar(UopKind::FpAdd, sum, acc[r][0],
+                                        acc[r][1]));
+                if (scaled) {
+                    uint32_t s = prog_->newReg();
+                    prog_->push(Uop::scalar(UopKind::FpMul, s, sum));
+                    sum = s;
+                }
+                if (accumulate_into_y) {
+                    uint32_t yold = prog_->newReg();
+                    prog_->push(Uop::mem(UopKind::Load, yold, kNoReg));
+                    uint32_t t = prog_->newReg();
+                    prog_->push(
+                        Uop::scalar(UopKind::FpAdd, t, sum, yold));
+                    sum = t;
+                }
+                prog_->push(Uop::mem(UopKind::Store, kNoReg, sum));
+            }
+        }
+    }
+}
+
+void
+ScalarBackend::gemv(Mat y, const Mat &a, Mat x, float alpha, float beta)
+{
+    ref::gemv(y, a, x, alpha, beta);
+    emitCallOverhead();
+    emitGemv(a.rows, a.cols, beta != 0.0f, alpha != 1.0f);
+}
+
+void
+ScalarBackend::gemvT(Mat y, const Mat &a, Mat x, float alpha, float beta)
+{
+    ref::gemvT(y, a, x, alpha, beta);
+    emitCallOverhead();
+    // Column walk of a row-major matrix: same op counts, worse
+    // locality; the scalar model charges it as a plain GEMV (cache
+    // effects at these sizes fit L1 either way).
+    emitGemv(a.cols, a.rows, beta != 0.0f, alpha != 1.0f);
+}
+
+void
+ScalarBackend::gemm(Mat c, const Mat &a, const Mat &b)
+{
+    ref::gemm(c, a, b);
+    emitCallOverhead();
+    for (int j = 0; j < b.cols; ++j)
+        emitGemv(a.rows, a.cols, false, false);
+}
+
+void
+ScalarBackend::saxpby(Mat out, float sa, const Mat &a, float sb,
+                      const Mat &b)
+{
+    ref::saxpby(out, sa, a, sb, b);
+    emitCallOverhead();
+    // load a, load b, one or two multiplies + add; the optimized
+    // flavor folds +-1 scales into a single add/sub.
+    bool general = sa != 1.0f && sa != -1.0f;
+    int fp = flavor_ == ScalarFlavor::Naive ? 2 : (general ? 2 : 1);
+    emitEwiseLoop(out.size(), 2, fp, UopKind::FpFma);
+}
+
+void
+ScalarBackend::scale(Mat out, const Mat &a, float s)
+{
+    ref::scale(out, a, s);
+    emitCallOverhead();
+    emitEwiseLoop(out.size(), 1, 1, UopKind::FpMul);
+}
+
+void
+ScalarBackend::accumDiff(Mat acc, const Mat &a, const Mat &b)
+{
+    ref::accumDiff(acc, a, b);
+    emitCallOverhead();
+    emitEwiseLoop(acc.size(), 3, 2, UopKind::FpAdd);
+}
+
+void
+ScalarBackend::axpyDiff(Mat acc, float s, const Mat &a, const Mat &b)
+{
+    ref::axpyDiff(acc, s, a, b);
+    emitCallOverhead();
+    emitEwiseLoop(acc.size(), 3, 2, UopKind::FpFma);
+}
+
+void
+ScalarBackend::rowScaleNeg(Mat out, const Mat &a, const Mat &diag)
+{
+    ref::rowScaleNeg(out, a, diag);
+    emitCallOverhead();
+    emitEwiseLoop(out.size(), 2, 1, UopKind::FpMul);
+}
+
+void
+ScalarBackend::clampVec(Mat out, const Mat &a, const Mat &lo,
+                        const Mat &hi)
+{
+    ref::clampVec(out, a, lo, hi);
+    emitCallOverhead();
+    emitEwiseLoop(out.size(), 3, 2, UopKind::FpMinMax);
+}
+
+void
+ScalarBackend::clampConst(Mat out, const Mat &a, float lo, float hi)
+{
+    ref::clampConst(out, a, lo, hi);
+    emitCallOverhead();
+    int loads = flavor_ == ScalarFlavor::Naive ? 1 : 1;
+    emitEwiseLoop(out.size(), loads, 2, UopKind::FpMinMax);
+}
+
+float
+ScalarBackend::absMaxDiff(const Mat &a, const Mat &b)
+{
+    float r = ref::absMaxDiff(a, b);
+    emitCallOverhead();
+    if (emitting()) {
+        // Serial max-reduction chain: load a, load b, sub, abs, max.
+        uint32_t acc = prog_->newReg();
+        prog_->push(Uop::scalar(UopKind::FpMove, acc));
+        int n = a.size();
+        for (int i = 0; i < n; ++i) {
+            uint32_t av = prog_->newReg();
+            prog_->push(Uop::mem(UopKind::Load, av, kNoReg));
+            uint32_t bv = prog_->newReg();
+            prog_->push(Uop::mem(UopKind::Load, bv, kNoReg));
+            uint32_t d = prog_->newReg();
+            prog_->push(Uop::scalar(UopKind::FpAdd, d, av, bv));
+            uint32_t ad = prog_->newReg();
+            prog_->push(Uop::scalar(UopKind::FpAbs, ad, d));
+            uint32_t nacc = prog_->newReg();
+            prog_->push(Uop::scalar(UopKind::FpMinMax, nacc, ad, acc));
+            acc = nacc;
+            if (flavor_ == ScalarFlavor::Naive || i % 4 == 3) {
+                Uop br = Uop::scalar(UopKind::Branch, kNoReg);
+                br.taken = i + 1 < n;
+                prog_->push(br);
+            }
+        }
+    }
+    return r;
+}
+
+void
+ScalarBackend::copy(Mat out, const Mat &a)
+{
+    ref::copy(out, a);
+    emitCallOverhead();
+    emitEwiseLoop(out.size(), 1, 0, UopKind::IntAlu);
+}
+
+void
+ScalarBackend::fill(Mat out, float s)
+{
+    ref::fill(out, s);
+    emitCallOverhead();
+    if (emitting()) {
+        for (int i = 0; i < out.size(); ++i) {
+            prog_->push(Uop::mem(UopKind::Store, kNoReg, kNoReg));
+            if (flavor_ == ScalarFlavor::Naive || i % 4 == 3) {
+                Uop br = Uop::scalar(UopKind::Branch, kNoReg);
+                br.taken = i + 1 < out.size();
+                prog_->push(br);
+            }
+        }
+    }
+}
+
+} // namespace rtoc::matlib

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Scalar backends.
+ *
+ * Flavor::Naive models the reference matlib C code: every operation
+ * is a function call with per-element loops — per element it pays
+ * index arithmetic, a loop branch, and all loads/stores.
+ *
+ * Flavor::Optimized models well-tuned scalar code (the paper's Eigen
+ * baseline): loops fully unrolled for the small fixed sizes found in
+ * TinyMPC, operands held in registers across the kernel, address
+ * arithmetic hoisted, and GEMV scheduled with interleaved accumulator
+ * chains so an OoO core can extract ILP.
+ */
+
+#ifndef RTOC_MATLIB_SCALAR_BACKEND_HH
+#define RTOC_MATLIB_SCALAR_BACKEND_HH
+
+#include "matlib/backend.hh"
+
+namespace rtoc::matlib {
+
+/** Software-quality flavor of the scalar mapping. */
+enum class ScalarFlavor { Naive, Optimized };
+
+/** Scalar-ISA backend for any CPU model (Rocket/Shuttle/BOOM). */
+class ScalarBackend : public Backend
+{
+  public:
+    explicit ScalarBackend(ScalarFlavor flavor) : flavor_(flavor) {}
+
+    std::string
+    name() const override
+    {
+        return flavor_ == ScalarFlavor::Naive ? "scalar-matlib"
+                                              : "scalar-eigen";
+    }
+
+    void gemv(Mat y, const Mat &a, Mat x, float alpha,
+              float beta) override;
+    void gemvT(Mat y, const Mat &a, Mat x, float alpha,
+               float beta) override;
+    void gemm(Mat c, const Mat &a, const Mat &b) override;
+    void saxpby(Mat out, float sa, const Mat &a, float sb,
+                const Mat &b) override;
+    void scale(Mat out, const Mat &a, float s) override;
+    void accumDiff(Mat acc, const Mat &a, const Mat &b) override;
+    void axpyDiff(Mat acc, float s, const Mat &a, const Mat &b) override;
+    void rowScaleNeg(Mat out, const Mat &a, const Mat &diag) override;
+    void clampVec(Mat out, const Mat &a, const Mat &lo,
+                  const Mat &hi) override;
+    void clampConst(Mat out, const Mat &a, float lo, float hi) override;
+    float absMaxDiff(const Mat &a, const Mat &b) override;
+    void copy(Mat out, const Mat &a) override;
+    void fill(Mat out, float s) override;
+
+    ScalarFlavor flavor() const { return flavor_; }
+
+  private:
+    /** Function-call prologue/epilogue cost of the naive library. */
+    void emitCallOverhead();
+
+    /** Elementwise loop skeleton shared by the map-style ops:
+     *  emits @p n iterations with @p loads loads, @p fp_ops
+     *  floating-point uops of kind @p k, and one store. */
+    void emitEwiseLoop(int n, int loads, int fp_ops, isa::UopKind k);
+
+    /** Emit a GEMV micro-op stream (transpose selects column walk). */
+    void emitGemv(int m, int n, bool accumulate_into_y, bool scaled);
+
+    ScalarFlavor flavor_;
+};
+
+} // namespace rtoc::matlib
+
+#endif // RTOC_MATLIB_SCALAR_BACKEND_HH

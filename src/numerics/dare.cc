@@ -1,0 +1,54 @@
+#include "dare.hh"
+
+#include "common/logging.hh"
+
+namespace rtoc::numerics {
+
+LqrCache
+solveDare(const DMatrix &a, const DMatrix &b, const DMatrix &q,
+          const DMatrix &r, double rho, double tol, int max_iters)
+{
+    int nx = a.rows();
+    int nu = b.cols();
+    rtoc_assert(a.cols() == nx && b.rows() == nx);
+    rtoc_assert(q.rows() == nx && q.cols() == nx);
+    rtoc_assert(r.rows() == nu && r.cols() == nu);
+
+    // rho-augmented costs (TinyMPC folds the ADMM penalty in here).
+    DMatrix q_rho = q + DMatrix::identity(nx) * rho;
+    DMatrix r_rho = r + DMatrix::identity(nu) * rho;
+
+    DMatrix at = a.transpose();
+    DMatrix bt = b.transpose();
+
+    DMatrix p = q_rho;
+    DMatrix kinf(nu, nx);
+    LqrCache cache;
+
+    for (int it = 0; it < max_iters; ++it) {
+        DMatrix btp = bt * p;               // nu x nx
+        DMatrix quu = r_rho + btp * b;      // nu x nu
+        DMatrix k_new = luSolve(quu, btp * a);
+        DMatrix p_new =
+            q_rho + at * p * (a - b * k_new); // Joseph-free update
+
+        double dk = k_new.maxAbsDiff(kinf);
+        kinf = k_new;
+        double dp = p_new.maxAbsDiff(p);
+        p = p_new;
+        cache.iterations = it + 1;
+        cache.residual = dp;
+        if (dk < tol && it > 1) {
+            DMatrix quu_final = r_rho + bt * p * b;
+            cache.kinf = kinf;
+            cache.pinf = p;
+            cache.quuInv = inverse(quu_final);
+            cache.amBKt = (a - b * kinf).transpose();
+            return cache;
+        }
+    }
+    rtoc_fatal("solveDare: no convergence after %d iterations "
+               "(residual %g)", max_iters, cache.residual);
+}
+
+} // namespace rtoc::numerics

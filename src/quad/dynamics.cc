@@ -1,0 +1,205 @@
+#include "dynamics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rtoc::quad {
+
+namespace {
+
+/** Rotate world vector by quaternion conjugate / body by quaternion. */
+Vec3
+rotateByQuat(const std::array<double, 4> &q, const Vec3 &v)
+{
+    // v' = q v q*
+    double w = q[0], x = q[1], y = q[2], z = q[3];
+    double vx = v[0], vy = v[1], vz = v[2];
+    // t = 2 q_vec x v
+    double tx = 2.0 * (y * vz - z * vy);
+    double ty = 2.0 * (z * vx - x * vz);
+    double tz = 2.0 * (x * vy - y * vx);
+    return {vx + w * tx + (y * tz - z * ty),
+            vy + w * ty + (z * tx - x * tz),
+            vz + w * tz + (x * ty - y * tx)};
+}
+
+} // namespace
+
+Vec3
+SimState::rpy() const
+{
+    double w = quat[0], x = quat[1], y = quat[2], z = quat[3];
+    double sinr = 2.0 * (w * x + y * z);
+    double cosr = 1.0 - 2.0 * (x * x + y * y);
+    double roll = std::atan2(sinr, cosr);
+    double sinp = 2.0 * (w * y - z * x);
+    sinp = std::clamp(sinp, -1.0, 1.0);
+    double pitch = std::asin(sinp);
+    double siny = 2.0 * (w * z + x * y);
+    double cosy = 1.0 - 2.0 * (y * y + z * z);
+    double yaw = std::atan2(siny, cosy);
+    return {roll, pitch, yaw};
+}
+
+double
+SimState::tiltCos() const
+{
+    Vec3 body_z = rotateByQuat(quat, {0, 0, 1});
+    return body_z[2];
+}
+
+QuadSim::QuadSim(DroneParams params) : params_(std::move(params))
+{
+    if (params_.thrustToWeight() < 1.2) {
+        rtoc_fatal("drone '%s' cannot hover: thrust/weight = %.2f",
+                   params_.name.c_str(), params_.thrustToWeight());
+    }
+    resetHover({0, 0, 1.0});
+}
+
+void
+QuadSim::resetHover(const Vec3 &pos)
+{
+    state_ = SimState{};
+    state_.pos = pos;
+    double hover = params_.hoverThrustPerMotorN();
+    state_.motorThrust = {hover, hover, hover, hover};
+    rotor_energy_j_ = 0.0;
+    time_s_ = 0.0;
+}
+
+std::array<double, 13>
+QuadSim::deriv(const std::array<double, 13> &s,
+               const std::array<double, 4> &thrust,
+               const ExternalWrench &wrench) const
+{
+    // State layout: pos(0..2) vel(3..5) quat(6..9) omega(10..12).
+    std::array<double, 4> q = {s[6], s[7], s[8], s[9]};
+    Vec3 omega = {s[10], s[11], s[12]};
+
+    double total_thrust =
+        thrust[0] + thrust[1] + thrust[2] + thrust[3];
+    Vec3 thrust_world = rotateByQuat(q, {0, 0, total_thrust});
+
+    double m = params_.massKg;
+    double kd = params_.dragCoeff;
+    Vec3 acc = {
+        (thrust_world[0] - kd * s[3] + wrench.forceN[0]) / m,
+        (thrust_world[1] - kd * s[4] + wrench.forceN[1]) / m,
+        (thrust_world[2] - kd * s[5] + wrench.forceN[2]) / m - kGravity,
+    };
+
+    // X-configuration torques: motors 0..3 at 45/135/225/315 degrees,
+    // spin directions (+,-,+,-) for yaw.
+    double l = params_.momentArmM();
+    double kt = params_.torqueCoeff;
+    double tx = l * (-thrust[0] - thrust[1] + thrust[2] + thrust[3]);
+    double ty = l * (-thrust[0] + thrust[1] + thrust[2] - thrust[3]);
+    double tz =
+        kt * (thrust[0] - thrust[1] + thrust[2] - thrust[3]);
+
+    auto inertia = params_.inertiaDiag();
+    Vec3 torque = {tx + wrench.torqueNm[0], ty + wrench.torqueNm[1],
+                   tz + wrench.torqueNm[2]};
+    Vec3 omega_dot = {
+        (torque[0] - (inertia[2] - inertia[1]) * omega[1] * omega[2]) /
+            inertia[0],
+        (torque[1] - (inertia[0] - inertia[2]) * omega[2] * omega[0]) /
+            inertia[1],
+        (torque[2] - (inertia[1] - inertia[0]) * omega[0] * omega[1]) /
+            inertia[2],
+    };
+
+    // Quaternion kinematics: qdot = 0.5 q (x) [0, omega].
+    double w = q[0], x = q[1], y = q[2], z = q[3];
+    double ox = omega[0], oy = omega[1], oz = omega[2];
+    std::array<double, 4> qdot = {
+        0.5 * (-x * ox - y * oy - z * oz),
+        0.5 * (w * ox + y * oz - z * oy),
+        0.5 * (w * oy - x * oz + z * ox),
+        0.5 * (w * oz + x * oy - y * ox),
+    };
+
+    return {s[3],     s[4],     s[5],     acc[0],  acc[1],
+            acc[2],   qdot[0],  qdot[1],  qdot[2], qdot[3],
+            omega_dot[0], omega_dot[1], omega_dot[2]};
+}
+
+void
+QuadSim::step(const std::array<double, 4> &cmd, double dt,
+              const ExternalWrench &wrench)
+{
+    // Motor first-order lag toward the (clamped) command.
+    double tmax = params_.maxThrustPerMotorN();
+    double alpha = 1.0 - std::exp(-dt / params_.motorTauS);
+    for (int i = 0; i < 4; ++i) {
+        double target = std::clamp(cmd[i], 0.0, tmax);
+        state_.motorThrust[i] +=
+            alpha * (target - state_.motorThrust[i]);
+    }
+
+    std::array<double, 13> s = {
+        state_.pos[0],  state_.pos[1],  state_.pos[2],
+        state_.vel[0],  state_.vel[1],  state_.vel[2],
+        state_.quat[0], state_.quat[1], state_.quat[2],
+        state_.quat[3], state_.omega[0], state_.omega[1],
+        state_.omega[2]};
+
+    auto add = [](const std::array<double, 13> &a,
+                  const std::array<double, 13> &b, double h) {
+        std::array<double, 13> r;
+        for (int i = 0; i < 13; ++i)
+            r[i] = a[i] + h * b[i];
+        return r;
+    };
+
+    auto k1 = deriv(s, state_.motorThrust, wrench);
+    auto k2 = deriv(add(s, k1, dt / 2), state_.motorThrust, wrench);
+    auto k3 = deriv(add(s, k2, dt / 2), state_.motorThrust, wrench);
+    auto k4 = deriv(add(s, k3, dt), state_.motorThrust, wrench);
+    for (int i = 0; i < 13; ++i)
+        s[i] += dt / 6.0 * (k1[i] + 2 * k2[i] + 2 * k3[i] + k4[i]);
+
+    // Renormalize quaternion.
+    double norm = std::sqrt(s[6] * s[6] + s[7] * s[7] + s[8] * s[8] +
+                            s[9] * s[9]);
+    if (norm < 1e-9)
+        rtoc_panic("quaternion collapsed during integration");
+    for (int i = 6; i < 10; ++i)
+        s[i] /= norm;
+
+    state_.pos = {s[0], s[1], s[2]};
+    state_.vel = {s[3], s[4], s[5]};
+    state_.quat = {s[6], s[7], s[8], s[9]};
+    state_.omega = {s[10], s[11], s[12]};
+
+    rotor_energy_j_ += rotorPowerW() * dt;
+    time_s_ += dt;
+}
+
+double
+QuadSim::rotorPowerW() const
+{
+    double area = params_.rotorDiskAreaM2();
+    double p = 0.0;
+    for (double t : state_.motorThrust)
+        p += rotorInducedPowerW(t, area);
+    return p;
+}
+
+bool
+QuadSim::crashed() const
+{
+    if (state_.pos[2] < 0.02)
+        return true;
+    if (std::fabs(state_.pos[0]) > 8.0 ||
+        std::fabs(state_.pos[1]) > 8.0 || state_.pos[2] > 8.0)
+        return true;
+    if (state_.tiltCos() < -0.2) // flipped past ~100 degrees
+        return true;
+    return false;
+}
+
+} // namespace rtoc::quad

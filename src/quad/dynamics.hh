@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Nonlinear quadrotor rigid-body simulator, substituting for
+ * gym-pybullet-drones in the HIL experiments (§5.2). 13-state
+ * quaternion dynamics plus first-order motor lag, integrated with
+ * RK4; external force/torque hooks support the disturbance-rejection
+ * experiment (Fig. 17), and per-step rotor power is accumulated with
+ * the momentum-theory model (Equation 4).
+ */
+
+#ifndef RTOC_QUAD_DYNAMICS_HH
+#define RTOC_QUAD_DYNAMICS_HH
+
+#include <array>
+
+#include "quad/params.hh"
+
+namespace rtoc::quad {
+
+/** 3-vector helper. */
+using Vec3 = std::array<double, 3>;
+
+/** Simulator state. */
+struct SimState
+{
+    Vec3 pos{0, 0, 0};       ///< world position (m)
+    Vec3 vel{0, 0, 0};       ///< world velocity (m/s)
+    std::array<double, 4> quat{1, 0, 0, 0}; ///< attitude (w,x,y,z)
+    Vec3 omega{0, 0, 0};     ///< body angular rate (rad/s)
+    std::array<double, 4> motorThrust{0, 0, 0, 0}; ///< actual (N)
+
+    /** Roll/pitch/yaw extracted from the quaternion (rad). */
+    Vec3 rpy() const;
+
+    /** Cosine of the tilt angle (body z vs world z). */
+    double tiltCos() const;
+};
+
+/** External disturbance applied during integration. */
+struct ExternalWrench
+{
+    Vec3 forceN{0, 0, 0};    ///< world-frame force
+    Vec3 torqueNm{0, 0, 0};  ///< body-frame torque
+};
+
+/** Quadrotor plant. */
+class QuadSim
+{
+  public:
+    explicit QuadSim(DroneParams params);
+
+    /** Reset to hover at @p pos with motors at hover thrust. */
+    void resetHover(const Vec3 &pos);
+
+    /**
+     * Advance one step of @p dt seconds with per-motor commanded
+     * thrusts @p cmd (N, clamped to [0, maxThrust]).
+     */
+    void step(const std::array<double, 4> &cmd, double dt,
+              const ExternalWrench &wrench = {});
+
+    const SimState &state() const { return state_; }
+    SimState &mutableState() { return state_; }
+    const DroneParams &params() const { return params_; }
+
+    /** Instantaneous rotor power (W, momentum theory, all rotors). */
+    double rotorPowerW() const;
+
+    /** Energy consumed by rotors since reset (J). */
+    double rotorEnergyJ() const { return rotor_energy_j_; }
+
+    /** Simulated time since reset (s). */
+    double timeS() const { return time_s_; }
+
+    /** True when the vehicle has crashed (ground strike, runaway
+     *  position, or inverted attitude). */
+    bool crashed() const;
+
+    /** Hover thrust command helper (per motor, N). */
+    double hoverCmd() const { return params_.hoverThrustPerMotorN(); }
+
+  private:
+    /** Continuous-time derivative of the 13-state vector. */
+    std::array<double, 13>
+    deriv(const std::array<double, 13> &s,
+          const std::array<double, 4> &thrust,
+          const ExternalWrench &wrench) const;
+
+    DroneParams params_;
+    SimState state_;
+    double rotor_energy_j_ = 0.0;
+    double time_s_ = 0.0;
+};
+
+} // namespace rtoc::quad
+
+#endif // RTOC_QUAD_DYNAMICS_HH

@@ -1,0 +1,139 @@
+#include "linearize.hh"
+
+#include "common/logging.hh"
+
+namespace rtoc::quad {
+
+using numerics::DMatrix;
+
+LinearModel
+linearizeHover(const DroneParams &params, double dt)
+{
+    LinearModel m;
+    m.dt = dt;
+    m.ac = DMatrix(12, 12);
+    m.bc = DMatrix(12, 4);
+
+    // pos_dot = vel
+    for (int i = 0; i < 3; ++i)
+        m.ac(i, 6 + i) = 1.0;
+    // rpy_dot = omega (small angles)
+    for (int i = 0; i < 3; ++i)
+        m.ac(3 + i, 9 + i) = 1.0;
+    // vel_dot: gravity tilt coupling + linear drag
+    m.ac(6, 4) = kGravity;   // x_ddot = +g * pitch
+    m.ac(7, 3) = -kGravity;  // y_ddot = -g * roll
+    double kd_over_m = params.dragCoeff / params.massKg;
+    for (int i = 0; i < 3; ++i)
+        m.ac(6 + i, 6 + i) = -kd_over_m;
+
+    // Inputs: per-motor thrust deltas.
+    double inv_m = 1.0 / params.massKg;
+    for (int j = 0; j < 4; ++j)
+        m.bc(8, j) = inv_m; // z acceleration
+
+    double l = params.momentArmM();
+    double kt = params.torqueCoeff;
+    auto inertia = params.inertiaDiag();
+    const double mix[3][4] = {
+        {-l, -l, l, l},   // roll torque
+        {-l, l, l, -l},   // pitch torque
+        {kt, -kt, kt, -kt} // yaw torque
+    };
+    for (int axis = 0; axis < 3; ++axis)
+        for (int j = 0; j < 4; ++j)
+            m.bc(9 + axis, j) = mix[axis][j] / inertia[axis];
+
+    DMatrix adbd = numerics::zohDiscretize(m.ac, m.bc, dt);
+    m.ad = DMatrix(12, 12);
+    m.bd = DMatrix(12, 4);
+    for (int i = 0; i < 12; ++i) {
+        for (int j = 0; j < 12; ++j)
+            m.ad(i, j) = adbd(i, j);
+        for (int j = 0; j < 4; ++j)
+            m.bd(i, j) = adbd(i, 12 + j);
+    }
+    return m;
+}
+
+MpcWeights
+MpcWeights::forDrone(const DroneParams &params)
+{
+    MpcWeights w;
+    // Normalize the input penalty to the command scale: a motor with
+    // twice the hover thrust sees inputs of twice the magnitude.
+    double u_scale = params.hoverThrustPerMotorN() / 0.0662;
+    for (auto &r : w.rDiag)
+        r = 4.0 / (u_scale * u_scale);
+
+    // Slow motors (large tau) filter the commanded torques: soften
+    // the position loop and add rate damping to stay stable with the
+    // unmodelled lag.
+    double lag = params.motorTauS / 0.03;
+    if (lag > 1.2) {
+        for (int i = 0; i < 3; ++i) {
+            w.qDiag[i] = 40.0;      // position
+            w.qDiag[6 + i] = 10.0;  // velocity damping
+            w.qDiag[9 + i] = 6.0;   // body-rate damping
+        }
+        for (auto &r : w.rDiag)
+            r *= 3.0;
+    }
+    return w;
+}
+
+tinympc::Workspace
+buildQuadWorkspace(const DroneParams &params, double dt, int horizon)
+{
+    return buildQuadWorkspace(params, dt, horizon,
+                              MpcWeights::forDrone(params));
+}
+
+tinympc::Workspace
+buildQuadWorkspace(const DroneParams &params, double dt, int horizon,
+                   const MpcWeights &weights)
+{
+    LinearModel model = linearizeHover(params, dt);
+
+    DMatrix q = DMatrix::diag(weights.qDiag);
+    DMatrix r = DMatrix::diag(weights.rDiag);
+    numerics::LqrCache cache =
+        numerics::solveDare(model.ad, model.bd, q, r, weights.rho);
+
+    tinympc::Workspace ws = tinympc::Workspace::allocate(12, 4, horizon);
+    ws.settings.rho = static_cast<float>(weights.rho);
+    ws.loadCache(model.ad, model.bd, cache, weights.qDiag);
+
+    // Motor envelope around hover.
+    float hover = static_cast<float>(params.hoverThrustPerMotorN());
+    float tmax = static_cast<float>(params.maxThrustPerMotorN());
+    ws.setInputBounds({-hover, -hover, -hover, -hover},
+                      {tmax - hover, tmax - hover, tmax - hover,
+                       tmax - hover});
+    ws.setReferenceAll(hoverReference({0, 0, 1.0}));
+    return ws;
+}
+
+void
+packMpcState(const SimState &s, float *x12)
+{
+    Vec3 rpy = s.rpy();
+    for (int i = 0; i < 3; ++i) {
+        x12[i] = static_cast<float>(s.pos[i]);
+        x12[3 + i] = static_cast<float>(rpy[i]);
+        x12[6 + i] = static_cast<float>(s.vel[i]);
+        x12[9 + i] = static_cast<float>(s.omega[i]);
+    }
+}
+
+std::vector<float>
+hoverReference(const Vec3 &target)
+{
+    std::vector<float> xr(12, 0.0f);
+    xr[0] = static_cast<float>(target[0]);
+    xr[1] = static_cast<float>(target[1]);
+    xr[2] = static_cast<float>(target[2]);
+    return xr;
+}
+
+} // namespace rtoc::quad

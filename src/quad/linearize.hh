@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Hover linearization of the quadrotor and TinyMPC problem assembly.
+ *
+ * The MPC plant is the standard 12-state small-angle model
+ * [pos, rpy, vel, omega] with per-motor thrust deviations from hover
+ * as inputs, discretized with zero-order hold — the same modelling
+ * choice as TinyMPC's quadrotor examples. Each Table-1 drone variant
+ * yields its own linearized model and LQR cache ("we generate new
+ * linearized models and policies for these drones", §5.4).
+ */
+
+#ifndef RTOC_QUAD_LINEARIZE_HH
+#define RTOC_QUAD_LINEARIZE_HH
+
+#include "numerics/dare.hh"
+#include "quad/dynamics.hh"
+#include "tinympc/workspace.hh"
+
+namespace rtoc::quad {
+
+/** Continuous + discretized hover model. */
+struct LinearModel
+{
+    numerics::DMatrix ac; ///< 12 x 12 continuous
+    numerics::DMatrix bc; ///< 12 x 4 continuous
+    numerics::DMatrix ad; ///< 12 x 12 discrete (ZOH)
+    numerics::DMatrix bd; ///< 12 x 4 discrete
+    double dt = 0.02;
+};
+
+/** Linearize @p params around hover and discretize with @p dt. */
+LinearModel linearizeHover(const DroneParams &params, double dt);
+
+/** LQR weights used for the drone task. */
+struct MpcWeights
+{
+    std::vector<double> qDiag = {100, 100, 100, 4,  4, 10,
+                                 4,   4,   4,   2,  2, 2};
+    std::vector<double> rDiag = {4, 4, 4, 4};
+    double rho = 5.0;
+
+    /**
+     * Morphology-aware weights (§5.4: "we generate new linearized
+     * models and policies for these drones"): the input weight is
+     * normalized to the motor command scale, and slow-motor airframes
+     * (Heron) get smoother position gains plus heavier rate damping
+     * so the unmodelled first-order motor lag stays stable.
+     */
+    static MpcWeights forDrone(const DroneParams &params);
+};
+
+/**
+ * Build a ready-to-solve TinyMPC workspace for @p params: linearized
+ * model, Riccati cache, input bounds from the motor envelope, hover
+ * reference.
+ */
+tinympc::Workspace
+buildQuadWorkspace(const DroneParams &params, double dt, int horizon);
+
+/** Overload with explicit weights. */
+tinympc::Workspace
+buildQuadWorkspace(const DroneParams &params, double dt, int horizon,
+                   const MpcWeights &weights);
+
+/** Pack a SimState into the 12-dim MPC state vector. */
+void packMpcState(const SimState &s, float *x12);
+
+/** MPC reference for holding position @p target. */
+std::vector<float> hoverReference(const Vec3 &target);
+
+} // namespace rtoc::quad
+
+#endif // RTOC_QUAD_LINEARIZE_HH

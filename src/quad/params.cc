@@ -1,0 +1,99 @@
+#include "params.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rtoc::quad {
+
+double
+DroneParams::maxThrustPerMotorN() const
+{
+    double n = maxRevsPerSec();
+    double d = propDiameterM;
+    return thrustCoeff * kAirDensity * n * n * d * d * d * d;
+}
+
+double
+DroneParams::rotorDiskAreaM2() const
+{
+    double radius = propDiameterM / 2.0;
+    return M_PI * radius * radius;
+}
+
+std::array<double, 3>
+DroneParams::inertiaDiag() const
+{
+    // Published CrazyFlie 2.0 inertia, scaled by (m/m0)(l/l0)^2.
+    constexpr double ixx0 = 1.395e-5;
+    constexpr double iyy0 = 1.436e-5;
+    constexpr double izz0 = 2.173e-5;
+    constexpr double m0 = 0.027;
+    constexpr double l0 = 0.080;
+    double s = (massKg / m0) * (armLengthM / l0) * (armLengthM / l0);
+    return {ixx0 * s, iyy0 * s, izz0 * s};
+}
+
+DroneParams
+DroneParams::crazyflie()
+{
+    DroneParams p;
+    p.name = "crazyflie";
+    p.specialty = "generic";
+    p.massKg = 0.027;
+    p.propDiameterM = 0.045;
+    p.armLengthM = 0.080;
+    p.motorKvRpmPerV = 14000.0;
+    p.batteryCells = 1;
+    p.thrustCoeff = 0.07;
+    p.rpmLoadFactor = 0.7;
+    return p;
+}
+
+DroneParams
+DroneParams::hawk()
+{
+    DroneParams p;
+    p.name = "hawk";
+    p.specialty = "agility";
+    p.massKg = 0.046;
+    p.propDiameterM = 0.060;
+    p.armLengthM = 0.080;
+    p.motorKvRpmPerV = 28000.0;
+    p.batteryCells = 2;
+    // Racing setup: high-Kv motors sag hard under prop load but
+    // still deliver racing-class thrust-to-weight.
+    p.thrustCoeff = 0.035;
+    p.rpmLoadFactor = 0.35;
+    p.motorTauS = 0.015; // responsive actuators
+    p.dragCoeff = 0.02;  // clean racing frame
+    return p;
+}
+
+DroneParams
+DroneParams::heron()
+{
+    DroneParams p;
+    p.name = "heron";
+    p.specialty = "hover-efficiency";
+    p.massKg = 0.035;
+    p.propDiameterM = 0.090;
+    p.armLengthM = 0.160;
+    p.motorKvRpmPerV = 14000.0;
+    p.batteryCells = 2;
+    p.thrustCoeff = 0.04;
+    p.rpmLoadFactor = 0.15; // 90 mm props load the motor heavily
+    p.motorTauS = 0.06;     // large, sluggish props
+    return p;
+}
+
+double
+rotorInducedPowerW(double thrust_n, double disk_area_m2)
+{
+    if (thrust_n <= 0.0)
+        return 0.0;
+    return std::pow(thrust_n, 1.5) /
+           std::sqrt(2.0 * kAirDensity * disk_area_m2);
+}
+
+} // namespace rtoc::quad

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Quadrotor physical parameters for the CrazyFlie baseline and the
+ * Hawk/Heron morphology variants of Table 1 (§5.4). Derived
+ * quantities (max thrust, inertia, rotor disk area) follow standard
+ * propeller scaling: thrust = ct * rho * n^2 * d^4 with n in rev/s,
+ * inertia scaled by mass and arm length squared from the published
+ * CrazyFlie values.
+ */
+
+#ifndef RTOC_QUAD_PARAMS_HH
+#define RTOC_QUAD_PARAMS_HH
+
+#include <array>
+#include <string>
+
+namespace rtoc::quad {
+
+/** Air density used throughout (kg/m^3). */
+constexpr double kAirDensity = 1.225;
+
+/** Gravitational acceleration (m/s^2). */
+constexpr double kGravity = 9.81;
+
+/** Mechanical/electrical drone description (Table 1). */
+struct DroneParams
+{
+    std::string name = "crazyflie";
+    std::string specialty = "generic";
+    double massKg = 0.027;
+    double propDiameterM = 0.045;
+    double armLengthM = 0.080;      ///< motor-to-motor diagonal arm
+    double motorKvRpmPerV = 14000.0;
+    int batteryCells = 1;
+    double thrustCoeff = 0.07;      ///< ct in T = ct rho n^2 d^4
+    double rpmLoadFactor = 0.7;     ///< loaded vs no-load motor speed
+    double torqueCoeff = 0.006;     ///< yaw torque per thrust (m)
+    double motorTauS = 0.03;        ///< first-order motor lag
+    double dragCoeff = 0.055;       ///< linear body drag (N per m/s)
+
+    /** Battery voltage (3.7 V per cell). */
+    double batteryVolts() const { return 3.7 * batteryCells; }
+
+    /** Maximum *loaded* motor speed in rev/s: propeller load keeps
+     *  the motor well below its no-load Kv x V speed, more so for
+     *  large or aggressive props. */
+    double maxRevsPerSec() const
+    {
+        return rpmLoadFactor * motorKvRpmPerV * batteryVolts() / 60.0;
+    }
+
+    /** Maximum thrust of one motor (N). */
+    double maxThrustPerMotorN() const;
+
+    /** Hover thrust of one motor (N). */
+    double hoverThrustPerMotorN() const
+    {
+        return massKg * kGravity / 4.0;
+    }
+
+    /** Rotor disk area (m^2). */
+    double rotorDiskAreaM2() const;
+
+    /** Body inertia diagonal (Ixx, Iyy, Izz), kg m^2; scaled from the
+     *  published CrazyFlie inertia by mass and arm length. */
+    std::array<double, 3> inertiaDiag() const;
+
+    /** Arm moment lever for roll/pitch in the X configuration. */
+    double momentArmM() const { return armLengthM / 2.0 * 0.70710678; }
+
+    /** Thrust-to-weight ratio (sanity metric). */
+    double thrustToWeight() const
+    {
+        return 4.0 * maxThrustPerMotorN() / (massKg * kGravity);
+    }
+
+    /** Table 1 rows. */
+    static DroneParams crazyflie();
+    static DroneParams hawk();   ///< racing / agility variant
+    static DroneParams heron();  ///< hover-efficiency variant
+};
+
+/**
+ * Induced rotor power from momentum theory (paper Equation 4):
+ * P = T^(3/2) / sqrt(2 rho A).
+ */
+double rotorInducedPowerW(double thrust_n, double disk_area_m2);
+
+} // namespace rtoc::quad
+
+#endif // RTOC_QUAD_PARAMS_HH

@@ -1,0 +1,80 @@
+#include "scenario.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace rtoc::quad {
+
+DifficultySpec
+difficultySpec(Difficulty d)
+{
+    switch (d) {
+      case Difficulty::Easy:
+        return {"easy", 5, 0.5, 0.3};
+      case Difficulty::Medium:
+        return {"medium", 7, 0.4, 0.7};
+      case Difficulty::Hard:
+        return {"hard", 10, 0.3, 1.1};
+    }
+    rtoc_panic("bad difficulty");
+}
+
+double
+Scenario::meanHopDistance() const
+{
+    if (waypoints.size() < 2)
+        return 0.0;
+    double total = 0.0;
+    Vec3 prev = {0, 0, 1.0};
+    for (const Vec3 &wp : waypoints) {
+        double dx = wp[0] - prev[0];
+        double dy = wp[1] - prev[1];
+        double dz = wp[2] - prev[2];
+        total += std::sqrt(dx * dx + dy * dy + dz * dz);
+        prev = wp;
+    }
+    return total / static_cast<double>(waypoints.size());
+}
+
+Scenario
+makeScenario(Difficulty d, int index)
+{
+    DifficultySpec spec = difficultySpec(d);
+    Scenario sc;
+    sc.difficulty = d;
+    sc.seed = index;
+    sc.intervalS = spec.timeBetweenS;
+
+    // Seed combines difficulty and index for independent streams.
+    Rng rng(0xC0FFEEull * (static_cast<uint64_t>(d) + 1) +
+            static_cast<uint64_t>(index) * 7919ull);
+
+    Vec3 cur = {0, 0, 1.0};
+    for (int i = 0; i < spec.waypointCount; ++i) {
+        // Hop of avgDistance +-30% in a random direction, biased
+        // toward the horizontal plane, kept inside the flight box.
+        for (int attempt = 0; attempt < 64; ++attempt) {
+            double dist = spec.avgDistanceM * rng.uniform(0.7, 1.3);
+            double az = rng.uniform(0.0, 2.0 * M_PI);
+            double el = rng.uniform(-0.4, 0.4);
+            Vec3 next = {
+                cur[0] + dist * std::cos(az) * std::cos(el),
+                cur[1] + dist * std::sin(az) * std::cos(el),
+                cur[2] + dist * std::sin(el),
+            };
+            if (std::fabs(next[0]) < 2.5 && std::fabs(next[1]) < 2.5 &&
+                next[2] > 0.4 && next[2] < 2.0) {
+                cur = next;
+                break;
+            }
+            if (attempt == 63)
+                cur = Vec3{0, 0, 1.0}; // give up: recentre
+        }
+        sc.waypoints.push_back(cur);
+    }
+    return sc;
+}
+
+} // namespace rtoc::quad

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Waypoint-tracking scenarios per the paper's Figure 15 difficulty
+ * table: Easy (5 waypoints, 0.5 s apart, avg 0.3 m), Medium (7 /
+ * 0.4 s / 0.7 m), Hard (10 / 0.3 s / 1.1 m). The drone is not aware
+ * of future waypoints and must re-plan when a new one is transmitted
+ * (§5.2). Twenty seeded scenarios per difficulty mirror the paper's
+ * "20 unique sets of waypoints".
+ */
+
+#ifndef RTOC_QUAD_SCENARIO_HH
+#define RTOC_QUAD_SCENARIO_HH
+
+#include <string>
+#include <vector>
+
+#include "quad/dynamics.hh"
+
+namespace rtoc::quad {
+
+/** Scenario difficulty category. */
+enum class Difficulty { Easy, Medium, Hard };
+
+/** Figure 15 parameters for a difficulty. */
+struct DifficultySpec
+{
+    const char *name;
+    int waypointCount;
+    double timeBetweenS;
+    double avgDistanceM;
+};
+
+/** The Figure 15 table. */
+DifficultySpec difficultySpec(Difficulty d);
+
+/** One waypoint-tracking scenario. */
+struct Scenario
+{
+    Difficulty difficulty = Difficulty::Easy;
+    int seed = 0;
+    double intervalS = 0.5;        ///< time between waypoint reveals
+    std::vector<Vec3> waypoints;   ///< revealed sequentially
+
+    /** Mission time limit: reveals plus settling grace. */
+    double timeLimitS() const
+    {
+        return intervalS * static_cast<double>(waypoints.size()) + 1.5;
+    }
+
+    /** Mean hop distance (diagnostic, compared against Fig. 15). */
+    double meanHopDistance() const;
+};
+
+/** Deterministically generate scenario @p index of @p d. */
+Scenario makeScenario(Difficulty d, int index);
+
+/** All difficulties, for sweep loops. */
+inline const Difficulty kAllDifficulties[] = {
+    Difficulty::Easy, Difficulty::Medium, Difficulty::Hard};
+
+} // namespace rtoc::quad
+
+#endif // RTOC_QUAD_SCENARIO_HH

@@ -1,0 +1,77 @@
+#include "area_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rtoc::soc {
+
+AreaModel::AreaModel()
+{
+    // ASAP7-calibrated post-synthesis areas (mm^2). Scalar cores,
+    // Saturn vector configurations (VLEN x DLEN x frontend), and
+    // Gemmini design points including the weight-stationary variant
+    // with its 1KB accumulator (§5.1.5).
+    entries_ = {
+        {"rocket", 0.30},
+        {"shuttle", 0.58},
+        {"boom-small", 1.35},
+        {"boom-medium", 2.10},
+        {"boom-large", 3.20},
+        {"boom-mega", 5.10},
+        // All evaluated Saturn configurations sit above the
+        // 1.5-2.3 mm^2 Gemmini window (§5.1.5: "minimal Saturn
+        // configurations could result in improved performance in this
+        // domain" is future work in the paper too).
+        {"saturn-v256d128-rocket", 2.35},
+        {"saturn-v512d128-rocket", 2.55},
+        {"saturn-v256d128-shuttle", 2.62},
+        {"saturn-v512d128-shuttle", 2.85},
+        {"saturn-v512d256-rocket", 2.95},
+        {"saturn-v512d256-shuttle", 3.25},
+        {"gemmini-os4x4-spad32k", 1.55},
+        {"gemmini-os4x4-spad64k", 1.90},
+        {"gemmini-ws4x4-spad64k", 2.10},
+    };
+}
+
+double
+AreaModel::areaMm2(const std::string &config) const
+{
+    for (const auto &e : entries_)
+        if (e.config == config)
+            return e.areaMm2;
+    rtoc_fatal("no area entry for configuration '%s'", config.c_str());
+}
+
+bool
+AreaModel::has(const std::string &config) const
+{
+    for (const auto &e : entries_)
+        if (e.config == config)
+            return true;
+    return false;
+}
+
+void
+markParetoFrontier(std::vector<ParetoPoint> &points)
+{
+    std::vector<ParetoPoint *> sorted;
+    sorted.reserve(points.size());
+    for (auto &p : points)
+        sorted.push_back(&p);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ParetoPoint *a, const ParetoPoint *b) {
+                  if (a->areaMm2 != b->areaMm2)
+                      return a->areaMm2 < b->areaMm2;
+                  return a->performance > b->performance;
+              });
+    double best = -1.0;
+    for (ParetoPoint *p : sorted) {
+        p->optimal = p->performance > best;
+        if (p->optimal)
+            best = p->performance;
+    }
+}
+
+} // namespace rtoc::soc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Post-synthesis area table for every evaluated configuration,
+ * standing in for the paper's ASAP7 flow (§5.1). Values are
+ * calibrated to the ranges Figure 10 reports: Rocket is the smallest
+ * point and optimal below 1.4 mm²; Gemmini OS 4x4 designs sit in the
+ * 1.5–2.3 mm² window where they are optimal; high-performance Saturn
+ * configurations (DLEN=256 with a Shuttle frontend) lie beyond, and
+ * BOOM cores above Small are area-dominated.
+ */
+
+#ifndef RTOC_SOC_AREA_MODEL_HH
+#define RTOC_SOC_AREA_MODEL_HH
+
+#include <string>
+#include <vector>
+
+namespace rtoc::soc {
+
+/** One named design point with its area. */
+struct AreaEntry
+{
+    std::string config;
+    double areaMm2;
+};
+
+/** Area lookup; fatal() for unknown configurations. */
+class AreaModel
+{
+  public:
+    AreaModel();
+
+    /** Area in mm² of configuration @p config. */
+    double areaMm2(const std::string &config) const;
+
+    /** True when the configuration is known. */
+    bool has(const std::string &config) const;
+
+    /** All known design points. */
+    const std::vector<AreaEntry> &entries() const { return entries_; }
+
+  private:
+    std::vector<AreaEntry> entries_;
+};
+
+/**
+ * A (area, performance) point for Pareto extraction.
+ * Performance is solves/second or 1/cycles — higher is better.
+ */
+struct ParetoPoint
+{
+    std::string config;
+    double areaMm2 = 0.0;
+    double performance = 0.0;
+    bool optimal = false;
+};
+
+/** Mark the Pareto-optimal frontier (min area, max performance). */
+void markParetoFrontier(std::vector<ParetoPoint> &points);
+
+} // namespace rtoc::soc
+
+#endif // RTOC_SOC_AREA_MODEL_HH

@@ -1,0 +1,56 @@
+#include "rtos.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rtoc::soc {
+
+ScheduleResult
+simulateSchedule(const PeriodicTask &rt_task, double background_cycles,
+                 double freq_hz, double horizon_s)
+{
+    if (freq_hz <= 0.0 || horizon_s <= 0.0)
+        rtoc_fatal("bad schedule parameters f=%g horizon=%g", freq_hz,
+                   horizon_s);
+
+    ScheduleResult res;
+    res.horizonS = horizon_s;
+
+    double rt_exec_s = rt_task.wcetCycles / freq_hz;
+    double bg_frame_s = background_cycles / freq_hz;
+
+    double t = 0.0;
+    double bg_progress = 0.0; // seconds of CPU into current frame
+    double rt_busy = 0.0;
+    double bg_busy = 0.0;
+
+    while (t < horizon_s) {
+        // One period: RT task runs first (highest priority), the
+        // background thread gets the remainder; if the RT task
+        // overruns its period it monopolizes the core.
+        double slice = std::min(rt_task.periodS, horizon_s - t);
+        res.periodicActivations += 1;
+        double rt_time = std::min(rt_exec_s, slice);
+        if (rt_exec_s > rt_task.periodS)
+            res.periodicDeadlineMisses += 1;
+        double bg_time = slice - rt_time;
+
+        rt_busy += rt_time;
+        bg_busy += bg_time;
+        bg_progress += bg_time;
+        while (bg_progress >= bg_frame_s && bg_frame_s > 0.0) {
+            bg_progress -= bg_frame_s;
+            res.backgroundCompletions += 1;
+        }
+        t += slice;
+    }
+
+    res.periodicUtilization = rt_busy / horizon_s;
+    res.backgroundUtilization = bg_busy / horizon_s;
+    res.backgroundFps =
+        static_cast<double>(res.backgroundCompletions) / horizon_s;
+    return res;
+}
+
+} // namespace rtoc::soc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Priority-preemptive RTOS scheduler model for the concurrent-task
+ * study (§5.3): a fixed-rate high-priority control task (TinyMPC at
+ * 50 Hz) shares one core with a background best-effort task (DroNet).
+ * Mirrors the paper's Zephyr setup: the RTOS preempts the background
+ * thread whenever the periodic task releases; background throughput
+ * is whatever CPU remains.
+ */
+
+#ifndef RTOC_SOC_RTOS_HH
+#define RTOC_SOC_RTOS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtoc::soc {
+
+/** Fixed-rate preemptible task description. */
+struct PeriodicTask
+{
+    std::string name;
+    double periodS = 0.02;     ///< release period
+    double wcetCycles = 0.0;   ///< per-activation execution cycles
+};
+
+/** Result of a scheduler simulation. */
+struct ScheduleResult
+{
+    double horizonS = 0.0;
+    double periodicUtilization = 0.0; ///< CPU fraction of the RT task
+    double backgroundUtilization = 0.0;
+    uint64_t periodicActivations = 0;
+    uint64_t periodicDeadlineMisses = 0; ///< activation overran period
+    uint64_t backgroundCompletions = 0;  ///< background frames finished
+    double backgroundFps = 0.0;
+};
+
+/**
+ * Simulate @p horizon_s seconds of a single core at @p freq_hz running
+ * one periodic high-priority task and one continuously-ready
+ * background task of @p background_cycles per frame.
+ */
+ScheduleResult
+simulateSchedule(const PeriodicTask &rt_task, double background_cycles,
+                 double freq_hz, double horizon_s);
+
+} // namespace rtoc::soc
+
+#endif // RTOC_SOC_RTOS_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * UART link model for the HIL tether (§5.2): the host transmits the
+ * drone state + target downlink, the SoC returns motor commands.
+ * 8N1 framing: 10 baud periods per byte, plus protocol framing bytes.
+ * The paper notes the UART latency keeps real-time implementations
+ * from matching the ideal policy on hard scenarios even when solve
+ * time is below the simulation timestep — this model reproduces that
+ * floor.
+ */
+
+#ifndef RTOC_SOC_UART_HH
+#define RTOC_SOC_UART_HH
+
+namespace rtoc::soc {
+
+/** Point-to-point UART latency model. */
+class UartModel
+{
+  public:
+    /**
+     * @param baud_rate line rate (default 460800, a typical tethered
+     *        research-chip configuration)
+     * @param framing_bytes protocol overhead per message
+     */
+    explicit UartModel(double baud_rate = 460800.0,
+                       int framing_bytes = 6)
+        : baud_(baud_rate), framing_(framing_bytes)
+    {}
+
+    /** Seconds to transfer @p payload_bytes. */
+    double
+    transferS(int payload_bytes) const
+    {
+        double bits =
+            10.0 * static_cast<double>(payload_bytes + framing_);
+        return bits / baud_;
+    }
+
+    /** Host -> SoC: 12 state floats + 3 target floats. */
+    double uplinkS() const { return transferS((12 + 3) * 4); }
+
+    /** SoC -> host: 4 motor command floats. */
+    double downlinkS() const { return transferS(4 * 4); }
+
+    double baud() const { return baud_; }
+
+  private:
+    double baud_;
+    int framing_;
+};
+
+} // namespace rtoc::soc
+
+#endif // RTOC_SOC_UART_HH

@@ -1,0 +1,156 @@
+#include "gemmini.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace rtoc::systolic {
+
+GemminiConfig
+GemminiConfig::os4x4(int spad_kb)
+{
+    GemminiConfig c;
+    c.meshDim = 4;
+    c.dataflow = Dataflow::OutputStationary;
+    c.spadKb = spad_kb;
+    c.accKb = 0;
+    c.name = "gemmini-os4x4-spad" + std::to_string(spad_kb) + "k";
+    return c;
+}
+
+GemminiConfig
+GemminiConfig::ws4x4(int spad_kb)
+{
+    GemminiConfig c;
+    c.meshDim = 4;
+    c.dataflow = Dataflow::WeightStationary;
+    c.spadKb = spad_kb;
+    c.accKb = 1;
+    c.name = "gemmini-ws4x4-spad" + std::to_string(spad_kb) + "k";
+    return c;
+}
+
+GemminiConfig
+GemminiConfig::os4x4HwGemv(int spad_kb)
+{
+    GemminiConfig c = os4x4(spad_kb);
+    c.hardwareGemv = true;
+    c.name = "gemmini-os4x4hwgemv-spad" + std::to_string(spad_kb) + "k";
+    return c;
+}
+
+namespace {
+
+/** Accelerator-side state threaded through the frontend loop. */
+struct AccelState
+{
+    uint64_t lastCompletion = 0;   ///< in-order execution tail
+    std::deque<uint64_t> inFlight; ///< per-command completion times
+    bool mvoutSinceFence = false;  ///< store pending -> fence penalty
+    uint64_t cmds = 0;
+    uint64_t fences = 0;
+    uint64_t fenceStall = 0;
+    uint64_t stallQueueFull = 0;
+};
+
+} // namespace
+
+cpu::TimingResult
+GemminiModel::run(const isa::Program &prog) const
+{
+    using isa::Uop;
+    using isa::UopKind;
+
+    AccelState st;
+    cpu::InOrderCore frontend(cfg_.frontend);
+
+    auto exec_latency = [&](const Uop &u) -> uint64_t {
+        switch (u.kind) {
+          case UopKind::RoccConfig:
+            return static_cast<uint64_t>(cfg_.configLat);
+          case UopKind::RoccMvin:
+          case UopKind::RoccMvout: {
+            uint64_t move;
+            if (u.cols == 1 && u.rows > 1 && !cfg_.hardwareGemv) {
+                // Column vector: one element per cycle into/out of a
+                // scratchpad column (§4.2.4 inefficiency). The
+                // hardware-GEMV extension packs vectors across rows
+                // and moves them at full bandwidth instead.
+                move = u.rows;
+            } else {
+                move = (static_cast<uint64_t>(u.bytes) +
+                        cfg_.busBytes - 1) /
+                       static_cast<uint64_t>(cfg_.busBytes);
+            }
+            // Pool window > 1 adds a comparator pass per output row.
+            if (u.kind == UopKind::RoccMvout && u.taken)
+                move += u.rows;
+            return static_cast<uint64_t>(cfg_.dmaFixed) + move;
+          }
+          case UopKind::RoccPreload:
+            return static_cast<uint64_t>(cfg_.meshDim);
+          case UopKind::RoccCompute:
+            // rows flow through a meshDim-deep pipeline.
+            return static_cast<uint64_t>(u.rows) +
+                   2 * static_cast<uint64_t>(cfg_.meshDim);
+          default:
+            rtoc_panic("gemmini '%s': unsupported uop %s",
+                       cfg_.name.c_str(), isa::uopName(u.kind));
+        }
+    };
+
+    auto coproc = [&](const Uop &u, uint64_t present,
+                      cpu::RegReadyFile &sregs, cpu::RegReadyFile &vregs)
+        -> std::pair<uint64_t, uint64_t> {
+        (void)sregs;
+        (void)vregs;
+        uint64_t release = present;
+
+        if (u.kind == UopKind::RoccFence) {
+            // Frontend blocks until the accelerator drains; when an
+            // mvout is outstanding the memory system must also be
+            // ordered, costing the paper's measured several-hundred-
+            // cycle stall.
+            uint64_t done = std::max(present, st.lastCompletion) +
+                            static_cast<uint64_t>(cfg_.fenceBase);
+            if (st.mvoutSinceFence)
+                done += static_cast<uint64_t>(cfg_.fenceMemPenalty);
+            st.mvoutSinceFence = false;
+            st.inFlight.clear();
+            ++st.fences;
+            st.fenceStall += done - present;
+            return {done, done};
+        }
+
+        // Command-queue back-pressure.
+        while (!st.inFlight.empty() && st.inFlight.front() <= present)
+            st.inFlight.pop_front();
+        if (static_cast<int>(st.inFlight.size()) >= cfg_.robDepth) {
+            uint64_t drain = st.inFlight.front();
+            st.stallQueueFull += drain - present;
+            release = drain;
+            st.inFlight.pop_front();
+        }
+
+        uint64_t start = std::max(std::max(present, release) +
+                                      static_cast<uint64_t>(cfg_.issueLat),
+                                  st.lastCompletion);
+        uint64_t completion = start + exec_latency(u);
+        st.lastCompletion = completion;
+        st.inFlight.push_back(completion);
+        ++st.cmds;
+        if (u.kind == UopKind::RoccMvout)
+            st.mvoutSinceFence = true;
+        return {release, completion};
+    };
+
+    cpu::TimingResult result = frontend.runWithCoproc(prog, coproc);
+    result.stats.set("rocc_cmds", st.cmds);
+    result.stats.set("rocc_fences", st.fences);
+    result.stats.set("fence_stall_cycles", st.fenceStall);
+    result.stats.set("stall_rob_full", st.stallQueueFull);
+    return result;
+}
+
+} // namespace rtoc::systolic

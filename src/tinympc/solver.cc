@@ -1,0 +1,286 @@
+#include "solver.hh"
+
+#include "common/logging.hh"
+#include "matlib/gemmini_backend.hh"
+
+namespace rtoc::tinympc {
+
+using matlib::Mat;
+
+Solver::Solver(Workspace &ws, matlib::Backend &backend, MappingStyle style)
+    : ws_(ws), backend_(backend), style_(style)
+{}
+
+void
+Solver::setup()
+{
+    // Gemmini scratchpad residency: stage the whole solver workspace
+    // plus the cache matrices into bank 0 once (paper Fig. 8).
+    if (auto *gem = dynamic_cast<matlib::GemminiBackend *>(&backend_)) {
+        Mat mats[] = {ws_.kinf.view(),   ws_.kinfT.view(),
+                      ws_.pinf.view(),   ws_.quuInv.view(),
+                      ws_.amBKt.view(),  ws_.adyn.view(),
+                      ws_.bdyn.view(),   ws_.bdynT.view(),
+                      ws_.x.view(),      ws_.u.view(),
+                      ws_.znew.view(),   ws_.z.view(),
+                      ws_.y.view(),      ws_.vnew.view(),
+                      ws_.v.view(),      ws_.g.view(),
+                      ws_.q.view(),      ws_.p.view(),
+                      ws_.r.view(),      ws_.d.view(),
+                      ws_.xRef.view(),   ws_.uMin.view(),
+                      ws_.uMax.view(),   ws_.xMin.view(),
+                      ws_.xMax.view(),   ws_.qDiag.view()};
+        gem->initResident({&mats[0],  &mats[1],  &mats[2],  &mats[3],
+                           &mats[4],  &mats[5],  &mats[6],  &mats[7],
+                           &mats[8],  &mats[9],  &mats[10], &mats[11],
+                           &mats[12], &mats[13], &mats[14], &mats[15],
+                           &mats[16], &mats[17], &mats[18], &mats[19],
+                           &mats[20], &mats[21], &mats[22], &mats[23],
+                           &mats[24], &mats[25]});
+    }
+}
+
+void
+Solver::forwardPass()
+{
+    for (int i = 0; i < ws_.N - 1; ++i) {
+        Mat xi = ws_.x.row(i);
+        Mat xn = ws_.x.row(i + 1);
+        Mat ui = ws_.u.row(i);
+        Mat di = ws_.d.row(i);
+
+        if (style_ == MappingStyle::Fused)
+            backend_.beginFuse();
+        {
+            KernelScope k(backend_, "forward_pass_1");
+            // u[i] = -Kinf x[i] - d[i]
+            backend_.gemv(ui, ws_.kinf.view(), xi, -1.0f, 0.0f);
+            backend_.saxpby(ui, 1.0f, ui, -1.0f, di);
+        }
+        {
+            KernelScope k(backend_, "forward_pass_2");
+            // x[i+1] = Adyn x[i] + Bdyn u[i]
+            backend_.gemv(xn, ws_.adyn.view(), xi, 1.0f, 0.0f);
+            backend_.gemv(xn, ws_.bdyn.view(), ui, 1.0f, 1.0f);
+        }
+        if (style_ == MappingStyle::Fused)
+            backend_.endFuse();
+    }
+}
+
+void
+Solver::updateSlack()
+{
+    if (style_ == MappingStyle::Library) {
+        {
+            KernelScope k(backend_, "update_slack_1");
+            backend_.add(ws_.znew.view(), ws_.u.view(), ws_.y.view());
+            backend_.clampVec(ws_.znew.view(), ws_.znew.view(),
+                              ws_.uMin.view(), ws_.uMax.view());
+        }
+        {
+            KernelScope k(backend_, "update_slack_2");
+            backend_.add(ws_.vnew.view(), ws_.x.view(), ws_.g.view());
+            backend_.clampVec(ws_.vnew.view(), ws_.vnew.view(),
+                              ws_.xMin.view(), ws_.xMax.view());
+        }
+        return;
+    }
+    // Fused: per-step rows, temporaries register-resident.
+    for (int i = 0; i < ws_.N - 1; ++i) {
+        backend_.beginFuse();
+        KernelScope k(backend_, "update_slack_1");
+        Mat zi = ws_.znew.row(i);
+        backend_.add(zi, ws_.u.row(i), ws_.y.row(i));
+        backend_.clampVec(zi, zi, ws_.uMin.row(i), ws_.uMax.row(i));
+        backend_.endFuse();
+    }
+    for (int i = 0; i < ws_.N; ++i) {
+        backend_.beginFuse();
+        KernelScope k(backend_, "update_slack_2");
+        Mat vi = ws_.vnew.row(i);
+        backend_.add(vi, ws_.x.row(i), ws_.g.row(i));
+        backend_.clampVec(vi, vi, ws_.xMin.row(i), ws_.xMax.row(i));
+        backend_.endFuse();
+    }
+}
+
+void
+Solver::updateDual()
+{
+    if (style_ == MappingStyle::Library) {
+        KernelScope k(backend_, "update_dual_1");
+        backend_.accumDiff(ws_.y.view(), ws_.u.view(), ws_.znew.view());
+        backend_.accumDiff(ws_.g.view(), ws_.x.view(), ws_.vnew.view());
+        return;
+    }
+    for (int i = 0; i < ws_.N - 1; ++i) {
+        backend_.beginFuse();
+        KernelScope k(backend_, "update_dual_1");
+        backend_.accumDiff(ws_.y.row(i), ws_.u.row(i), ws_.znew.row(i));
+        backend_.endFuse();
+    }
+    for (int i = 0; i < ws_.N; ++i) {
+        backend_.beginFuse();
+        KernelScope k(backend_, "update_dual_1");
+        backend_.accumDiff(ws_.g.row(i), ws_.x.row(i), ws_.vnew.row(i));
+        backend_.endFuse();
+    }
+}
+
+void
+Solver::updateLinearCost()
+{
+    float rho = ws_.settings.rho;
+    if (style_ == MappingStyle::Library) {
+        {
+            KernelScope k(backend_, "update_linear_cost_1");
+            // r = -rho (znew - y)
+            backend_.saxpby(ws_.r.view(), -rho, ws_.znew.view(), rho,
+                            ws_.y.view());
+        }
+        {
+            KernelScope k(backend_, "update_linear_cost_2");
+            // q = -(Xref . Q)
+            backend_.rowScaleNeg(ws_.q.view(), ws_.xRef.view(),
+                                 ws_.qDiag.view());
+        }
+        {
+            KernelScope k(backend_, "update_linear_cost_3");
+            // q -= rho (vnew - g)
+            backend_.axpyDiff(ws_.q.view(), -rho, ws_.vnew.view(),
+                              ws_.g.view());
+        }
+    } else {
+        for (int i = 0; i < ws_.N - 1; ++i) {
+            backend_.beginFuse();
+            KernelScope k(backend_, "update_linear_cost_1");
+            backend_.saxpby(ws_.r.row(i), -rho, ws_.znew.row(i), rho,
+                            ws_.y.row(i));
+            backend_.endFuse();
+        }
+        for (int i = 0; i < ws_.N; ++i) {
+            backend_.beginFuse();
+            {
+                KernelScope k(backend_, "update_linear_cost_2");
+                backend_.rowScaleNeg(ws_.q.row(i), ws_.xRef.row(i),
+                                     ws_.qDiag.view());
+            }
+            {
+                KernelScope k(backend_, "update_linear_cost_3");
+                backend_.axpyDiff(ws_.q.row(i), -rho, ws_.vnew.row(i),
+                                  ws_.g.row(i));
+            }
+            backend_.endFuse();
+        }
+    }
+    {
+        // p[N-1] = -(Xref[N-1]^T Pinf) - rho (vnew[N-1] - g[N-1])
+        if (style_ == MappingStyle::Fused)
+            backend_.beginFuse();
+        KernelScope k(backend_, "update_linear_cost_4");
+        Mat p_last = ws_.p.row(ws_.N - 1);
+        backend_.gemvT(p_last, ws_.pinf.view(), ws_.xRef.row(ws_.N - 1),
+                       -1.0f, 0.0f);
+        backend_.axpyDiff(p_last, -rho, ws_.vnew.row(ws_.N - 1),
+                          ws_.g.row(ws_.N - 1));
+        if (style_ == MappingStyle::Fused)
+            backend_.endFuse();
+    }
+}
+
+void
+Solver::backwardPass()
+{
+    for (int i = ws_.N - 2; i >= 0; --i) {
+        Mat pn = ws_.p.row(i + 1);
+        Mat pi = ws_.p.row(i);
+        Mat ri = ws_.r.row(i);
+        Mat di = ws_.d.row(i);
+        Mat tmp = ws_.tmpNu.view();
+
+        if (style_ == MappingStyle::Fused)
+            backend_.beginFuse();
+        {
+            KernelScope k(backend_, "backward_pass_1");
+            // d[i] = Quu_inv (Bdyn^T p[i+1] + r[i])
+            backend_.gemv(tmp, ws_.bdynT.view(), pn, 1.0f, 0.0f);
+            backend_.saxpby(tmp, 1.0f, tmp, 1.0f, ri);
+            backend_.gemv(di, ws_.quuInv.view(), tmp, 1.0f, 0.0f);
+        }
+        {
+            KernelScope k(backend_, "backward_pass_2");
+            // p[i] = q[i] + AmBKt p[i+1] - Kinf^T r[i]
+            backend_.gemv(pi, ws_.amBKt.view(), pn, 1.0f, 0.0f);
+            backend_.saxpby(pi, 1.0f, pi, 1.0f, ws_.q.row(i));
+            backend_.gemv(pi, ws_.kinfT.view(), ri, -1.0f, 1.0f);
+        }
+        if (style_ == MappingStyle::Fused)
+            backend_.endFuse();
+    }
+}
+
+bool
+Solver::checkResiduals(SolveResult &res)
+{
+    float rho = ws_.settings.rho;
+    {
+        KernelScope k(backend_, "primal_residual_state");
+        res.primalResidualState =
+            backend_.absMaxDiff(ws_.x.view(), ws_.vnew.view());
+    }
+    {
+        KernelScope k(backend_, "dual_residual_state");
+        res.dualResidualState =
+            rho * backend_.absMaxDiff(ws_.v.view(), ws_.vnew.view());
+    }
+    {
+        KernelScope k(backend_, "primal_residual_input");
+        res.primalResidualInput =
+            backend_.absMaxDiff(ws_.u.view(), ws_.znew.view());
+    }
+    {
+        KernelScope k(backend_, "dual_residual_input");
+        res.dualResidualInput =
+            rho * backend_.absMaxDiff(ws_.z.view(), ws_.znew.view());
+    }
+    const Settings &s = ws_.settings;
+    return res.primalResidualState < s.priTol &&
+           res.primalResidualInput < s.priTol &&
+           res.dualResidualState < s.duaTol &&
+           res.dualResidualInput < s.duaTol;
+}
+
+SolveResult
+Solver::solve()
+{
+    SolveResult res;
+    const Settings &s = ws_.settings;
+
+    for (int iter = 1; iter <= s.maxIters; ++iter) {
+        forwardPass();
+        updateSlack();
+        updateDual();
+        updateLinearCost();
+        backwardPass();
+        res.iterations = iter;
+
+        bool check = (iter % s.checkTermination) == 0;
+        if (check && checkResiduals(res)) {
+            res.converged = true;
+        }
+        {
+            // Slack bookkeeping for the next dual residual.
+            KernelScope k(backend_, "slack_copy");
+            backend_.copy(ws_.z.view(), ws_.znew.view());
+            backend_.copy(ws_.v.view(), ws_.vnew.view());
+        }
+        if (res.converged)
+            break;
+    }
+    // Export the solution to the CPU/actuators (Gemmini: mvout+fence).
+    backend_.sync();
+    return res;
+}
+
+} // namespace rtoc::tinympc

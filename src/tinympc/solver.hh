@@ -1,0 +1,116 @@
+/**
+ * @file
+ * TinyMPC ADMM solver over a matlib backend.
+ *
+ * Two software structures, matching the paper's study:
+ *  - MappingStyle::Library — every kernel is a sequence of separate
+ *    matlib calls over whole horizon arrays (the out-of-box mapping
+ *    of Fig. 3/5: each call round-trips operands through memory);
+ *  - MappingStyle::Fused — the hand-optimized structure: per-step
+ *    fusion regions keep temporaries register-resident, kernels are
+ *    emitted per timestep (§4.1.2).
+ *
+ * The numerical result is identical in both styles and across all
+ * backends (pure float32 reference arithmetic); only the emitted
+ * micro-op stream — and therefore simulated time — differs.
+ */
+
+#ifndef RTOC_TINYMPC_SOLVER_HH
+#define RTOC_TINYMPC_SOLVER_HH
+
+#include <string>
+
+#include "matlib/backend.hh"
+#include "tinympc/workspace.hh"
+
+namespace rtoc::tinympc {
+
+/** Software mapping structure for the solver kernels. */
+enum class MappingStyle {
+    Library,        ///< whole-array matlib calls (Eigen-style)
+    LibraryPerStep, ///< per-timestep matlib calls, no fusion (the
+                    ///< out-of-box Accelerated-TinyMPC structure)
+    Fused,          ///< per-timestep with operator fusion (§4.1.2)
+};
+
+/** Outcome of one ADMM solve. */
+struct SolveResult
+{
+    int iterations = 0;
+    bool converged = false;
+    float primalResidualState = 0.0f;
+    float dualResidualState = 0.0f;
+    float primalResidualInput = 0.0f;
+    float dualResidualInput = 0.0f;
+};
+
+/** The TinyMPC solver: ADMM over box-constrained LQR tracking. */
+class Solver
+{
+  public:
+    /**
+     * @param ws workspace (owned by caller; persists across solves to
+     *           provide warm starting)
+     * @param backend compute/emission backend
+     * @param style software-mapping structure
+     */
+    Solver(Workspace &ws, matlib::Backend &backend, MappingStyle style);
+
+    /**
+     * One-time backend setup (e.g. scratchpad staging for Gemmini).
+     * Emits into the attached program when one is set.
+     */
+    void setup();
+
+    /** Run ADMM from the current workspace state. */
+    SolveResult solve();
+
+    /** First planned input (the command sent to actuators). */
+    matlib::Mat firstInput() { return ws_.u.row(0); }
+
+    Workspace &workspace() { return ws_; }
+    matlib::Backend &backend() { return backend_; }
+    MappingStyle style() const { return style_; }
+
+  private:
+    void forwardPass();
+    void updateSlack();
+    void updateDual();
+    void updateLinearCost();
+    void backwardPass();
+
+    /** Compute all four residuals; returns true when converged. */
+    bool checkResiduals(SolveResult &res);
+
+    Workspace &ws_;
+    matlib::Backend &backend_;
+    MappingStyle style_;
+};
+
+/** RAII kernel-region marker (no-op without an attached program). */
+class KernelScope
+{
+  public:
+    KernelScope(matlib::Backend &backend, const std::string &name)
+        : prog_(backend.program())
+    {
+        if (prog_)
+            prog_->beginKernel(name);
+    }
+
+    ~KernelScope()
+    {
+        if (prog_)
+            prog_->endKernel();
+    }
+
+    KernelScope(const KernelScope &) = delete;
+    KernelScope &operator=(const KernelScope &) = delete;
+
+  private:
+    isa::Program *prog_;
+};
+
+} // namespace rtoc::tinympc
+
+#endif // RTOC_TINYMPC_SOLVER_HH

@@ -1,0 +1,179 @@
+#include "saturn.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace rtoc::vector {
+
+SaturnConfig
+SaturnConfig::make(int vlen, int dlen, bool shuttle_frontend)
+{
+    SaturnConfig c;
+    c.vlen = vlen;
+    c.dlen = dlen;
+    c.frontend = shuttle_frontend ? cpu::InOrderConfig::shuttle()
+                                  : cpu::InOrderConfig::rocket();
+    c.name = "saturn-v" + std::to_string(vlen) + "d" +
+             std::to_string(dlen) + "-" + c.frontend.name;
+    return c;
+}
+
+namespace {
+
+/** Mutable vector-unit state threaded through the frontend loop. */
+struct VectorUnitState
+{
+    uint64_t vxuFree = 0; ///< arithmetic pipe next-free cycle
+    uint64_t vluFree = 0; ///< load pipe
+    uint64_t vsuFree = 0; ///< store pipe
+    std::deque<uint64_t> inFlight; ///< completion times, FIFO
+    cpu::RegReadyFile chainReady;  ///< first-element availability
+    uint64_t vinstrs = 0;
+    uint64_t stallQueueFull = 0;
+};
+
+} // namespace
+
+cpu::TimingResult
+SaturnModel::run(const isa::Program &prog) const
+{
+    using isa::Uop;
+    using isa::UopKind;
+
+    VectorUnitState st;
+    cpu::InOrderCore frontend(cfg_.frontend);
+
+    auto beats_of = [&](const Uop &u) -> uint64_t {
+        // A grouped instruction sequences the whole register group;
+        // an ungrouped one only the live elements.
+        uint64_t dlen = static_cast<uint64_t>(cfg_.dlen);
+        if (u.lmul8 > 8) {
+            uint64_t group_bits = static_cast<uint64_t>(u.lmul8) *
+                                  static_cast<uint64_t>(cfg_.vlen) / 8;
+            return std::max<uint64_t>(1, (group_bits + dlen - 1) / dlen);
+        }
+        uint64_t live_bits =
+            static_cast<uint64_t>(u.vl) * static_cast<uint64_t>(u.sew);
+        return std::max<uint64_t>(1, (live_bits + dlen - 1) / dlen);
+    };
+
+    auto coproc = [&](const Uop &u, uint64_t present,
+                      cpu::RegReadyFile &sregs, cpu::RegReadyFile &vregs)
+        -> std::pair<uint64_t, uint64_t> {
+        uint64_t release = present;
+
+        if (u.kind == UopKind::VSetVl) {
+            // Decode-stage handling with a short interlock before the
+            // new VL takes effect for the following vector ops.
+            sregs.setReady(u.dst, present + 2);
+            return {present + 1, present + 2};
+        }
+
+        // Queue back-pressure: frontend blocks when the vector unit
+        // already holds vqDepth undrained instructions.
+        while (!st.inFlight.empty() && st.inFlight.front() <= present)
+            st.inFlight.pop_front();
+        if (static_cast<int>(st.inFlight.size()) >= cfg_.vqDepth) {
+            uint64_t drain = st.inFlight.front();
+            st.stallQueueFull += drain - present;
+            release = drain;
+            st.inFlight.pop_front();
+        }
+
+        uint64_t start = std::max(present, release);
+        // Chaining: wait for the first elements of vector operands.
+        for (uint32_t src : {u.src0, u.src1, u.src2}) {
+            if (src != isa::kNoReg && isa::Program::isVReg(src))
+                start = std::max(start, st.chainReady.readyTime(src));
+        }
+
+        uint64_t beats = beats_of(u);
+        uint64_t completion = 0;
+
+        switch (u.kind) {
+          case UopKind::VLoad:
+          case UopKind::VLoadStrided: {
+            start = std::max(start, st.vluFree);
+            uint64_t lat = static_cast<uint64_t>(cfg_.memLat);
+            uint64_t occ = u.kind == UopKind::VLoadStrided
+                               ? std::max<uint64_t>(u.vl, 1) // 1 elem/cyc
+                               : beats;
+            st.vluFree = start + occ;
+            completion = start + lat + occ;
+            st.chainReady.setReady(u.dst, start + lat + 1);
+            vregs.setReady(u.dst, completion);
+            break;
+          }
+          case UopKind::VStore: {
+            start = std::max(start, st.vsuFree);
+            // Stores need full operand data, not just the head.
+            for (uint32_t src : {u.src0, u.src1}) {
+                if (src != isa::kNoReg && isa::Program::isVReg(src))
+                    start = std::max(start, vregs.readyTime(src));
+            }
+            st.vsuFree = start + beats;
+            completion = start + beats + 1;
+            break;
+          }
+          case UopKind::VArith:
+          case UopKind::VFma: {
+            start = std::max(start, st.vxuFree);
+            st.vxuFree = start + beats;
+            completion =
+                start + static_cast<uint64_t>(cfg_.pipeLat) + beats;
+            st.chainReady.setReady(u.dst,
+                                   start + cfg_.pipeLat + cfg_.chainLat);
+            vregs.setReady(u.dst, completion);
+            break;
+          }
+          case UopKind::VRed: {
+            start = std::max(start, st.vxuFree);
+            // Reductions cannot chain out: full tree latency.
+            for (uint32_t src : {u.src0, u.src1}) {
+                if (src != isa::kNoReg && isa::Program::isVReg(src))
+                    start = std::max(start, vregs.readyTime(src));
+            }
+            // Ordered FP reductions are slow on short-vector
+            // machines: a multi-pass lane tree plus pipeline drain.
+            uint64_t tree = 12;
+            st.vxuFree = start + beats + tree;
+            completion = start + cfg_.pipeLat + beats + tree +
+                         static_cast<uint64_t>(cfg_.scalarMoveLat);
+            sregs.setReady(u.dst, completion);
+            break;
+          }
+          case UopKind::VMove: {
+            // vfmv.f.s: scalar destination, waits for full vreg.
+            uint64_t src_ready = 0;
+            if (u.src0 != isa::kNoReg && isa::Program::isVReg(u.src0))
+                src_ready = vregs.readyTime(u.src0);
+            start = std::max(start, src_ready);
+            completion =
+                start + static_cast<uint64_t>(cfg_.scalarMoveLat);
+            if (isa::Program::isVReg(u.dst)) {
+                vregs.setReady(u.dst, completion);
+                st.chainReady.setReady(u.dst, completion);
+            } else {
+                sregs.setReady(u.dst, completion);
+            }
+            break;
+          }
+          default:
+            rtoc_panic("saturn '%s': unsupported coprocessor uop %s",
+                       cfg_.name.c_str(), isa::uopName(u.kind));
+        }
+
+        st.inFlight.push_back(completion);
+        ++st.vinstrs;
+        return {release, completion};
+    };
+
+    cpu::TimingResult result = frontend.runWithCoproc(prog, coproc);
+    result.stats.set("vector_instrs", st.vinstrs);
+    result.stats.set("stall_vq_full", st.stallQueueFull);
+    return result;
+}
+
+} // namespace rtoc::vector

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the common utilities: stats, distributions, tables,
+ * the deterministic RNG, and CLI parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace rtoc {
+namespace {
+
+TEST(StatGroup, StartsEmpty)
+{
+    StatGroup s;
+    EXPECT_EQ(s.get("anything"), 0u);
+    EXPECT_FALSE(s.has("anything"));
+}
+
+TEST(StatGroup, IncrementAndSet)
+{
+    StatGroup s;
+    s.inc("a");
+    s.inc("a", 4);
+    s.set("b", 7);
+    EXPECT_EQ(s.get("a"), 5u);
+    EXPECT_EQ(s.get("b"), 7u);
+    EXPECT_TRUE(s.has("a"));
+}
+
+TEST(StatGroup, ResetKeepsNames)
+{
+    StatGroup s;
+    s.inc("a", 3);
+    s.reset();
+    EXPECT_TRUE(s.has("a"));
+    EXPECT_EQ(s.get("a"), 0u);
+}
+
+TEST(StatGroup, DumpContainsEntries)
+{
+    StatGroup s;
+    s.set("cycles", 42);
+    std::string d = s.dump("core.");
+    EXPECT_NE(d.find("core.cycles = 42"), std::string::npos);
+}
+
+TEST(Distribution, EmptySummary)
+{
+    Distribution d;
+    DistSummary s = d.summarize();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(Distribution, SingleSample)
+{
+    Distribution d;
+    d.add(3.5);
+    DistSummary s = d.summarize();
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.median, 3.5);
+    EXPECT_DOUBLE_EQ(s.min, 3.5);
+    EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+TEST(Distribution, MedianAndQuartiles)
+{
+    Distribution d;
+    for (int i = 1; i <= 101; ++i)
+        d.add(static_cast<double>(i));
+    DistSummary s = d.summarize();
+    EXPECT_DOUBLE_EQ(s.median, 51.0);
+    EXPECT_DOUBLE_EQ(s.p25, 26.0);
+    EXPECT_DOUBLE_EQ(s.p75, 76.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 101.0);
+}
+
+TEST(Distribution, MedianUnsortedInput)
+{
+    Distribution d;
+    for (double v : {9.0, 1.0, 5.0, 3.0, 7.0})
+        d.add(v);
+    EXPECT_DOUBLE_EQ(d.summarize().median, 5.0);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.uniform(2.0, 5.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(13);
+    double sum = 0, sum2 = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = r.gaussian();
+        sum += v;
+        sum2 += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.1);
+}
+
+TEST(Table, RendersAlignedRows)
+{
+    Table t("demo", {"config", "cycles"});
+    t.addRow({"rocket", "12345"});
+    t.addRow({"boom-mega", "99"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("rocket"), std::string::npos);
+    EXPECT_NE(out.find("99"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(uint64_t{42}), "42");
+    EXPECT_EQ(Table::pct(0.5), "50.0%");
+}
+
+TEST(Cli, ParsesFlagsAndDefaults)
+{
+    const char *argv[] = {"prog", "--n=5", "--rate=2.5", "--full",
+                          "--name=abc"};
+    Cli cli(5, const_cast<char **>(argv));
+    EXPECT_EQ(cli.getInt("n", 1), 5);
+    EXPECT_DOUBLE_EQ(cli.getDouble("rate", 0.0), 2.5);
+    EXPECT_TRUE(cli.has("full"));
+    EXPECT_EQ(cli.getString("name", ""), "abc");
+    EXPECT_EQ(cli.getInt("missing", 9), 9);
+    EXPECT_FALSE(cli.has("missing"));
+}
+
+} // namespace
+} // namespace rtoc

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * DroNet workload-model tests: topology/MAC accounting and the
+ * §5.3 cost model magnitudes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dronet/dronet.hh"
+
+namespace rtoc::dronet {
+namespace {
+
+TEST(Layers, TopologyShape)
+{
+    auto layers = dronetLayers();
+    EXPECT_EQ(layers.size(), 12u);
+    EXPECT_EQ(layers.front().name, "conv_stem");
+    EXPECT_TRUE(layers.back().dense);
+}
+
+TEST(Layers, MacArithmetic)
+{
+    // 3x3 conv, 8x8x4 -> 8 channels, stride 1: 8*8*9*4*8.
+    Layer l{"t", 8, 8, 4, 8, 3, 1, false};
+    EXPECT_DOUBLE_EQ(l.macs(), 8.0 * 8 * 9 * 4 * 8);
+    // Stride halves each spatial dim (ceil).
+    Layer s{"t", 8, 8, 4, 8, 3, 2, false};
+    EXPECT_DOUBLE_EQ(s.macs(), 4.0 * 4 * 9 * 4 * 8);
+    // Dense layer.
+    Layer d{"t", 7, 7, 128, 10, 1, 1, true};
+    EXPECT_DOUBLE_EQ(d.macs(), 7.0 * 7 * 128 * 10);
+}
+
+TEST(Layers, TotalMacsInExpectedBand)
+{
+    // DroNet is a ~30-80 MMAC network.
+    double macs = dronetTotalMacs();
+    EXPECT_GT(macs, 2e7);
+    EXPECT_LT(macs, 1.2e8);
+}
+
+TEST(Cost, VectorizedFasterThanScalar)
+{
+    double v = CnnCostModel::vectorized(256).cyclesPerFrame();
+    double s = CnnCostModel::scalar().cyclesPerFrame();
+    EXPECT_LT(v, s);
+    EXPECT_GT(s / v, 5.0);
+}
+
+TEST(Cost, FrameCyclesMatchPaperScale)
+{
+    // The §5.3 arithmetic implies ~12.5M cycles per frame on the
+    // 100 MHz RVV core (7.7 FPS at 96.7% CPU).
+    double cycles = CnnCostModel::vectorized(256).cyclesPerFrame();
+    EXPECT_GT(cycles, 8e6);
+    EXPECT_LT(cycles, 18e6);
+}
+
+TEST(Cost, WiderDatapathFewerCycles)
+{
+    EXPECT_LT(CnnCostModel::vectorized(512).cyclesPerFrame(),
+              CnnCostModel::vectorized(128).cyclesPerFrame());
+}
+
+} // namespace
+} // namespace rtoc::dronet

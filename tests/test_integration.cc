@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Cross-module integration tests: end-to-end pipelines that mirror
+ * the paper's experiments at reduced scale — architecture ordering on
+ * the full solver, the HIL frequency/architecture interaction, the
+ * concurrency study arithmetic, and SWaP variant behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/inorder.hh"
+#include "cpu/ooo.hh"
+#include "dronet/dronet.hh"
+#include "hil/episode.hh"
+#include "hil/timing.hh"
+#include "matlib/gemmini_backend.hh"
+#include "matlib/rvv_backend.hh"
+#include "matlib/scalar_backend.hh"
+#include "soc/rtos.hh"
+#include "systolic/gemmini.hh"
+#include "tinympc/solver.hh"
+#include "vector/saturn.hh"
+
+namespace rtoc {
+namespace {
+
+/** Emit a 5-iteration quadrotor solve with the given backend/style. */
+isa::Program
+emitSolve(matlib::Backend &backend, tinympc::MappingStyle style)
+{
+    quad::DroneParams drone = quad::DroneParams::crazyflie();
+    tinympc::Workspace ws = quad::buildQuadWorkspace(drone, 0.02, 10);
+    ws.settings.maxIters = 5;
+    ws.settings.priTol = 0.0f;
+    ws.settings.duaTol = 0.0f;
+    isa::Program prog;
+    backend.setProgram(&prog);
+    tinympc::Solver solver(ws, backend, style);
+    solver.setup();
+    float x0[12] = {0.4f, -0.2f, 0.9f, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+    ws.setInitialState(x0);
+    solver.solve();
+    backend.setProgram(nullptr);
+    return prog;
+}
+
+TEST(EndToEnd, ArchitectureOrderingOnFullSolver)
+{
+    // Eigen-scalar on Rocket (baseline) vs hand-optimized RVV on the
+    // big Saturn vs optimized Gemmini: specialized architectures win
+    // end-to-end (Fig. 10/13).
+    matlib::ScalarBackend scalar_b(matlib::ScalarFlavor::Optimized);
+    isa::Program p_scalar =
+        emitSolve(scalar_b, tinympc::MappingStyle::Library);
+    cpu::InOrderCore rocket(cpu::InOrderConfig::rocket());
+    uint64_t c_scalar = rocket.run(p_scalar).cycles;
+
+    matlib::RvvBackend rvv_b(512, matlib::RvvMapping::handOptimized());
+    isa::Program p_vec = emitSolve(rvv_b, tinympc::MappingStyle::Fused);
+    vector::SaturnModel saturn(
+        vector::SaturnConfig::make(512, 256, true));
+    uint64_t c_vec = saturn.run(p_vec).cycles;
+
+    matlib::GemminiBackend gem_b(
+        matlib::GemminiMapping::fullyOptimized());
+    isa::Program p_gem =
+        emitSolve(gem_b, tinympc::MappingStyle::Library);
+    systolic::GemminiModel gemmini(systolic::GemminiConfig::os4x4());
+    uint64_t c_gem = gemmini.run(p_gem).cycles;
+
+    EXPECT_LT(c_vec, c_scalar);
+    EXPECT_LT(c_gem, c_scalar);
+    // Paper magnitude: vector is several times faster end-to-end.
+    EXPECT_GT(static_cast<double>(c_scalar) / c_vec, 3.0);
+}
+
+TEST(EndToEnd, NaiveMatlibScalarIsTheWorstMapping)
+{
+    matlib::ScalarBackend naive(matlib::ScalarFlavor::Naive);
+    matlib::ScalarBackend eigen(matlib::ScalarFlavor::Optimized);
+    isa::Program pn = emitSolve(naive, tinympc::MappingStyle::Library);
+    isa::Program pe = emitSolve(eigen, tinympc::MappingStyle::Library);
+    cpu::InOrderCore rocket(cpu::InOrderConfig::rocket());
+    EXPECT_GT(rocket.run(pn).cycles, rocket.run(pe).cycles);
+}
+
+TEST(EndToEnd, OutOfBoxVectorLosesToEigenScalar)
+{
+    // Fig. 3: vectorized matlib (library mode) on Saturn loses to
+    // hand-optimized scalar Eigen on Rocket... on the iterative
+    // kernels; end-to-end it's comparable, and only hand-optimized
+    // RVV wins clearly. Check the hand-optimized stream wins by >2x
+    // over the library stream on the same hardware.
+    matlib::RvvBackend lib(512, matlib::RvvMapping::library());
+    matlib::RvvBackend opt(512, matlib::RvvMapping::handOptimized());
+    isa::Program pl = emitSolve(lib, tinympc::MappingStyle::Library);
+    isa::Program po = emitSolve(opt, tinympc::MappingStyle::Fused);
+    vector::SaturnModel saturn(
+        vector::SaturnConfig::make(512, 256, false));
+    uint64_t cl = saturn.run(pl).cycles;
+    uint64_t co = saturn.run(po).cycles;
+    EXPECT_GT(static_cast<double>(cl) / co, 2.0);
+}
+
+TEST(EndToEnd, GemminiOptimizationLadder)
+{
+    // Fig. 6/7/12: baseline -> static -> scratchpad-resident ->
+    // +elementwise+pool must be monotonically faster.
+    systolic::GemminiModel gemmini(systolic::GemminiConfig::os4x4());
+
+    matlib::GemminiBackend b0(matlib::GemminiMapping::baseline());
+    matlib::GemminiBackend b1(matlib::GemminiMapping::staticMapped());
+    matlib::GemminiBackend b2(
+        matlib::GemminiMapping::fullyOptimized());
+
+    uint64_t c0 = gemmini
+                      .run(emitSolve(b0, tinympc::MappingStyle::Library))
+                      .cycles;
+    uint64_t c1 = gemmini
+                      .run(emitSolve(b1, tinympc::MappingStyle::Library))
+                      .cycles;
+    uint64_t c2 = gemmini
+                      .run(emitSolve(b2, tinympc::MappingStyle::Library))
+                      .cycles;
+    EXPECT_LT(c1, c0);
+    EXPECT_LT(c2, c1);
+    EXPECT_GT(static_cast<double>(c0) / c2, 3.0);
+}
+
+TEST(EndToEnd, BoomScalingShowsDiminishingReturns)
+{
+    // §5.1.1: bigger BOOMs help, but the gain from Large -> Mega is
+    // smaller than Small -> Medium (dependency-bound GEMVs).
+    matlib::ScalarBackend eigen(matlib::ScalarFlavor::Optimized);
+    isa::Program p = emitSolve(eigen, tinympc::MappingStyle::Library);
+    uint64_t small = cpu::OooCore(cpu::OooConfig::boomSmall()).run(p).cycles;
+    uint64_t medium =
+        cpu::OooCore(cpu::OooConfig::boomMedium()).run(p).cycles;
+    uint64_t large =
+        cpu::OooCore(cpu::OooConfig::boomLarge()).run(p).cycles;
+    uint64_t mega = cpu::OooCore(cpu::OooConfig::boomMega()).run(p).cycles;
+    EXPECT_LT(mega, small);
+    double first_step = static_cast<double>(small) / medium;
+    double last_step = static_cast<double>(large) / mega;
+    EXPECT_GT(first_step, last_step);
+}
+
+TEST(EndToEnd, ConcurrencyStudyArithmetic)
+{
+    // §5.3 on our own calibrated numbers: swapping scalar MPC for
+    // vector MPC must raise DroNet FPS by >1.2x.
+    quad::DroneParams cf = quad::DroneParams::crazyflie();
+    hil::ControllerTiming ts = hil::scalarControllerTiming(cf, 0.02, 10);
+    hil::ControllerTiming tv = hil::vectorControllerTiming(cf, 0.02, 10);
+
+    double dronet =
+        dronet::CnnCostModel::vectorized(256).cyclesPerFrame();
+    soc::PeriodicTask mpc_s{"mpc", 0.02, ts.solveCycles(25)};
+    soc::PeriodicTask mpc_v{"mpc", 0.02, tv.solveCycles(25)};
+    auto rs = soc::simulateSchedule(mpc_s, dronet, 100e6, 10.0);
+    auto rv = soc::simulateSchedule(mpc_v, dronet, 100e6, 10.0);
+    EXPECT_GT(rs.periodicUtilization, rv.periodicUtilization * 4);
+    EXPECT_GT(rv.backgroundFps / rs.backgroundFps, 1.1);
+}
+
+TEST(EndToEnd, HawkNeedsComputeHeronDoesNot)
+{
+    // §5.4: Hawk completes hard tasks only with the accelerated
+    // (vector) implementation at 100 MHz — the scalar baseline at the
+    // same frequency cannot; Heron is insensitive to compute speed
+    // and flies fine on a *low-frequency* vector SoC.
+    quad::DroneParams hawk = quad::DroneParams::hawk();
+    quad::DroneParams heron = quad::DroneParams::heron();
+
+    quad::Scenario hard0 = quad::makeScenario(quad::Difficulty::Hard, 0);
+    quad::Scenario easy0 = quad::makeScenario(quad::Difficulty::Easy, 0);
+
+    hil::HilConfig hawk_scalar;
+    hawk_scalar.socFreqHz = 100e6;
+    hawk_scalar.timing = hil::scalarControllerTiming(hawk, 0.02, 10);
+    hil::EpisodeResult hawk_s = hil::runEpisode(hawk, hard0, hawk_scalar);
+
+    hil::HilConfig hawk_vector;
+    hawk_vector.socFreqHz = 100e6;
+    hawk_vector.timing = hil::vectorControllerTiming(hawk, 0.02, 10);
+    hil::EpisodeResult hawk_v = hil::runEpisode(hawk, hard0, hawk_vector);
+
+    hil::HilConfig heron_lowfreq;
+    heron_lowfreq.socFreqHz = 50e6;
+    heron_lowfreq.timing = hil::vectorControllerTiming(heron, 0.02, 10);
+    hil::EpisodeResult heron_v =
+        hil::runEpisode(heron, easy0, heron_lowfreq);
+
+    EXPECT_TRUE(hawk_v.success);
+    EXPECT_FALSE(hawk_s.success);
+    EXPECT_TRUE(heron_v.success);
+}
+
+} // namespace
+} // namespace rtoc

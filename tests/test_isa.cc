@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the micro-op IR: kind classification, FLOP accounting,
+ * program building and kernel-region bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+#include "isa/uop.hh"
+
+namespace rtoc::isa {
+namespace {
+
+TEST(Uop, KindClassificationIsPartition)
+{
+    for (int k = 0; k < static_cast<int>(UopKind::NumKinds); ++k) {
+        UopKind kind = static_cast<UopKind>(k);
+        int classes = (isScalar(kind) ? 1 : 0) +
+                      (isVector(kind) ? 1 : 0) + (isRocc(kind) ? 1 : 0);
+        EXPECT_EQ(classes, 1) << "kind " << uopName(kind);
+    }
+}
+
+TEST(Uop, FlopWeights)
+{
+    EXPECT_DOUBLE_EQ(flopsPerElement(UopKind::FpFma), 2.0);
+    EXPECT_DOUBLE_EQ(flopsPerElement(UopKind::FpAdd), 1.0);
+    EXPECT_DOUBLE_EQ(flopsPerElement(UopKind::Load), 0.0);
+    EXPECT_DOUBLE_EQ(flopsPerElement(UopKind::VFma), 2.0);
+}
+
+TEST(Uop, Helpers)
+{
+    Uop s = Uop::scalar(UopKind::FpAdd, 3, 1, 2);
+    EXPECT_EQ(s.dst, 3u);
+    EXPECT_EQ(s.src0, 1u);
+    EXPECT_EQ(s.src1, 2u);
+
+    Uop m = Uop::mem(UopKind::Load, 5, 4, 8);
+    EXPECT_EQ(m.bytes, 8u);
+
+    Uop v = Uop::vec(UopKind::VFma, 1, 2, 3, 16, 16);
+    EXPECT_EQ(v.vl, 16u);
+    EXPECT_EQ(v.lmul8, 16);
+
+    Uop r = Uop::rocc(UopKind::RoccCompute, 4, 4, 64);
+    EXPECT_EQ(r.rows, 4);
+    EXPECT_EQ(r.cols, 4);
+}
+
+TEST(Program, RegisterSpacesAreDisjoint)
+{
+    Program p;
+    uint32_t s = p.newReg();
+    uint32_t v = p.newVReg();
+    EXPECT_FALSE(Program::isVReg(s));
+    EXPECT_TRUE(Program::isVReg(v));
+    EXPECT_FALSE(Program::isVReg(kNoReg));
+}
+
+TEST(Program, FlopAccounting)
+{
+    Program p;
+    p.push(Uop::scalar(UopKind::FpFma, p.newReg()));  // 2
+    p.push(Uop::vec(UopKind::VFma, p.newVReg(), kNoReg, kNoReg, 8)); // 16
+    p.push(Uop::vec(UopKind::VArith, p.newVReg(), kNoReg, kNoReg, 4)); // 4
+    p.push(Uop::rocc(UopKind::RoccCompute, 4, 4)); // 32
+    p.push(Uop::mem(UopKind::Load, p.newReg(), kNoReg)); // 0
+    EXPECT_DOUBLE_EQ(p.flops(), 2 + 16 + 4 + 32);
+}
+
+TEST(Program, CountsByClass)
+{
+    Program p;
+    p.push(Uop::scalar(UopKind::IntAlu, p.newReg()));
+    p.push(Uop::scalar(UopKind::FpAdd, p.newReg()));
+    p.push(Uop::vec(UopKind::VLoad, p.newVReg(), kNoReg, kNoReg, 8));
+    p.push(Uop::rocc(UopKind::RoccFence, 0, 0));
+    EXPECT_EQ(p.countScalar(), 2u);
+    EXPECT_EQ(p.countVector(), 1u);
+    EXPECT_EQ(p.countRocc(), 1u);
+}
+
+TEST(Program, KernelRegions)
+{
+    Program p;
+    p.beginKernel("a");
+    p.push(Uop::scalar(UopKind::IntAlu, p.newReg()));
+    p.endKernel();
+    p.beginKernel("b");
+    p.push(Uop::scalar(UopKind::IntAlu, p.newReg()));
+    p.push(Uop::scalar(UopKind::IntAlu, p.newReg()));
+    p.endKernel();
+
+    ASSERT_EQ(p.kernels().size(), 2u);
+    EXPECT_EQ(p.kernels()[0].name, "a");
+    EXPECT_EQ(p.kernels()[0].end - p.kernels()[0].begin, 1u);
+    EXPECT_EQ(p.kernels()[1].end - p.kernels()[1].begin, 2u);
+}
+
+TEST(Program, AccumulateKernelCyclesMergesByName)
+{
+    std::vector<KernelRegion> regions = {
+        {"fwd", 0, 2}, {"bwd", 2, 4}, {"fwd", 4, 6}};
+    std::vector<uint64_t> cycles = {10, 20, 30};
+    auto merged = accumulateKernelCycles(regions, cycles);
+    ASSERT_EQ(merged.size(), 2u);
+    // Alphabetical order from the map: bwd then fwd.
+    EXPECT_EQ(merged[0].name, "bwd");
+    EXPECT_EQ(merged[0].cycles, 20u);
+    EXPECT_EQ(merged[1].name, "fwd");
+    EXPECT_EQ(merged[1].cycles, 40u);
+    EXPECT_EQ(merged[1].invocations, 2u);
+}
+
+TEST(Program, ClearDropsUopsKeepsRegCounter)
+{
+    Program p;
+    uint32_t r1 = p.newReg();
+    p.push(Uop::scalar(UopKind::IntAlu, r1));
+    p.clear();
+    EXPECT_EQ(p.size(), 0u);
+    uint32_t r2 = p.newReg();
+    EXPECT_NE(r1, r2);
+}
+
+} // namespace
+} // namespace rtoc::isa

@@ -1,0 +1,437 @@
+/**
+ * @file
+ * matlib tests: reference-kernel correctness, bit-exact functional
+ * equivalence across all four backends (the paper's invariant that
+ * software mappings change timing, never semantics), and emission
+ * properties (fusion removes loads/stores, static scheduling shrinks
+ * command construction, optimized scalar beats naive).
+ */
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "cpu/inorder.hh"
+#include "matlib/gemmini_backend.hh"
+#include "matlib/rvv_backend.hh"
+#include "matlib/scalar_backend.hh"
+
+namespace rtoc::matlib {
+namespace {
+
+/** Owned random-filled matrix for tests. */
+struct TestMat
+{
+    std::vector<float> data;
+    int rows, cols;
+
+    TestMat(int r, int c, Rng &rng, float scale = 1.0f)
+        : data(static_cast<size_t>(r) * c), rows(r), cols(c)
+    {
+        for (auto &v : data)
+            v = static_cast<float>(rng.uniform(-1.0, 1.0)) * scale;
+    }
+
+    Mat view() { return {data.data(), rows, cols}; }
+};
+
+TEST(Ref, GemvKnownValues)
+{
+    float a_data[] = {1, 2, 3, 4};
+    float x_data[] = {1, 1};
+    float y_data[] = {0, 0};
+    Mat a(a_data, 2, 2), x(x_data, 1, 2), y(y_data, 1, 2);
+    ref::gemv(y, a, x, 1.0f, 0.0f);
+    EXPECT_FLOAT_EQ(y[0], 3.0f);
+    EXPECT_FLOAT_EQ(y[1], 7.0f);
+}
+
+TEST(Ref, GemvAlphaBeta)
+{
+    float a_data[] = {1, 0, 0, 1};
+    float x_data[] = {2, 3};
+    float y_data[] = {10, 20};
+    Mat a(a_data, 2, 2), x(x_data, 1, 2), y(y_data, 1, 2);
+    ref::gemv(y, a, x, 2.0f, 1.0f);
+    EXPECT_FLOAT_EQ(y[0], 14.0f);
+    EXPECT_FLOAT_EQ(y[1], 26.0f);
+}
+
+TEST(Ref, GemvTMatchesExplicitTranspose)
+{
+    Rng rng(5);
+    TestMat a(4, 6, rng);
+    TestMat x(1, 4, rng);
+    TestMat y1(1, 6, rng), y2(1, 6, rng);
+    ref::gemvT(y1.view(), a.view(), x.view(), 1.0f, 0.0f);
+    // Explicit transpose.
+    std::vector<float> at_data(24);
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 6; ++j)
+            at_data[static_cast<size_t>(j) * 4 + i] = a.view().at(i, j);
+    Mat at(at_data.data(), 6, 4);
+    ref::gemv(y2.view(), at, x.view(), 1.0f, 0.0f);
+    for (int j = 0; j < 6; ++j)
+        EXPECT_FLOAT_EQ(y1.view()[j], y2.view()[j]);
+}
+
+TEST(Ref, ClampOrdering)
+{
+    float a_data[] = {-5, 0, 5};
+    float out_data[3];
+    Mat a(a_data, 1, 3), out(out_data, 1, 3);
+    ref::clampConst(out, a, -1.0f, 1.0f);
+    EXPECT_FLOAT_EQ(out[0], -1.0f);
+    EXPECT_FLOAT_EQ(out[1], 0.0f);
+    EXPECT_FLOAT_EQ(out[2], 1.0f);
+}
+
+TEST(Ref, AbsMaxDiff)
+{
+    float a_data[] = {1, -2, 3};
+    float b_data[] = {1, 2, 2};
+    Mat a(a_data, 1, 3), b(b_data, 1, 3);
+    EXPECT_FLOAT_EQ(ref::absMaxDiff(a, b), 4.0f);
+}
+
+TEST(Ref, RowScaleNeg)
+{
+    float a_data[] = {1, 2, 3, 4};
+    float d_data[] = {10, 100};
+    float out_data[4];
+    Mat a(a_data, 2, 2), d(d_data, 1, 2), out(out_data, 2, 2);
+    ref::rowScaleNeg(out, a, d);
+    EXPECT_FLOAT_EQ(out.at(0, 0), -10.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1), -200.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0), -30.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 1), -400.0f);
+}
+
+/** Build every backend for the equivalence suite. */
+std::vector<std::unique_ptr<Backend>>
+allBackends()
+{
+    std::vector<std::unique_ptr<Backend>> v;
+    v.push_back(
+        std::make_unique<ScalarBackend>(ScalarFlavor::Naive));
+    v.push_back(
+        std::make_unique<ScalarBackend>(ScalarFlavor::Optimized));
+    v.push_back(std::make_unique<RvvBackend>(512, RvvMapping::library()));
+    v.push_back(
+        std::make_unique<RvvBackend>(512, RvvMapping::handOptimized()));
+    v.push_back(
+        std::make_unique<GemminiBackend>(GemminiMapping::baseline()));
+    v.push_back(std::make_unique<GemminiBackend>(
+        GemminiMapping::fullyOptimized()));
+    return v;
+}
+
+/** Parameterized over (m, n) operand shapes. */
+class BackendEquivalence
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{};
+
+TEST_P(BackendEquivalence, AllOpsBitExactAcrossBackends)
+{
+    auto [m, n] = GetParam();
+    Rng rng(42 + m * 131 + n);
+    TestMat a(m, n, rng);
+    TestMat x(1, n, rng);
+    TestMat b_vec(1, m, rng);
+    TestMat lo(1, m, rng, 0.1f);
+    TestMat hi(1, m, rng, 0.1f);
+    for (int i = 0; i < m; ++i) {
+        float l = lo.view()[i], h = hi.view()[i];
+        lo.view()[i] = std::fmin(l, h) - 0.5f;
+        hi.view()[i] = std::fmax(l, h) + 0.5f;
+    }
+
+    // Golden results via the reference backend (naive scalar).
+    auto backends = allBackends();
+    std::vector<std::vector<float>> gemv_results;
+    std::vector<std::vector<float>> clamp_results;
+    std::vector<float> red_results;
+
+    for (auto &backend : backends) {
+        std::vector<float> y(static_cast<size_t>(m), 0.5f);
+        Mat ym(y.data(), 1, m);
+        backend->gemv(ym, a.view(), x.view(), -1.0f, 1.0f);
+        gemv_results.push_back(y);
+
+        std::vector<float> c(static_cast<size_t>(m));
+        Mat cm(c.data(), 1, m);
+        backend->clampVec(cm, b_vec.view(), lo.view(), hi.view());
+        clamp_results.push_back(c);
+
+        red_results.push_back(
+            backend->absMaxDiff(b_vec.view(), cm));
+    }
+    for (size_t k = 1; k < backends.size(); ++k) {
+        EXPECT_EQ(gemv_results[k], gemv_results[0])
+            << backends[k]->name();
+        EXPECT_EQ(clamp_results[k], clamp_results[0])
+            << backends[k]->name();
+        EXPECT_EQ(red_results[k], red_results[0])
+            << backends[k]->name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BackendEquivalence,
+    ::testing::Values(std::pair{4, 4}, std::pair{4, 12},
+                      std::pair{12, 4}, std::pair{12, 12},
+                      std::pair{1, 16}, std::pair{17, 3},
+                      std::pair{32, 32}));
+
+TEST(Emission, NoProgramMeansNoEmission)
+{
+    Rng rng(1);
+    TestMat a(4, 4, rng), x(1, 4, rng), y(1, 4, rng);
+    ScalarBackend b(ScalarFlavor::Optimized);
+    b.gemv(y.view(), a.view(), x.view(), 1.0f, 0.0f); // must not crash
+    EXPECT_EQ(b.program(), nullptr);
+}
+
+TEST(Emission, OptimizedScalarFewerUopsThanNaive)
+{
+    Rng rng(2);
+    TestMat a(12, 12, rng), x(1, 12, rng), y(1, 12, rng);
+    isa::Program pn, po;
+    ScalarBackend naive(ScalarFlavor::Naive);
+    ScalarBackend opt(ScalarFlavor::Optimized);
+    naive.setProgram(&pn);
+    opt.setProgram(&po);
+    naive.gemv(y.view(), a.view(), x.view(), 1.0f, 0.0f);
+    opt.gemv(y.view(), a.view(), x.view(), 1.0f, 0.0f);
+    EXPECT_LT(po.size(), pn.size());
+}
+
+TEST(Emission, OptimizedScalarFasterOnRocket)
+{
+    Rng rng(3);
+    TestMat a(12, 12, rng), x(1, 12, rng), y(1, 12, rng);
+    isa::Program pn, po;
+    ScalarBackend naive(ScalarFlavor::Naive);
+    ScalarBackend opt(ScalarFlavor::Optimized);
+    naive.setProgram(&pn);
+    opt.setProgram(&po);
+    for (int rep = 0; rep < 5; ++rep) {
+        naive.gemv(y.view(), a.view(), x.view(), 1.0f, 0.0f);
+        opt.gemv(y.view(), a.view(), x.view(), 1.0f, 0.0f);
+    }
+    cpu::InOrderCore rocket(cpu::InOrderConfig::rocket());
+    EXPECT_LT(rocket.run(po).cycles, rocket.run(pn).cycles);
+}
+
+TEST(Emission, FusionRemovesIntermediateTraffic)
+{
+    Rng rng(4);
+    TestMat a(1, 12, rng), b(1, 12, rng), c(1, 12, rng);
+    TestMat t1(1, 12, rng), t2(1, 12, rng);
+
+    auto count_mem = [](const isa::Program &p) {
+        size_t n = 0;
+        for (const auto &u : p.uops())
+            if (u.kind == isa::UopKind::VLoad ||
+                u.kind == isa::UopKind::VStore)
+                ++n;
+        return n;
+    };
+
+    // Chain: t1 = a+b; t2 = t1+c; t1 consumed immediately.
+    isa::Program plib, pfused;
+    RvvBackend lib(512, RvvMapping::library());
+    RvvBackend fused(512, RvvMapping::handOptimized());
+    lib.setProgram(&plib);
+    fused.setProgram(&pfused);
+
+    lib.add(t1.view(), a.view(), b.view());
+    lib.add(t2.view(), t1.view(), c.view());
+
+    fused.beginFuse();
+    fused.add(t1.view(), a.view(), b.view());
+    fused.add(t2.view(), t1.view(), c.view());
+    fused.endFuse();
+
+    EXPECT_LT(count_mem(pfused), count_mem(plib));
+}
+
+TEST(Emission, FusionWritebackPreservesResults)
+{
+    // Fused path must still produce the same memory contents after
+    // endFuse (the writeback of dirty registers).
+    Rng rng(6);
+    TestMat a(1, 8, rng), b(1, 8, rng);
+    TestMat out_lib(1, 8, rng), out_fused(1, 8, rng);
+
+    isa::Program p1, p2;
+    RvvBackend lib(512, RvvMapping::library());
+    RvvBackend fused(512, RvvMapping::handOptimized());
+    lib.setProgram(&p1);
+    fused.setProgram(&p2);
+
+    lib.add(out_lib.view(), a.view(), b.view());
+    fused.beginFuse();
+    fused.add(out_fused.view(), a.view(), b.view());
+    fused.endFuse();
+    EXPECT_EQ(out_lib.data, out_fused.data);
+}
+
+TEST(Emission, RvvLibraryEmitsStripLoops)
+{
+    Rng rng(7);
+    TestMat a(1, 100, rng), b(1, 100, rng), out(1, 100, rng);
+    isa::Program p;
+    RvvBackend lib(512, RvvMapping::library());
+    lib.setProgram(&p);
+    lib.add(out.view(), a.view(), b.view());
+    // 100 elements / 16-lane strips -> 7 strips: >= 7 vsetvls.
+    size_t vsetvls = 0;
+    for (const auto &u : p.uops())
+        if (u.kind == isa::UopKind::VSetVl)
+            ++vsetvls;
+    EXPECT_GE(vsetvls, 7u);
+}
+
+TEST(Emission, LmulShrinksInstructionCount)
+{
+    Rng rng(8);
+    TestMat a(1, 128, rng), b(1, 128, rng), out(1, 128, rng);
+    isa::Program p1, p4;
+    RvvBackend m1(512, RvvMapping::library(1));
+    RvvBackend m4(512, RvvMapping::library(4));
+    m1.setProgram(&p1);
+    m4.setProgram(&p4);
+    m1.add(out.view(), a.view(), b.view());
+    m4.add(out.view(), a.view(), b.view());
+    EXPECT_LT(p4.countVector(), p1.countVector());
+}
+
+TEST(Emission, GemminiStaticScheduleShrinksScalarWork)
+{
+    Rng rng(9);
+    TestMat a(12, 12, rng), x(1, 12, rng), y(1, 12, rng);
+    isa::Program pd, ps;
+    GemminiBackend dyn(GemminiMapping::baseline());
+    GemminiMapping sm = GemminiMapping::staticMapped();
+    GemminiBackend stat(sm);
+    dyn.setProgram(&pd);
+    stat.setProgram(&ps);
+    dyn.gemv(y.view(), a.view(), x.view(), 1.0f, 0.0f);
+    stat.gemv(y.view(), a.view(), x.view(), 1.0f, 0.0f);
+    EXPECT_LT(ps.countScalar(), pd.countScalar());
+    // Same accelerator commands either way.
+    EXPECT_EQ(ps.countRocc(), pd.countRocc());
+}
+
+TEST(Emission, GemminiSpadResidencyDropsFences)
+{
+    Rng rng(10);
+    TestMat a(12, 12, rng), x(1, 12, rng), y(1, 12, rng);
+
+    auto fences = [](const isa::Program &p) {
+        size_t n = 0;
+        for (const auto &u : p.uops())
+            if (u.kind == isa::UopKind::RoccFence)
+                ++n;
+        return n;
+    };
+
+    isa::Program plib, pres;
+    GemminiBackend lib(GemminiMapping::staticMapped());
+    GemminiBackend res(GemminiMapping::fullyOptimized());
+    lib.setProgram(&plib);
+    res.setProgram(&pres);
+    for (int rep = 0; rep < 4; ++rep) {
+        lib.gemv(y.view(), a.view(), x.view(), 1.0f, 0.0f);
+        res.gemv(y.view(), a.view(), x.view(), 1.0f, 0.0f);
+    }
+    EXPECT_GT(fences(plib), fences(pres));
+}
+
+TEST(Emission, GemminiCiscEmitsMoreConfigTraffic)
+{
+    Rng rng(11);
+    TestMat a(12, 12, rng), x(1, 12, rng), y(1, 12, rng);
+    GemminiMapping cisc;
+    cisc.fineGrained = false;
+    GemminiMapping fine;
+    fine.fineGrained = true;
+    isa::Program pc, pf;
+    GemminiBackend bc(cisc), bf(fine);
+    bc.setProgram(&pc);
+    bf.setProgram(&pf);
+    bc.gemv(y.view(), a.view(), x.view(), 1.0f, 0.0f);
+    bf.gemv(y.view(), a.view(), x.view(), 1.0f, 0.0f);
+    auto configs = [](const isa::Program &p) {
+        size_t n = 0;
+        for (const auto &u : p.uops())
+            if (u.kind == isa::UopKind::RoccConfig)
+                ++n;
+        return n;
+    };
+    // CISC needs multiple RoCC configuration commands per macro-op
+    // (§4.2.3); the fine-grained path reuses one configuration.
+    EXPECT_GT(configs(pc), configs(pf));
+}
+
+TEST(Emission, EmissionIsDataIndependent)
+{
+    // The same operation on different data must emit the same stream
+    // (timing depends on shapes/mappings only) - required for the
+    // HIL calibration approach.
+    Rng rng1(1), rng2(999);
+    TestMat a1(12, 12, rng1), x1(1, 12, rng1), y1(1, 12, rng1);
+    TestMat a2(12, 12, rng2), x2(1, 12, rng2), y2(1, 12, rng2);
+    isa::Program p1, p2;
+    RvvBackend b1(512, RvvMapping::handOptimized());
+    RvvBackend b2(512, RvvMapping::handOptimized());
+    b1.setProgram(&p1);
+    b2.setProgram(&p2);
+    b1.gemv(y1.view(), a1.view(), x1.view(), 1.0f, 0.0f);
+    b2.gemv(y2.view(), a2.view(), x2.view(), 1.0f, 0.0f);
+    ASSERT_EQ(p1.size(), p2.size());
+    for (size_t i = 0; i < p1.size(); ++i)
+        EXPECT_EQ(static_cast<int>(p1.uops()[i].kind),
+                  static_cast<int>(p2.uops()[i].kind));
+}
+
+/** Elementwise op sweep: every backend agrees on every size. */
+class EwiseSizeSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(EwiseSizeSweep, SaxpbyAgreesEverywhere)
+{
+    int n = GetParam();
+    Rng rng(n * 17 + 3);
+    TestMat a(1, n, rng), b_in(1, n, rng);
+    auto backends = allBackends();
+    std::vector<float> golden;
+    for (auto &backend : backends) {
+        std::vector<float> out(static_cast<size_t>(n));
+        Mat om(out.data(), 1, n);
+        backend->saxpby(om, -2.5f, a.view(), 0.5f, b_in.view());
+        if (golden.empty())
+            golden = out;
+        else
+            EXPECT_EQ(out, golden) << backend->name() << " n=" << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EwiseSizeSweep,
+                         ::testing::Values(1, 3, 4, 12, 16, 17, 48, 100,
+                                           120, 129));
+
+TEST(Emission, GemminiCiscRequiresMemoryOperands)
+{
+    GemminiMapping bad = GemminiMapping::fullyOptimized();
+    bad.fineGrained = false;
+    EXPECT_EXIT({ GemminiBackend b(bad); (void)b; },
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace rtoc::matlib

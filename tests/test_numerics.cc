@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit and property tests for the offline numerics: dense matrix
+ * algebra, LU solve, Cholesky, matrix exponential, ZOH discretization
+ * and the discrete Riccati solver.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "numerics/dare.hh"
+#include "numerics/dmatrix.hh"
+
+namespace rtoc::numerics {
+namespace {
+
+TEST(DMatrix, IdentityMultiplication)
+{
+    DMatrix a(2, 3, {1, 2, 3, 4, 5, 6});
+    DMatrix r = DMatrix::identity(2) * a;
+    EXPECT_NEAR(r.maxAbsDiff(a), 0.0, 1e-15);
+}
+
+TEST(DMatrix, MultiplyKnownValues)
+{
+    DMatrix a(2, 2, {1, 2, 3, 4});
+    DMatrix b(2, 2, {5, 6, 7, 8});
+    DMatrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 19);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(DMatrix, TransposeInvolution)
+{
+    DMatrix a(3, 2, {1, 2, 3, 4, 5, 6});
+    EXPECT_NEAR(a.transpose().transpose().maxAbsDiff(a), 0.0, 0.0);
+}
+
+TEST(DMatrix, AddSubScale)
+{
+    DMatrix a(2, 2, {1, 2, 3, 4});
+    DMatrix b(2, 2, {4, 3, 2, 1});
+    DMatrix sum = a + b;
+    EXPECT_DOUBLE_EQ(sum(0, 0), 5);
+    DMatrix diff = sum - b;
+    EXPECT_NEAR(diff.maxAbsDiff(a), 0.0, 0.0);
+    DMatrix scaled = a * 2.0;
+    EXPECT_DOUBLE_EQ(scaled(1, 1), 8);
+}
+
+TEST(DMatrix, FrobeniusNorm)
+{
+    DMatrix a(1, 2, {3, 4});
+    EXPECT_DOUBLE_EQ(a.frobenius(), 5.0);
+}
+
+TEST(LuSolve, SolvesKnownSystem)
+{
+    DMatrix a(2, 2, {2, 1, 1, 3});
+    DMatrix b(2, 1, {3, 5});
+    DMatrix x = luSolve(a, b);
+    EXPECT_NEAR(x(0, 0), 0.8, 1e-12);
+    EXPECT_NEAR(x(1, 0), 1.4, 1e-12);
+}
+
+TEST(LuSolve, InverseRoundTrip)
+{
+    DMatrix a(4, 4,
+              {4, 1, 0, 0, 1, 5, 2, 0, 0, 2, 6, 1, 0, 0, 1, 7});
+    DMatrix inv = inverse(a);
+    DMatrix eye = a * inv;
+    EXPECT_NEAR(eye.maxAbsDiff(DMatrix::identity(4)), 0.0, 1e-10);
+}
+
+TEST(LuSolve, PermutedSystemNeedsPivoting)
+{
+    // Zero on the leading diagonal forces a row swap.
+    DMatrix a(2, 2, {0, 1, 1, 0});
+    DMatrix b(2, 1, {2, 3});
+    DMatrix x = luSolve(a, b);
+    EXPECT_NEAR(x(0, 0), 3.0, 1e-12);
+    EXPECT_NEAR(x(1, 0), 2.0, 1e-12);
+}
+
+TEST(Cholesky, FactorReconstructs)
+{
+    DMatrix a(3, 3, {4, 2, 1, 2, 5, 2, 1, 2, 6});
+    DMatrix l = cholesky(a);
+    DMatrix recon = l * l.transpose();
+    EXPECT_NEAR(recon.maxAbsDiff(a), 0.0, 1e-12);
+    // L is lower-triangular.
+    EXPECT_DOUBLE_EQ(l(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(l(0, 2), 0.0);
+    EXPECT_DOUBLE_EQ(l(1, 2), 0.0);
+}
+
+TEST(Expm, ZeroMatrixGivesIdentity)
+{
+    DMatrix z(3, 3);
+    EXPECT_NEAR(expm(z).maxAbsDiff(DMatrix::identity(3)), 0.0, 1e-14);
+}
+
+TEST(Expm, DiagonalMatchesScalarExp)
+{
+    DMatrix a = DMatrix::diag({0.5, -1.0, 2.0});
+    DMatrix e = expm(a);
+    EXPECT_NEAR(e(0, 0), std::exp(0.5), 1e-10);
+    EXPECT_NEAR(e(1, 1), std::exp(-1.0), 1e-10);
+    EXPECT_NEAR(e(2, 2), std::exp(2.0), 1e-10);
+    EXPECT_NEAR(e(0, 1), 0.0, 1e-12);
+}
+
+TEST(Expm, RotationBlock)
+{
+    // exp([[0,-t],[t,0]]) = [[cos t, -sin t],[sin t, cos t]].
+    double t = 0.7;
+    DMatrix a(2, 2, {0, -t, t, 0});
+    DMatrix e = expm(a);
+    EXPECT_NEAR(e(0, 0), std::cos(t), 1e-10);
+    EXPECT_NEAR(e(0, 1), -std::sin(t), 1e-10);
+    EXPECT_NEAR(e(1, 0), std::sin(t), 1e-10);
+}
+
+TEST(Zoh, DoubleIntegratorKnownForm)
+{
+    // xdot = [[0,1],[0,0]] x + [0,1]^T u -> Ad = [[1,dt],[0,1]],
+    // Bd = [dt^2/2, dt]^T.
+    DMatrix ac(2, 2, {0, 1, 0, 0});
+    DMatrix bc(2, 1, {0, 1});
+    double dt = 0.05;
+    DMatrix adbd = zohDiscretize(ac, bc, dt);
+    EXPECT_NEAR(adbd(0, 0), 1.0, 1e-12);
+    EXPECT_NEAR(adbd(0, 1), dt, 1e-12);
+    EXPECT_NEAR(adbd(1, 1), 1.0, 1e-12);
+    EXPECT_NEAR(adbd(0, 2), dt * dt / 2, 1e-12);
+    EXPECT_NEAR(adbd(1, 2), dt, 1e-12);
+}
+
+class DareTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(DareTest, RiccatiFixedPointHolds)
+{
+    // Double integrator with varying rho: the returned Pinf must
+    // satisfy the rho-augmented DARE.
+    double rho = GetParam();
+    DMatrix a(2, 2, {1, 0.05, 0, 1});
+    DMatrix b(2, 1, {0.00125, 0.05});
+    DMatrix q = DMatrix::diag({10.0, 1.0});
+    DMatrix r = DMatrix::diag({0.1});
+    LqrCache c = solveDare(a, b, q, r, rho);
+
+    DMatrix q_rho = q + DMatrix::identity(2) * rho;
+    DMatrix r_rho = r + DMatrix::identity(1) * rho;
+    DMatrix at = a.transpose();
+    DMatrix bt = b.transpose();
+    DMatrix rhs = q_rho + at * c.pinf * (a - b * c.kinf);
+    EXPECT_NEAR(rhs.maxAbsDiff(c.pinf), 0.0, 1e-6);
+
+    // Kinf consistency: (R + B'PB) K = B'PA.
+    DMatrix lhs = (r_rho + bt * c.pinf * b) * c.kinf;
+    DMatrix rhs2 = bt * c.pinf * a;
+    EXPECT_NEAR(lhs.maxAbsDiff(rhs2), 0.0, 1e-8);
+
+    // QuuInv really is the inverse.
+    DMatrix eye = c.quuInv * (r_rho + bt * c.pinf * b);
+    EXPECT_NEAR(eye.maxAbsDiff(DMatrix::identity(1)), 0.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(RhoSweep, DareTest,
+                         ::testing::Values(0.1, 1.0, 5.0, 25.0));
+
+TEST(Dare, ClosedLoopIsStable)
+{
+    DMatrix a(2, 2, {1, 0.05, 0, 1});
+    DMatrix b(2, 1, {0.00125, 0.05});
+    LqrCache c = solveDare(a, b, DMatrix::diag({10.0, 1.0}),
+                           DMatrix::diag({0.1}), 1.0);
+    // Simulate x+ = (A - B K) x: must contract to zero.
+    DMatrix acl = a - b * c.kinf;
+    DMatrix x(2, 1, {1.0, -2.0});
+    for (int i = 0; i < 400; ++i)
+        x = acl * x;
+    EXPECT_LT(x.maxAbs(), 1e-6);
+}
+
+TEST(Dare, AmBKtIsTransposedClosedLoop)
+{
+    DMatrix a(2, 2, {1, 0.05, 0, 1});
+    DMatrix b(2, 1, {0.00125, 0.05});
+    LqrCache c = solveDare(a, b, DMatrix::diag({10.0, 1.0}),
+                           DMatrix::diag({0.1}), 1.0);
+    DMatrix expect = (a - b * c.kinf).transpose();
+    EXPECT_NEAR(c.amBKt.maxAbsDiff(expect), 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace rtoc::numerics

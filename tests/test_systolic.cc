@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the Gemmini model: fence drain and store->load ordering
+ * penalty (§4.2.4), command-queue back-pressure, column-vector DMA
+ * inefficiency, pooling mvout, and execution ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+#include "systolic/gemmini.hh"
+
+namespace rtoc::systolic {
+namespace {
+
+using isa::kNoReg;
+using isa::Program;
+using isa::Uop;
+using isa::UopKind;
+
+TEST(Gemmini, FenceAfterMvoutPaysMemoryOrderingPenalty)
+{
+    GemminiModel m(GemminiConfig::os4x4());
+
+    Program with_store;
+    with_store.push(Uop::rocc(UopKind::RoccMvout, 16, 1, 64));
+    with_store.push(Uop::rocc(UopKind::RoccFence, 0, 0));
+
+    Program without_store;
+    without_store.push(Uop::rocc(UopKind::RoccMvin, 16, 1, 64));
+    without_store.push(Uop::rocc(UopKind::RoccFence, 0, 0));
+
+    auto rs = m.run(with_store);
+    auto rn = m.run(without_store);
+    // The paper measures up to ~600 cycles of stall on such fences.
+    EXPECT_GT(rs.cycles, rn.cycles + 500);
+}
+
+TEST(Gemmini, FencePenaltyClearedAfterFirstFence)
+{
+    GemminiModel m(GemminiConfig::os4x4());
+    Program p;
+    p.push(Uop::rocc(UopKind::RoccMvout, 16, 1, 64));
+    p.push(Uop::rocc(UopKind::RoccFence, 0, 0));
+    p.push(Uop::rocc(UopKind::RoccFence, 0, 0)); // no pending store
+    auto r = m.run(p);
+    EXPECT_EQ(r.stats.get("rocc_fences"), 2u);
+    // Second fence must be cheap: well under two penalties.
+    EXPECT_LT(r.cycles,
+              2 * static_cast<uint64_t>(
+                      m.config().fenceMemPenalty) + 200);
+}
+
+TEST(Gemmini, ColumnVectorMovesOneElementPerCycle)
+{
+    GemminiModel m(GemminiConfig::os4x4());
+    Program column, block;
+    // Same byte count: 64 floats as a column vs a 8x8 block.
+    column.push(Uop::rocc(UopKind::RoccMvin, 64, 1, 256));
+    block.push(Uop::rocc(UopKind::RoccMvin, 8, 8, 256));
+    EXPECT_GT(m.run(column).cycles, m.run(block).cycles);
+}
+
+TEST(Gemmini, ComputeScalesWithTileRows)
+{
+    GemminiModel m(GemminiConfig::os4x4());
+    Program small, large;
+    small.push(Uop::rocc(UopKind::RoccCompute, 4, 4));
+    large.push(Uop::rocc(UopKind::RoccCompute, 64, 4));
+    EXPECT_GT(m.run(large).cycles, m.run(small).cycles);
+}
+
+TEST(Gemmini, QueueBackPressure)
+{
+    GemminiConfig cfg = GemminiConfig::os4x4();
+    cfg.robDepth = 2;
+    GemminiModel shallow(cfg);
+    GemminiModel deep(GemminiConfig::os4x4());
+    Program p;
+    for (int i = 0; i < 64; ++i)
+        p.push(Uop::rocc(UopKind::RoccCompute, 32, 4));
+    auto rs = shallow.run(p);
+    auto rd = deep.run(p);
+    EXPECT_GE(rs.stats.get("stall_rob_full"),
+              rd.stats.get("stall_rob_full"));
+}
+
+TEST(Gemmini, PooledMvoutCostsComparatorPass)
+{
+    GemminiModel m(GemminiConfig::os4x4());
+    Program plain, pooled;
+    plain.push(Uop::rocc(UopKind::RoccMvout, 32, 1, 128));
+    Uop u = Uop::rocc(UopKind::RoccMvout, 32, 1, 128);
+    u.taken = 1; // pooling enabled
+    pooled.push(u);
+    EXPECT_GT(m.run(pooled).cycles, m.run(plain).cycles);
+}
+
+TEST(Gemmini, ScalarWorkOverlapsAccelerator)
+{
+    // Scalar uops issued after a long compute, with no fence, overlap
+    // with accelerator execution.
+    GemminiModel m(GemminiConfig::os4x4());
+    Program overlap;
+    overlap.push(Uop::rocc(UopKind::RoccCompute, 200, 4));
+    for (int i = 0; i < 100; ++i)
+        overlap.push(Uop::scalar(UopKind::IntAlu, overlap.newReg()));
+    Program serial;
+    serial.push(Uop::rocc(UopKind::RoccCompute, 200, 4));
+    serial.push(Uop::rocc(UopKind::RoccFence, 0, 0));
+    for (int i = 0; i < 100; ++i)
+        serial.push(Uop::scalar(UopKind::IntAlu, serial.newReg()));
+    EXPECT_LT(m.run(overlap).cycles, m.run(serial).cycles);
+}
+
+TEST(Gemmini, CommandsExecuteInOrder)
+{
+    GemminiModel m(GemminiConfig::os4x4());
+    Program p;
+    p.push(Uop::rocc(UopKind::RoccMvin, 4, 4, 64));
+    p.push(Uop::rocc(UopKind::RoccPreload, 4, 4));
+    p.push(Uop::rocc(UopKind::RoccCompute, 4, 4));
+    auto r = m.run(p);
+    EXPECT_EQ(r.stats.get("rocc_cmds"), 3u);
+    // Total at least the sum of execution latencies.
+    uint64_t min_exec = static_cast<uint64_t>(m.config().dmaFixed) + 4 +
+                        4 + (4 + 8);
+    EXPECT_GE(r.cycles, min_exec);
+}
+
+TEST(Gemmini, WsConfigCarriesAccumulator)
+{
+    GemminiConfig ws = GemminiConfig::ws4x4();
+    EXPECT_EQ(ws.dataflow, Dataflow::WeightStationary);
+    EXPECT_GT(ws.accKb, 0);
+    GemminiConfig os = GemminiConfig::os4x4();
+    EXPECT_EQ(os.dataflow, Dataflow::OutputStationary);
+    EXPECT_EQ(os.accKb, 0);
+}
+
+TEST(Gemmini, HardwareGemvSpeedsColumnVectors)
+{
+    // §4.2.4 future-work extension: packing vectors across scratchpad
+    // rows restores full DMA bandwidth for column operands.
+    GemminiModel base(GemminiConfig::os4x4());
+    GemminiModel hw(GemminiConfig::os4x4HwGemv());
+    Program p;
+    for (int i = 0; i < 16; ++i)
+        p.push(Uop::rocc(UopKind::RoccMvin, 64, 1, 256));
+    EXPECT_LT(hw.run(p).cycles, base.run(p).cycles);
+    // Block transfers are unaffected.
+    Program blocks;
+    for (int i = 0; i < 16; ++i)
+        blocks.push(Uop::rocc(UopKind::RoccMvin, 8, 8, 256));
+    EXPECT_EQ(hw.run(blocks).cycles, base.run(blocks).cycles);
+}
+
+TEST(Gemmini, Deterministic)
+{
+    GemminiModel m(GemminiConfig::os4x4());
+    Program p;
+    for (int i = 0; i < 20; ++i) {
+        p.push(Uop::rocc(UopKind::RoccPreload, 4, 4));
+        p.push(Uop::rocc(UopKind::RoccCompute, 4, 4));
+    }
+    EXPECT_EQ(m.run(p).cycles, m.run(p).cycles);
+}
+
+} // namespace
+} // namespace rtoc::systolic
