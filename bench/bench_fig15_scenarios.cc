@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
+#include "hil/sweep.hh"
 #include "quad/scenario.hh"
 
 using namespace rtoc;
@@ -18,11 +19,18 @@ main()
     Table t("Figure 15: scenario difficulty overview",
             {"difficulty", "waypoints", "time between", "avg distance "
              "(spec)", "avg distance (generated, 20 sets)"});
+    hil::SweepRunner sweep;
     for (auto d : quad::kAllDifficulties) {
         auto spec = quad::difficultySpec(d);
+        // Scenario generation is per-index seeded: fan the 20 sets,
+        // reduce in index order.
+        auto hops = sweep.map<double>(20, [&](size_t i) {
+            return quad::makeScenario(d, static_cast<int>(i))
+                .meanHopDistance();
+        });
         double mean = 0.0;
-        for (int i = 0; i < 20; ++i)
-            mean += quad::makeScenario(d, i).meanHopDistance();
+        for (double h : hops)
+            mean += h;
         mean /= 20.0;
         t.addRow({spec.name,
                   Table::num(static_cast<uint64_t>(spec.waypointCount)),

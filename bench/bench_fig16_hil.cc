@@ -6,16 +6,22 @@
  * difficulty, and (c) drone power consumption (actuation + compute)
  * for successfully completed tasks, against the ideal policy.
  *
+ * The (frequency x difficulty) grid cells fan out across the sweep
+ * pool (episodes inside a cell run inline on the owning worker);
+ * rows are printed in grid order so the output matches a serial run.
+ *
  * Flags: --scenarios=N (default 8; the paper uses 20 — pass
  * --scenarios=20 for the full sweep), --full for all frequencies.
  */
 
 #include <cstdio>
+#include <iterator>
 #include <map>
 
 #include "common/cli.hh"
 #include "common/table.hh"
 #include "hil/episode.hh"
+#include "hil/sweep.hh"
 #include "hil/timing.hh"
 
 using namespace rtoc;
@@ -34,16 +40,24 @@ main(int argc, char **argv)
     std::vector<double> freqs = {50e6, 75e6, 100e6, 150e6, 250e6,
                                  375e6, 500e6};
 
+    hil::SweepRunner sweep;
+
     // Ideal policy reference (frequency-independent).
     Table ideal_t("Figure 16 (reference): ideal policy (MPC at every "
                   "physics step, zero latency)",
                   {"difficulty", "success", "actuator power W"});
     std::map<int, double> ideal_power;
-    for (auto d : quad::kAllDifficulties) {
+    constexpr size_t n_diff = std::size(quad::kAllDifficulties);
+    auto ideal_cells = sweep.map<hil::SweepCell>(n_diff, [&](size_t i) {
         hil::HilConfig cfg;
         cfg.idealPolicy = true;
         cfg.timing = tv;
-        auto cell = hil::runCell(drone, d, scenarios, cfg);
+        return hil::runCell(drone, quad::kAllDifficulties[i], scenarios,
+                            cfg);
+    });
+    for (size_t i = 0; i < n_diff; ++i) {
+        auto d = quad::kAllDifficulties[i];
+        const auto &cell = ideal_cells[i];
         ideal_power[static_cast<int>(d)] = cell.avgRotorPowerW;
         ideal_t.addRow({quad::difficultySpec(d).name,
                         Table::pct(cell.successRate),
@@ -59,29 +73,36 @@ main(int argc, char **argv)
                 {"freq MHz", "difficulty", "solve ms (med)",
                  "solve ms (p25-p75)", "success", "actuator W",
                  "compute W", "actuator overhead vs ideal"});
-        for (double f : freqs) {
-            for (auto d : quad::kAllDifficulties) {
-                hil::HilConfig cfg;
-                cfg.timing = timing;
-                cfg.socFreqHz = f;
-                cfg.power = pw;
-                auto cell = hil::runCell(drone, d, scenarios, cfg);
-                double ideal_p = ideal_power[static_cast<int>(d)];
-                std::string overhead =
-                    cell.avgRotorPowerW > 0 && ideal_p > 0
-                        ? Table::pct(cell.avgRotorPowerW / ideal_p - 1.0)
-                        : "-";
-                t.addRow({Table::num(f / 1e6, 0),
-                          quad::difficultySpec(d).name,
-                          Table::num(cell.solveTimeMs.median, 2),
-                          Table::num(cell.solveTimeMs.p25, 2) + "-" +
-                              Table::num(cell.solveTimeMs.p75, 2),
-                          Table::pct(cell.successRate),
-                          cell.avgRotorPowerW > 0
-                              ? Table::num(cell.avgRotorPowerW, 2)
-                              : "-",
-                          Table::num(cell.avgSocPowerW, 3), overhead});
-            }
+        // Grid cell i = (freq i / n_diff, difficulty i % n_diff).
+        const size_t n_cells = freqs.size() * n_diff;
+        auto cells = sweep.map<hil::SweepCell>(n_cells, [&](size_t i) {
+            hil::HilConfig cfg;
+            cfg.timing = timing;
+            cfg.socFreqHz = freqs[i / n_diff];
+            cfg.power = pw;
+            return hil::runCell(drone,
+                                quad::kAllDifficulties[i % n_diff],
+                                scenarios, cfg);
+        });
+        for (size_t i = 0; i < n_cells; ++i) {
+            double f = freqs[i / n_diff];
+            auto d = quad::kAllDifficulties[i % n_diff];
+            const auto &cell = cells[i];
+            double ideal_p = ideal_power[static_cast<int>(d)];
+            std::string overhead =
+                cell.avgRotorPowerW > 0 && ideal_p > 0
+                    ? Table::pct(cell.avgRotorPowerW / ideal_p - 1.0)
+                    : "-";
+            t.addRow({Table::num(f / 1e6, 0),
+                      quad::difficultySpec(d).name,
+                      Table::num(cell.solveTimeMs.median, 2),
+                      Table::num(cell.solveTimeMs.p25, 2) + "-" +
+                          Table::num(cell.solveTimeMs.p75, 2),
+                      Table::pct(cell.successRate),
+                      cell.avgRotorPowerW > 0
+                          ? Table::num(cell.avgRotorPowerW, 2)
+                          : "-",
+                      Table::num(cell.avgSocPowerW, 3), overhead});
         }
         t.print();
     }

@@ -9,13 +9,29 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <iterator>
 
 #include "common/cli.hh"
 #include "common/table.hh"
 #include "hil/disturbance.hh"
+#include "hil/sweep.hh"
 #include "hil/timing.hh"
 
 using namespace rtoc;
+
+namespace {
+
+/** Per-(kind, axis) measurements, computed independently per task. */
+struct AxisResult
+{
+    double ms = 0.0; ///< max recoverable magnitude, scalar MPC
+    double mv = 0.0; ///< max recoverable magnitude, vector MPC
+    bool bothRecovered = false;
+    double ttrS = 0.0;
+    double ttrV = 0.0;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -30,6 +46,30 @@ main(int argc, char **argv)
     vector_cfg.socFreqHz = 100e6;
     vector_cfg.timing = hil::vectorControllerTiming(drone, 0.02, 10);
 
+    // Fan the (kind, axis) measurement tasks — each runs its own
+    // bisections and common-magnitude trials — and reduce per kind in
+    // index order below.
+    constexpr size_t n_kinds = std::size(hil::kAllDisturbKinds);
+    hil::SweepRunner sweep;
+    auto axis_results =
+        sweep.map<AxisResult>(n_kinds * 3, [&](size_t t) {
+            auto kind = hil::kAllDisturbKinds[t / 3];
+            int axis = static_cast<int>(t % 3);
+            AxisResult r;
+            r.ms = hil::maxRecoverableMagnitude(drone, kind, axis,
+                                                scalar_cfg);
+            r.mv = hil::maxRecoverableMagnitude(drone, kind, axis,
+                                                vector_cfg);
+            double common = 0.6 * std::min(r.ms, r.mv);
+            hil::DisturbSpec spec{kind, axis, common};
+            auto rs = hil::runDisturbTrial(drone, spec, scalar_cfg);
+            auto rv = hil::runDisturbTrial(drone, spec, vector_cfg);
+            r.bothRecovered = rs.recovered && rv.recovered;
+            r.ttrS = rs.ttrS;
+            r.ttrV = rv.ttrS;
+            return r;
+        });
+
     Table t("Figure 17: disturbance recovery at 100 MHz, scalar vs "
             "vector MPC",
             {"disturbance", "max magnitude (scalar)",
@@ -43,7 +83,8 @@ main(int argc, char **argv)
     double ttr_impr_sum = 0.0;
     int ttr_cells = 0;
 
-    for (auto kind : hil::kAllDisturbKinds) {
+    for (size_t ki = 0; ki < n_kinds; ++ki) {
+        auto kind = hil::kAllDisturbKinds[ki];
         // Max recoverable magnitude per implementation (per axis),
         // then TTR measured at a COMMON magnitude (60% of the weaker
         // implementation's limit) so both controllers face the same
@@ -51,19 +92,12 @@ main(int argc, char **argv)
         double ms_sum = 0, mv_sum = 0, ttr_s_sum = 0, ttr_v_sum = 0;
         int ttr_n = 0;
         for (int axis = 0; axis < 3; ++axis) {
-            double ms = hil::maxRecoverableMagnitude(drone, kind, axis,
-                                                     scalar_cfg);
-            double mv = hil::maxRecoverableMagnitude(drone, kind, axis,
-                                                     vector_cfg);
-            ms_sum += ms;
-            mv_sum += mv;
-            double common = 0.6 * std::min(ms, mv);
-            hil::DisturbSpec spec{kind, axis, common};
-            auto rs_trial = hil::runDisturbTrial(drone, spec, scalar_cfg);
-            auto rv_trial = hil::runDisturbTrial(drone, spec, vector_cfg);
-            if (rs_trial.recovered && rv_trial.recovered) {
-                ttr_s_sum += rs_trial.ttrS;
-                ttr_v_sum += rv_trial.ttrS;
+            const AxisResult &r = axis_results[ki * 3 + axis];
+            ms_sum += r.ms;
+            mv_sum += r.mv;
+            if (r.bothRecovered) {
+                ttr_s_sum += r.ttrS;
+                ttr_v_sum += r.ttrV;
                 ++ttr_n;
             }
         }

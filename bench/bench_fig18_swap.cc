@@ -11,13 +11,27 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "common/cli.hh"
 #include "common/table.hh"
 #include "hil/episode.hh"
+#include "hil/sweep.hh"
 #include "hil/timing.hh"
 
 using namespace rtoc;
+
+namespace {
+
+/** Success/power summary of one (drone, impl, frequency) point. */
+struct FreqResult
+{
+    double totalPower = 0.0;
+    int powerCells = 0;
+    std::array<double, 3> succ{};
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -43,38 +57,50 @@ main(int argc, char **argv)
               std::tuple{"vector",
                          hil::vectorControllerTiming(drone, 0.02, 10),
                          soc::PowerParams::vectorCore()}}) {
+            // Fan the (frequency x difficulty) cells for this
+            // drone/impl across the pool; the best-frequency scan
+            // below walks results in frequency order, matching the
+            // historical serial loop exactly.
+            constexpr size_t n_diff = std::size(quad::kAllDifficulties);
+            hil::SweepRunner sweep;
+            auto cells = sweep.map<hil::SweepCell>(
+                freqs.size() * n_diff, [&](size_t i) {
+                    hil::HilConfig cfg;
+                    cfg.timing = timing;
+                    cfg.socFreqHz = freqs[i / n_diff];
+                    cfg.power = pw;
+                    return hil::runCell(
+                        drone, quad::kAllDifficulties[i % n_diff],
+                        scenarios, cfg);
+                });
+
             double best_power = 1e18;
             double best_f = 0;
             std::array<double, 3> best_succ{0, 0, 0};
-            for (double f : freqs) {
-                hil::HilConfig cfg;
-                cfg.timing = timing;
-                cfg.socFreqHz = f;
-                cfg.power = pw;
-                double total_power = 0;
-                int power_cells = 0;
-                std::array<double, 3> succ{};
-                int di = 0;
-                for (auto d : quad::kAllDifficulties) {
-                    auto cell = hil::runCell(drone, d, scenarios, cfg);
-                    succ[di++] = cell.successRate;
+            for (size_t fi = 0; fi < freqs.size(); ++fi) {
+                double f = freqs[fi];
+                FreqResult fr;
+                for (size_t di = 0; di < n_diff; ++di) {
+                    const auto &cell = cells[fi * n_diff + di];
+                    fr.succ[di] = cell.successRate;
                     if (cell.avgTotalPowerW > 0) {
-                        total_power += cell.avgTotalPowerW;
-                        ++power_cells;
+                        fr.totalPower += cell.avgTotalPowerW;
+                        ++fr.powerCells;
                     }
                 }
                 // Rank by power over completed tasks; require at least
                 // one completed difficulty.
-                if (power_cells > 0) {
-                    double p = total_power / power_cells;
-                    double score = p - 0.2 * (succ[0] + succ[1] + succ[2]);
+                if (fr.powerCells > 0) {
+                    double p = fr.totalPower / fr.powerCells;
+                    double score =
+                        p - 0.2 * (fr.succ[0] + fr.succ[1] + fr.succ[2]);
                     double best_score =
                         best_power - 0.2 * (best_succ[0] + best_succ[1] +
                                             best_succ[2]);
                     if (score < best_score) {
                         best_power = p;
                         best_f = f;
-                        best_succ = succ;
+                        best_succ = fr.succ;
                     }
                 }
             }

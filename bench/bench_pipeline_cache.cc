@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Emission-vs-replay microbench for the trace-cached micro-op
+ * pipeline, plus a serial-vs-parallel sweep comparison.
+ *
+ * Three measurements per backend (scalar / RVV / Gemmini):
+ *  - emit: wall time to re-emit the instrumented 5-iteration solve
+ *    stream from scratch (what every solve cost before the cache);
+ *  - replay: wall time to fetch the cached stream (a ProgramCache
+ *    hit) — the acceptance bar is emit/replay >= 10x;
+ *  - time: wall time for one timing-model run over the stream (the
+ *    irreducible per-design-point work).
+ *
+ * The sweep section runs one HIL cell serially and through the
+ * SweepRunner and checks the aggregates match bit-exactly.
+ *
+ * Flags:
+ *   --smoke        shrink repetition counts for CI
+ *   --json=PATH    write a BENCH_pipeline.json artifact
+ *   --scenarios=N  episodes for the sweep section (default 6)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "common/thread_pool.hh"
+#include "cpu/inorder.hh"
+#include "hil/sweep.hh"
+#include "hil/timing.hh"
+#include "matlib/gemmini_backend.hh"
+#include "matlib/rvv_backend.hh"
+#include "matlib/scalar_backend.hh"
+#include "systolic/gemmini.hh"
+#include "vector/saturn.hh"
+
+using namespace rtoc;
+
+namespace {
+
+double
+nowS()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct BackendRow
+{
+    std::string name;
+    size_t uops = 0;
+    double emitUs = 0.0;
+    double replayUs = 0.0;
+    double timeUs = 0.0; ///< one timing-model run
+    double ratio = 0.0;  ///< emit / replay
+};
+
+template <typename EmitFn, typename CachedFn, typename TimeFn>
+BackendRow
+measure(const std::string &name, int reps, EmitFn emit, CachedFn cached,
+        TimeFn time_run)
+{
+    BackendRow row;
+    row.name = name;
+
+    double t0 = nowS();
+    isa::Program fresh;
+    for (int i = 0; i < reps; ++i)
+        fresh = emit();
+    row.emitUs = (nowS() - t0) / reps * 1e6;
+    row.uops = fresh.size();
+
+    cached(); // populate
+    t0 = nowS();
+    std::shared_ptr<const isa::Program> prog;
+    // Replay is orders of magnitude cheaper than emission; scale the
+    // repetition count so the measured interval stays timeable.
+    const int replay_reps = reps * 1000;
+    for (int i = 0; i < replay_reps; ++i)
+        prog = cached();
+    row.replayUs = (nowS() - t0) / replay_reps * 1e6;
+
+    t0 = nowS();
+    for (int i = 0; i < reps; ++i)
+        time_run(*prog);
+    row.timeUs = (nowS() - t0) / reps * 1e6;
+
+    row.ratio = row.replayUs > 0 ? row.emitUs / row.replayUs : 0.0;
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    const bool smoke = cli.has("smoke");
+    const int reps = smoke ? 3 : 20;
+    const int scenarios =
+        static_cast<int>(cli.getInt("scenarios", smoke ? 3 : 6));
+    const std::string json_path = cli.getString("json", "");
+
+    std::vector<BackendRow> rows;
+
+    rows.push_back(measure(
+        "scalar-eigen/shuttle", reps,
+        [] {
+            matlib::ScalarBackend b(matlib::ScalarFlavor::Optimized);
+            return bench::emitQuadSolve(b,
+                                        tinympc::MappingStyle::Library);
+        },
+        [] {
+            matlib::ScalarBackend b(matlib::ScalarFlavor::Optimized);
+            return bench::emitQuadSolveCached(
+                b, tinympc::MappingStyle::Library);
+        },
+        [](const isa::Program &p) {
+            return cpu::InOrderCore(cpu::InOrderConfig::shuttle())
+                .run(p).cycles;
+        }));
+    rows.push_back(measure(
+        "rvv-opt/saturn-512", reps,
+        [] {
+            matlib::RvvBackend b(512, matlib::RvvMapping::handOptimized());
+            return bench::emitQuadSolve(b, tinympc::MappingStyle::Fused);
+        },
+        [] {
+            matlib::RvvBackend b(512, matlib::RvvMapping::handOptimized());
+            return bench::emitQuadSolveCached(
+                b, tinympc::MappingStyle::Fused);
+        },
+        [](const isa::Program &p) {
+            return vector::SaturnModel(
+                       vector::SaturnConfig::make(512, 256, true))
+                .run(p).cycles;
+        }));
+    rows.push_back(measure(
+        "gemmini-opt/os4x4", reps,
+        [] {
+            matlib::GemminiBackend b(
+                matlib::GemminiMapping::fullyOptimized());
+            return bench::emitQuadSolve(b,
+                                        tinympc::MappingStyle::Library);
+        },
+        [] {
+            matlib::GemminiBackend b(
+                matlib::GemminiMapping::fullyOptimized());
+            return bench::emitQuadSolveCached(
+                b, tinympc::MappingStyle::Library);
+        },
+        [](const isa::Program &p) {
+            return systolic::GemminiModel(
+                       systolic::GemminiConfig::os4x4(64))
+                .run(p).cycles;
+        }));
+
+    Table t("Micro-op pipeline: emission vs cached replay vs timing run",
+            {"backend/model", "uops", "emit us", "replay us",
+             "emit/replay", "model run us"});
+    bool replay_ok = true;
+    for (const auto &r : rows) {
+        t.addRow({r.name, Table::num(static_cast<uint64_t>(r.uops)),
+                  Table::num(r.emitUs, 1), Table::num(r.replayUs, 3),
+                  Table::num(r.ratio, 0) + "x", Table::num(r.timeUs, 1)});
+        if (r.ratio < 10.0)
+            replay_ok = false;
+    }
+    t.print();
+
+    // --- serial vs parallel sweep ---
+    quad::DroneParams drone = quad::DroneParams::crazyflie();
+    hil::HilConfig cfg;
+    cfg.timing = hil::vectorControllerTiming(drone, 0.02, 10);
+    cfg.socFreqHz = 100e6;
+    cfg.power = soc::PowerParams::vectorCore();
+
+    ThreadPool serial(1);
+    hil::SweepRunner serial_runner(serial);
+    double t0 = nowS();
+    auto serial_eps = serial_runner.runEpisodes(
+        drone, quad::Difficulty::Medium, scenarios, cfg);
+    double serial_s = nowS() - t0;
+
+    hil::SweepRunner pool_runner; // global pool
+    t0 = nowS();
+    auto pool_eps = pool_runner.runEpisodes(
+        drone, quad::Difficulty::Medium, scenarios, cfg);
+    double pool_s = nowS() - t0;
+
+    bool sweep_equal = serial_eps.size() == pool_eps.size();
+    for (size_t i = 0; sweep_equal && i < serial_eps.size(); ++i) {
+        sweep_equal = serial_eps[i].success == pool_eps[i].success &&
+                      serial_eps[i].missionTimeS ==
+                          pool_eps[i].missionTimeS &&
+                      serial_eps[i].rotorEnergyJ ==
+                          pool_eps[i].rotorEnergyJ;
+    }
+
+    auto cache = isa::ProgramCache::global().stats();
+    std::printf("\nSweep: %d episodes, serial %.3fs vs pooled %.3fs "
+                "(%d threads) -> %.2fx, results %s\n",
+                scenarios, serial_s, pool_s,
+                ThreadPool::global().threads(),
+                pool_s > 0 ? serial_s / pool_s : 0.0,
+                sweep_equal ? "bit-identical" : "DIVERGED");
+    std::printf("Program cache: %llu hits / %llu misses, %zu entries, "
+                "%llu cached uops\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                cache.entries,
+                static_cast<unsigned long long>(cache.cachedUops));
+
+    if (!json_path.empty()) {
+        FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f)
+            rtoc_fatal("cannot write %s", json_path.c_str());
+        std::fprintf(f, "{\n  \"backends\": [\n");
+        for (size_t i = 0; i < rows.size(); ++i) {
+            const auto &r = rows[i];
+            std::fprintf(
+                f,
+                "    {\"name\": \"%s\", \"uops\": %zu, "
+                "\"emit_us\": %.3f, \"replay_us\": %.4f, "
+                "\"emit_over_replay\": %.1f, \"model_run_us\": %.3f}%s\n",
+                r.name.c_str(), r.uops, r.emitUs, r.replayUs, r.ratio,
+                r.timeUs, i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(f,
+                     "  ],\n  \"sweep\": {\"episodes\": %d, "
+                     "\"serial_s\": %.4f, \"pool_s\": %.4f, "
+                     "\"threads\": %d, \"equal\": %s},\n",
+                     scenarios, serial_s, pool_s,
+                     ThreadPool::global().threads(),
+                     sweep_equal ? "true" : "false");
+        std::fprintf(f,
+                     "  \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+                     "\"entries\": %zu}\n}\n",
+                     static_cast<unsigned long long>(cache.hits),
+                     static_cast<unsigned long long>(cache.misses),
+                     cache.entries);
+        std::fclose(f);
+        std::printf("Wrote %s\n", json_path.c_str());
+    }
+
+    if (!replay_ok)
+        std::printf("\nFAIL: cached replay is not >=10x cheaper than "
+                    "emission\n");
+    if (!sweep_equal)
+        std::printf("\nFAIL: parallel sweep diverged from serial\n");
+    return replay_ok && sweep_equal ? 0 : 1;
+}

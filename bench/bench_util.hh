@@ -5,14 +5,23 @@
  * configurations. Every bench prints the same rows/series the paper
  * reports; absolute cycle counts are model-calibrated, the *shape*
  * (who wins, by what factor, where crossovers fall) is the claim.
+ *
+ * emitQuadSolve always emits fresh (the microbench uses it to price
+ * emission itself); emitQuadSolveCached goes through the process-wide
+ * ProgramCache and is what the figure benches use — repeated design
+ * points with the same (backend config, style, iters) replay one
+ * shared stream.
  */
 
 #ifndef RTOC_BENCH_BENCH_UTIL_HH
 #define RTOC_BENCH_BENCH_UTIL_HH
 
+#include <memory>
 #include <string>
 
+#include "common/logging.hh"
 #include "isa/program.hh"
+#include "isa/program_cache.hh"
 #include "matlib/backend.hh"
 #include "quad/linearize.hh"
 #include "tinympc/solver.hh"
@@ -42,6 +51,33 @@ emitQuadSolve(matlib::Backend &backend, tinympc::MappingStyle style,
     solver.solve();
     backend.setProgram(nullptr);
     return prog;
+}
+
+/**
+ * Cached variant: emits via emitQuadSolve on first use of a
+ * (backend.cacheKey(), style, iters) key, replays the shared stream
+ * afterwards. The returned Program is immutable and safe to time from
+ * any thread.
+ *
+ * The key deliberately omits @p drone: emission is data-independent,
+ * so every drone produces the identical stream for a given shape
+ * (pinned by the ProgramCache.EmissionIsDroneIndependent test) and
+ * design points for different drones share one cached trace.
+ */
+inline std::shared_ptr<const isa::Program>
+emitQuadSolveCached(matlib::Backend &backend,
+                    tinympc::MappingStyle style, int iters = 5,
+                    const quad::DroneParams &drone =
+                        quad::DroneParams::crazyflie())
+{
+    const std::string key =
+        csprintf("quadsolve:%s:style%d:it%d",
+                 backend.cacheKey().c_str(), static_cast<int>(style),
+                 iters);
+    return isa::ProgramCache::global().getOrEmit(
+        key, [&](isa::Program &p) {
+            p = emitQuadSolve(backend, style, iters, drone);
+        });
 }
 
 /** Paper kernel names in Algorithm order, for stable table rows. */

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "hil/episode.hh"
+#include "hil/sweep.hh"
 #include "hil/timing.hh"
 
 using namespace rtoc;
@@ -34,14 +35,16 @@ main()
             cfg.timing = tv;
             cfg.socFreqHz = f;
             cfg.power = soc::PowerParams::vectorCore();
+            // The 3 probe episodes per frequency fan out; the
+            // frequency scan itself stays sequential (it stops at the
+            // first success).
+            hil::SweepRunner sweep;
+            auto episodes = sweep.runEpisodes(
+                drone, quad::Difficulty::Easy, 3, cfg);
             int ok = 0;
-            hil::EpisodeResult last;
-            for (int i = 0; i < 3; ++i) {
-                last = hil::runEpisode(
-                    drone, quad::makeScenario(quad::Difficulty::Easy, i),
-                    cfg);
-                ok += last.success;
-            }
+            for (const auto &er : episodes)
+                ok += er.success;
+            hil::EpisodeResult last = episodes.back();
             if (ok == 3) {
                 min_freq = f;
                 best = last;

@@ -42,11 +42,23 @@ std::string csprintf(const char *fmt, ...);
 #define rtoc_warn(...) ::rtoc::warnImpl(__VA_ARGS__)
 #define rtoc_inform(...) ::rtoc::informImpl(__VA_ARGS__)
 
-/** Assert that holds in all build types; panics on failure. */
+/**
+ * Internal-invariant assert; panics on failure.
+ *
+ * Hit on every Mat element access, so it is compiled out of NDEBUG
+ * (Release) builds — configure with -DRTOC_DEBUG=ON (which defines
+ * RTOC_FORCE_ASSERTS) to keep it in optimized builds. The condition
+ * is never evaluated when disabled; side-effecting conditions are a
+ * bug at the call site.
+ */
+#if !defined(NDEBUG) || defined(RTOC_FORCE_ASSERTS)
 #define rtoc_assert(cond)                                                   \
     do {                                                                    \
         if (!(cond))                                                        \
             rtoc_panic("assertion failed: %s", #cond);                      \
     } while (0)
+#else
+#define rtoc_assert(cond) ((void)0)
+#endif
 
 #endif // RTOC_COMMON_LOGGING_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bounded-ish FIFO of cycle timestamps over a circular buffer.
+ *
+ * The coprocessor queue models (Saturn vector queue, Gemmini command
+ * ROB) previously used std::deque, which allocates chunks as the
+ * queue churns. Occupancy is bounded by the modelled queue depth, so
+ * a power-of-two ring that grows at most once and is then reused
+ * run-over-run keeps the timing hot loop allocation-free.
+ */
+
+#ifndef RTOC_COMMON_RING_FIFO_HH
+#define RTOC_COMMON_RING_FIFO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace rtoc {
+
+/** Circular FIFO of uint64 values; capacity grows, never shrinks. */
+class RingFifo
+{
+  public:
+    bool empty() const { return count_ == 0; }
+
+    size_t size() const { return count_; }
+
+    uint64_t
+    front() const
+    {
+        rtoc_assert(count_ > 0);
+        return buf_[head_];
+    }
+
+    void
+    popFront()
+    {
+        rtoc_assert(count_ > 0);
+        head_ = (head_ + 1) & mask_;
+        --count_;
+    }
+
+    void
+    pushBack(uint64_t v)
+    {
+        if (count_ == buf_.size())
+            grow();
+        buf_[(head_ + count_) & mask_] = v;
+        ++count_;
+    }
+
+    /** Forget contents; keeps the buffer for reuse. */
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    void
+    grow()
+    {
+        size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+        std::vector<uint64_t> next(cap);
+        for (size_t i = 0; i < count_; ++i)
+            next[i] = buf_[(head_ + i) & mask_];
+        buf_ = std::move(next);
+        head_ = 0;
+        mask_ = cap - 1;
+    }
+
+    std::vector<uint64_t> buf_;
+    size_t head_ = 0;
+    size_t count_ = 0;
+    size_t mask_ = 0;
+};
+
+} // namespace rtoc
+
+#endif // RTOC_COMMON_RING_FIFO_HH

@@ -1,0 +1,148 @@
+#include "thread_pool.hh"
+
+#include <cstdlib>
+
+namespace rtoc {
+
+namespace {
+
+/** True on threads currently executing pool work (nesting guard). */
+thread_local bool in_pool_worker = false;
+
+int
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("RTOC_THREADS")) {
+        int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads)
+{
+    for (int i = 1; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::drain(Job &job)
+{
+    while (true) {
+        size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.limit)
+            break;
+        try {
+            (*job.fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(job.errorMu);
+            if (!job.error)
+                job.error = std::current_exception();
+        }
+        job.done.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    in_pool_worker = true;
+    uint64_t seen = 0;
+    while (true) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait(lk, [&] {
+                return stop_ || (job_ != nullptr && generation_ != seen);
+            });
+            if (stop_)
+                return;
+            job = job_;
+            seen = generation_;
+        }
+        drain(*job);
+        // Take the job lock before notifying so the completion of the
+        // final index cannot slip between the caller's predicate check
+        // and its wait (the classic lost-wakeup interleaving).
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+        }
+        doneCv_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    // Inline paths: trivial ranges, single-threaded pools, and nested
+    // calls from inside a worker (the outer fan-out owns the pool).
+    // Routed through drain() so error semantics match the pooled
+    // path: the whole range executes and the first exception is
+    // rethrown afterwards.
+    if (n == 1 || threads_ <= 1 || in_pool_worker) {
+        Job job;
+        job.fn = &fn;
+        job.limit = n;
+        drain(job);
+        if (job.error)
+            std::rethrow_exception(job.error);
+        return;
+    }
+
+    std::lock_guard<std::mutex> submit(submitMu_);
+    // Shared ownership: a worker that wakes late may still hold the
+    // job after this call returns; it only observes the exhausted
+    // index counter, never the (by then dead) fn.
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->limit = n;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        job_ = job;
+        ++generation_;
+    }
+    cv_.notify_all();
+
+    // The caller participates instead of idling. It counts as a pool
+    // worker while draining so a nested parallelFor from one of its
+    // own tasks runs inline instead of re-locking submitMu_.
+    in_pool_worker = true;
+    drain(*job);
+    in_pool_worker = false;
+
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        doneCv_.wait(lk, [&] {
+            return job->done.load(std::memory_order_acquire) >= n;
+        });
+        job_ = nullptr;
+    }
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(defaultThreadCount());
+    return pool;
+}
+
+} // namespace rtoc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool for the sweep engine.
+ *
+ * One pool per process (ThreadPool::global()) sized from the
+ * RTOC_THREADS environment variable or hardware concurrency. The only
+ * primitive is parallelFor(n, fn): workers (and the calling thread)
+ * pull indices from an atomic counter until the range drains. Nested
+ * parallelFor calls from inside a worker run inline, so composed
+ * sweeps cannot deadlock — the outermost fan-out owns the pool.
+ *
+ * Determinism contract: fn(i) must depend only on i (each sweep task
+ * seeds its own RNG from its index). parallelFor imposes no ordering,
+ * so callers that aggregate must do so over an index-ordered result
+ * array, never in completion order.
+ */
+
+#ifndef RTOC_COMMON_THREAD_POOL_HH
+#define RTOC_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rtoc {
+
+/** Fixed-size worker pool with an index-range fan-out primitive. */
+class ThreadPool
+{
+  public:
+    /** @param threads total parallelism; <=1 means run everything
+     *  inline on the caller. */
+    explicit ThreadPool(int threads);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total parallelism (workers + the participating caller). */
+    int threads() const { return threads_; }
+
+    /**
+     * Run fn(0..n-1), distributing indices over the pool. Blocks until
+     * every index has completed. Exceptions from fn propagate to the
+     * caller (first one wins; the rest of the range still drains).
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /**
+     * Process-wide pool. Size: RTOC_THREADS when set, else hardware
+     * concurrency. Constructed on first use.
+     */
+    static ThreadPool &global();
+
+  private:
+    struct Job
+    {
+        const std::function<void(size_t)> *fn = nullptr;
+        std::atomic<size_t> next{0};
+        size_t limit = 0;
+        std::atomic<size_t> done{0};
+        std::exception_ptr error;
+        std::mutex errorMu;
+    };
+
+    void workerLoop();
+    static void drain(Job &job);
+
+    int threads_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;      ///< wakes workers for a new job
+    std::condition_variable doneCv_;  ///< wakes the submitting caller
+    std::shared_ptr<Job> job_;
+    uint64_t generation_ = 0;
+    bool stop_ = false;
+
+    std::mutex submitMu_; ///< serializes top-level parallelFor calls
+};
+
+} // namespace rtoc
+
+#endif // RTOC_COMMON_THREAD_POOL_HH

@@ -11,9 +11,17 @@ attributeRegions(const isa::Program &prog,
     const auto &uops = prog.uops();
     if (finish.size() != uops.size())
         rtoc_panic("attributeRegions: finish array size mismatch");
+    if (prog.kernelOpen()) {
+        rtoc_panic("attributeRegions: kernel region '%s' still open — "
+                   "close it (endKernel) before timing the program",
+                   prog.kernels().back().name().c_str());
+    }
 
-    // Running max completion up to and including index i.
-    std::vector<uint64_t> prefix_max(uops.size() + 1, 0);
+    // Running max completion up to and including index i; the prefix
+    // array is thread-local so repeated replays of cached programs do
+    // not reallocate it.
+    static thread_local std::vector<uint64_t> prefix_max;
+    prefix_max.assign(uops.size() + 1, 0);
     for (size_t i = 0; i < uops.size(); ++i)
         prefix_max[i + 1] = std::max(prefix_max[i], finish[i]);
 

@@ -6,11 +6,19 @@
  * count plus per-kernel-region attribution. Models are deterministic
  * and purely analytical over the stream: running the same Program
  * twice gives identical results, which the property tests rely on.
+ *
+ * Models keep no mutable state across run() calls; the per-run scratch
+ * (finish-time arrays, register ready files, queue rings) lives in
+ * thread-local pools that are reset — capacity retained — at the start
+ * of each run. After the first run on a thread, the per-uop simulation
+ * loop performs no heap allocation, and distinct sweep threads never
+ * share scratch, so models are safe to run concurrently.
  */
 
 #ifndef RTOC_CPU_CORE_MODEL_HH
 #define RTOC_CPU_CORE_MODEL_HH
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -18,6 +26,41 @@
 #include "isa/program.hh"
 
 namespace rtoc::cpu {
+
+/** Growable map from virtual register id to ready cycle. */
+class RegReadyFile
+{
+  public:
+    uint64_t
+    readyTime(uint32_t reg) const
+    {
+        uint32_t idx = reg & 0x7fffffffu;
+        if (reg == isa::kNoReg || idx >= ready_.size())
+            return 0;
+        return ready_[idx];
+    }
+
+    void
+    setReady(uint32_t reg, uint64_t t)
+    {
+        if (reg == isa::kNoReg)
+            return;
+        uint32_t idx = reg & 0x7fffffffu;
+        if (idx >= ready_.size())
+            ready_.resize(static_cast<size_t>(idx) * 2 + 16, 0);
+        ready_[idx] = t;
+    }
+
+    /** Zero all entries, keeping capacity (no allocation). */
+    void
+    reset()
+    {
+        std::fill(ready_.begin(), ready_.end(), 0);
+    }
+
+  private:
+    std::vector<uint64_t> ready_;
+};
 
 /** Outcome of timing one Program on one model. */
 struct TimingResult
@@ -59,6 +102,9 @@ class CoreModel
  * across the region. Monotone and exact for in-order models; for OoO
  * models it attributes overlap to the earlier region, which matches
  * how RTL-level kernel timers (rdcycle around calls) behave.
+ *
+ * Panics when @p prog still has an open kernel region: timing such a
+ * stream would silently drop the open region's cycles.
  */
 std::vector<uint64_t>
 attributeRegions(const isa::Program &prog,

@@ -3,6 +3,11 @@
  * Inline implementation of the in-order scoreboard loop, templated on
  * the coprocessor callback so the Saturn and Gemmini wrappers reuse
  * one frontend model without virtual-dispatch overhead per uop.
+ *
+ * The scoreboard scratch (finish times, scalar/vector ready files) is
+ * thread-local and reset — capacity kept — per run, so replaying a
+ * cached Program allocates nothing in the per-uop loop and concurrent
+ * sweep threads never contend.
  */
 
 #ifndef RTOC_CPU_INORDER_IMPL_HH
@@ -15,32 +20,20 @@
 
 namespace rtoc::cpu {
 
-/** Growable map from virtual register id to ready cycle. */
-class RegReadyFile
+/** Reusable scoreboard state for one simulation thread. */
+struct InOrderScratch
 {
-  public:
-    uint64_t
-    readyTime(uint32_t reg) const
-    {
-        uint32_t idx = reg & 0x7fffffffu;
-        if (reg == isa::kNoReg || idx >= ready_.size())
-            return 0;
-        return ready_[idx];
-    }
+    std::vector<uint64_t> finish;
+    RegReadyFile sregs; ///< scalar registers
+    RegReadyFile vregs; ///< vector registers (only coproc uses these)
 
     void
-    setReady(uint32_t reg, uint64_t t)
+    reset(size_t n_uops)
     {
-        if (reg == isa::kNoReg)
-            return;
-        uint32_t idx = reg & 0x7fffffffu;
-        if (idx >= ready_.size())
-            ready_.resize(static_cast<size_t>(idx) * 2 + 16, 0);
-        ready_[idx] = t;
+        finish.assign(n_uops, 0);
+        sregs.reset();
+        vregs.reset();
     }
-
-  private:
-    std::vector<uint64_t> ready_;
 };
 
 template <typename CoprocFn>
@@ -53,10 +46,12 @@ InOrderCore::runWithCoproc(const isa::Program &prog,
 
     TimingResult result;
     const auto &uops = prog.uops();
-    std::vector<uint64_t> finish(uops.size(), 0);
 
-    RegReadyFile sregs;  // scalar registers
-    RegReadyFile vregs;  // vector registers (only coproc uses these)
+    static thread_local InOrderScratch scratch;
+    scratch.reset(uops.size());
+    std::vector<uint64_t> &finish = scratch.finish;
+    RegReadyFile &sregs = scratch.sregs;
+    RegReadyFile &vregs = scratch.vregs;
 
     uint64_t cycle = 0;
     int slots = 0;

@@ -89,7 +89,13 @@ classOf(isa::UopKind k)
 class SlotMap
 {
   public:
-    explicit SlotMap(int width) : width_(width) {}
+    /** Rearm for a new run of @p width; keeps buffer capacity. */
+    void
+    reset(int width)
+    {
+        width_ = width;
+        std::fill(used_.begin(), used_.end(), 0);
+    }
 
     /** Earliest cycle >= t with a free slot; claims it. */
     uint64_t
@@ -107,8 +113,17 @@ class SlotMap
     }
 
   private:
-    int width_;
+    int width_ = 1;
     std::vector<uint8_t> used_;
+};
+
+/** Reusable OoO simulation state for one thread. */
+struct OooScratch
+{
+    std::vector<uint64_t> finish;
+    RegReadyFile regs;            ///< register ready times
+    std::vector<uint64_t> commit; ///< in-order commit ring
+    SlotMap intSlots, memSlots, fpSlots;
 };
 
 } // namespace
@@ -121,24 +136,17 @@ OooCore::run(const isa::Program &prog) const
 
     const auto &uops = prog.uops();
     TimingResult result;
-    std::vector<uint64_t> finish(uops.size(), 0);
 
-    // Register ready times (indexed by virtual id).
-    std::vector<uint64_t> ready;
-    auto ready_of = [&](uint32_t reg) -> uint64_t {
-        uint32_t idx = reg & 0x7fffffffu;
-        if (reg == isa::kNoReg || idx >= ready.size())
-            return 0;
-        return ready[idx];
-    };
-    auto set_ready = [&](uint32_t reg, uint64_t t) {
-        if (reg == isa::kNoReg)
-            return;
-        uint32_t idx = reg & 0x7fffffffu;
-        if (idx >= ready.size())
-            ready.resize(static_cast<size_t>(idx) * 2 + 16, 0);
-        ready[idx] = t;
-    };
+    static thread_local OooScratch scratch;
+    scratch.finish.assign(uops.size(), 0);
+    scratch.regs.reset();
+    scratch.commit.assign(static_cast<size_t>(cfg_.robSize), 0);
+    scratch.intSlots.reset(cfg_.intIssue);
+    scratch.memSlots.reset(cfg_.memIssue);
+    scratch.fpSlots.reset(cfg_.fpIssue);
+
+    std::vector<uint64_t> &finish = scratch.finish;
+    RegReadyFile &regs = scratch.regs;
 
     auto latency_of = [&](UopKind k) -> uint64_t {
         switch (k) {
@@ -165,12 +173,12 @@ OooCore::run(const isa::Program &prog) const
         }
     };
 
-    SlotMap int_slots(cfg_.intIssue);
-    SlotMap mem_slots(cfg_.memIssue);
-    SlotMap fp_slots(cfg_.fpIssue);
+    SlotMap &int_slots = scratch.intSlots;
+    SlotMap &mem_slots = scratch.memSlots;
+    SlotMap &fp_slots = scratch.fpSlots;
 
     // In-order commit ring for the ROB-occupancy constraint.
-    std::vector<uint64_t> commit(static_cast<size_t>(cfg_.robSize), 0);
+    std::vector<uint64_t> &commit = scratch.commit;
     uint64_t last_commit = 0;
 
     for (size_t i = 0; i < uops.size(); ++i) {
@@ -186,7 +194,8 @@ OooCore::run(const isa::Program &prog) const
             static_cast<uint64_t>(cfg_.frontWidth);
         uint64_t rob_free = commit[i % cfg_.robSize];
         uint64_t operands = std::max(
-            {ready_of(u.src0), ready_of(u.src1), ready_of(u.src2)});
+            {regs.readyTime(u.src0), regs.readyTime(u.src1),
+             regs.readyTime(u.src2)});
         uint64_t t = std::max({fetch, rob_free, operands});
 
         SlotMap &slots = classOf(u.kind) == PipeClass::Int ? int_slots
@@ -196,7 +205,7 @@ OooCore::run(const isa::Program &prog) const
         uint64_t issue = slots.claimFrom(t);
         uint64_t done = issue + latency_of(u.kind);
         finish[i] = done;
-        set_ready(u.dst, done);
+        regs.setReady(u.dst, done);
 
         last_commit = std::max(last_commit, done);
         commit[i % cfg_.robSize] = last_commit;

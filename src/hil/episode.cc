@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "hil/sweep.hh"
 #include "matlib/scalar_backend.hh"
 #include "quad/linearize.hh"
 #include "tinympc/solver.hh"
@@ -185,9 +186,14 @@ runCell(const quad::DroneParams &drone, quad::Difficulty d,
     double soc_sum = 0.0;
     int successes = 0;
 
-    for (int i = 0; i < n_scenarios; ++i) {
-        quad::Scenario sc = quad::makeScenario(d, i);
-        EpisodeResult er = runEpisode(drone, sc, cfg);
+    // Episodes are independent and per-index seeded: fan them across
+    // the pool, then aggregate in index order so the cell is
+    // bit-identical to the historical serial loop.
+    SweepRunner sweep;
+    std::vector<EpisodeResult> episodes =
+        sweep.runEpisodes(drone, d, n_scenarios, cfg);
+
+    for (const EpisodeResult &er : episodes) {
         cell.episodes += 1;
         if (er.success)
             ++successes;

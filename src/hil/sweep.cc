@@ -1,0 +1,18 @@
+#include "sweep.hh"
+
+namespace rtoc::hil {
+
+std::vector<EpisodeResult>
+SweepRunner::runEpisodes(const quad::DroneParams &drone,
+                         quad::Difficulty d, int n,
+                         const HilConfig &cfg) const
+{
+    return map<EpisodeResult>(
+        static_cast<size_t>(n < 0 ? 0 : n), [&](size_t i) {
+            quad::Scenario sc =
+                quad::makeScenario(d, static_cast<int>(i));
+            return runEpisode(drone, sc, cfg);
+        });
+}
+
+} // namespace rtoc::hil

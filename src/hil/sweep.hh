@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Parallel scenario sweep engine.
+ *
+ * Every figure regeneration is a fan-out over independent tasks:
+ * seeded HIL episodes, disturbance trials, frequency/difficulty grid
+ * cells, Pareto design points. SweepRunner distributes those tasks
+ * over the process thread pool with two determinism guarantees:
+ *
+ *  1. per-task seeding — a task's randomness derives only from its
+ *     index (makeScenario(d, i), disturbance axis, ...), never from
+ *     execution order;
+ *  2. index-ordered aggregation — results land in a slot array and
+ *     every reduction walks it in index order, so parallel runs are
+ *     bit-identical to serial runs.
+ *
+ * Set RTOC_THREADS=1 to force the serial path (used by the equality
+ * tests and by the microbench's serial baseline).
+ */
+
+#ifndef RTOC_HIL_SWEEP_HH
+#define RTOC_HIL_SWEEP_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "hil/episode.hh"
+
+namespace rtoc::hil {
+
+/** Deterministic fan-out of independent sweep tasks over a pool. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(ThreadPool &pool = ThreadPool::global())
+        : pool_(pool)
+    {}
+
+    /** Parallelism of the underlying pool. */
+    int threads() const { return pool_.threads(); }
+
+    /**
+     * Evaluate fn(0..n-1) across the pool and return results in index
+     * order. R must be default-constructible and movable.
+     */
+    template <typename R>
+    std::vector<R>
+    map(size_t n, const std::function<R(size_t)> &fn) const
+    {
+        std::vector<R> out(n);
+        pool_.parallelFor(n, [&](size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /**
+     * Run the @p n seeded scenarios of difficulty @p d (scenario i is
+     * makeScenario(d, i), exactly as the serial loops did).
+     */
+    std::vector<EpisodeResult>
+    runEpisodes(const quad::DroneParams &drone, quad::Difficulty d,
+                int n, const HilConfig &cfg) const;
+
+  private:
+    ThreadPool &pool_;
+};
+
+} // namespace rtoc::hil
+
+#endif // RTOC_HIL_SWEEP_HH

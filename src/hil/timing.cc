@@ -1,7 +1,12 @@
 #include "timing.hh"
 
+#include <map>
+#include <mutex>
+#include <tuple>
+
 #include "common/logging.hh"
 #include "cpu/inorder.hh"
+#include "isa/program_cache.hh"
 #include "matlib/rvv_backend.hh"
 #include "matlib/scalar_backend.hh"
 #include "vector/saturn.hh"
@@ -13,27 +18,42 @@ calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
                 tinympc::MappingStyle style,
                 const quad::DroneParams &drone, double dt, int horizon)
 {
+    // Emission is data-independent: given the backend configuration,
+    // mapping style, problem shape and a forced iteration count the
+    // solver emits bit-identical streams regardless of drone masses
+    // or states. The stream is therefore cached process-wide and the
+    // (cheap) timing replay is the only per-calibration work.
+    // The key deliberately omits the drone (values never change the
+    // stream — pinned by ProgramCache.EmissionIsDroneIndependent) but
+    // includes dt and horizon for symmetry with the workspace shape.
     auto run_iters = [&](int iters) -> double {
-        tinympc::Workspace ws =
-            quad::buildQuadWorkspace(drone, dt, horizon);
-        ws.settings.maxIters = iters;
-        ws.settings.checkTermination = 5;
-        ws.settings.priTol = 0.0f; // force exactly maxIters iterations
-        ws.settings.duaTol = 0.0f;
-        ws.coldStart();
-        float x0[12] = {0.3f, -0.2f, 0.8f, 0, 0, 0, 0, 0, 0, 0, 0, 0};
-        ws.setInitialState(x0);
+        const std::string key = csprintf(
+            "calib:%s:style%d:dt%g:h%d:it%d", backend.cacheKey().c_str(),
+            static_cast<int>(style), dt, horizon, iters);
+        auto prog = isa::ProgramCache::global().getOrEmit(
+            key, [&](isa::Program &p) {
+                tinympc::Workspace ws =
+                    quad::buildQuadWorkspace(drone, dt, horizon);
+                ws.settings.maxIters = iters;
+                ws.settings.checkTermination = 5;
+                ws.settings.priTol = 0.0f; // force exactly maxIters
+                ws.settings.duaTol = 0.0f;
+                ws.coldStart();
+                float x0[12] = {0.3f, -0.2f, 0.8f, 0, 0, 0,
+                                0,    0,     0,   0, 0, 0};
+                ws.setInitialState(x0);
 
-        isa::Program prog;
-        backend.setProgram(&prog);
-        tinympc::Solver solver(ws, backend, style);
-        solver.setup();
-        tinympc::SolveResult res = solver.solve();
-        backend.setProgram(nullptr);
-        if (res.iterations != iters)
-            rtoc_panic("calibration expected %d iters, got %d", iters,
-                       res.iterations);
-        return static_cast<double>(model.run(prog).cycles);
+                backend.setProgram(&p);
+                tinympc::Solver solver(ws, backend, style);
+                solver.setup();
+                tinympc::SolveResult res = solver.solve();
+                backend.setProgram(nullptr);
+                if (res.iterations != iters) {
+                    rtoc_panic("calibration expected %d iters, got %d",
+                               iters, res.iterations);
+                }
+            });
+        return static_cast<double>(model.run(*prog).cycles);
     };
 
     double c_lo = run_iters(5);
@@ -49,24 +69,70 @@ calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
     return t;
 }
 
+namespace {
+
+/**
+ * The convenience calibrations use fixed core/backend configurations,
+ * so the resulting cycle model depends only on (dt, horizon) — the
+ * stream shape is drone-independent. The HIL benches call these per
+ * drone per frequency; memoizing here removes all repeat work.
+ */
+struct CalibMemo
+{
+    std::mutex mu;
+    std::map<std::tuple<int, double, int>, ControllerTiming> memo;
+};
+
+CalibMemo &
+calibMemo()
+{
+    static CalibMemo m;
+    return m;
+}
+
+template <typename MakeFn>
+ControllerTiming
+memoizedCalibration(int which, double dt, int horizon, MakeFn &&make)
+{
+    CalibMemo &m = calibMemo();
+    std::lock_guard<std::mutex> lk(m.mu);
+    auto key = std::make_tuple(which, dt, horizon);
+    auto it = m.memo.find(key);
+    if (it != m.memo.end())
+        return it->second;
+    ControllerTiming t = make();
+    m.memo.emplace(key, t);
+    return t;
+}
+
+} // namespace
+
 ControllerTiming
 scalarControllerTiming(const quad::DroneParams &drone, double dt,
                        int horizon)
 {
-    cpu::InOrderCore core(cpu::InOrderConfig::shuttle());
-    matlib::ScalarBackend backend(matlib::ScalarFlavor::Optimized);
-    return calibrateTiming(core, backend, tinympc::MappingStyle::Library,
-                           drone, dt, horizon);
+    return memoizedCalibration(0, dt, horizon, [&] {
+        cpu::InOrderCore core(cpu::InOrderConfig::shuttle());
+        matlib::ScalarBackend backend(matlib::ScalarFlavor::Optimized);
+        return calibrateTiming(core, backend,
+                               tinympc::MappingStyle::Library, drone,
+                               dt, horizon);
+    });
 }
 
 ControllerTiming
 vectorControllerTiming(const quad::DroneParams &drone, double dt,
                        int horizon)
 {
-    vector::SaturnModel saturn(vector::SaturnConfig::make(512, 256, true));
-    matlib::RvvBackend backend(512, matlib::RvvMapping::handOptimized());
-    return calibrateTiming(saturn, backend, tinympc::MappingStyle::Fused,
-                           drone, dt, horizon);
+    return memoizedCalibration(1, dt, horizon, [&] {
+        vector::SaturnModel saturn(
+            vector::SaturnConfig::make(512, 256, true));
+        matlib::RvvBackend backend(512,
+                                   matlib::RvvMapping::handOptimized());
+        return calibrateTiming(saturn, backend,
+                               tinympc::MappingStyle::Fused, drone, dt,
+                               horizon);
+    });
 }
 
 } // namespace rtoc::hil

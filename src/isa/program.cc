@@ -1,10 +1,71 @@
 #include "program.hh"
 
-#include <map>
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
 
 #include "common/logging.hh"
 
 namespace rtoc::isa {
+
+namespace {
+
+/**
+ * Process-wide kernel-name interner. Names are interned a handful of
+ * times at emitter start-up (static locals in the solver), so one
+ * mutex is plenty; lookups by id go through a std::deque so returned
+ * string references stay stable as the table grows.
+ */
+struct Interner
+{
+    std::mutex mu;
+    std::unordered_map<std::string, KernelId> ids;
+    std::deque<std::string> names;
+};
+
+Interner &
+interner()
+{
+    static Interner in;
+    return in;
+}
+
+} // namespace
+
+KernelId
+internKernel(std::string_view name)
+{
+    if (name.empty())
+        rtoc_panic("internKernel: empty kernel name");
+    Interner &in = interner();
+    std::lock_guard<std::mutex> lk(in.mu);
+    auto it = in.ids.find(std::string(name));
+    if (it != in.ids.end())
+        return it->second;
+    KernelId id = static_cast<KernelId>(in.names.size());
+    in.names.emplace_back(name);
+    in.ids.emplace(in.names.back(), id);
+    return id;
+}
+
+const std::string &
+kernelName(KernelId id)
+{
+    Interner &in = interner();
+    std::lock_guard<std::mutex> lk(in.mu);
+    if (id >= in.names.size())
+        rtoc_panic("kernelName: unknown kernel id %u", id);
+    return in.names[id];
+}
+
+size_t
+internedKernelCount()
+{
+    Interner &in = interner();
+    std::lock_guard<std::mutex> lk(in.mu);
+    return in.names.size();
+}
 
 size_t
 Program::push(const Uop &u)
@@ -14,12 +75,23 @@ Program::push(const Uop &u)
 }
 
 void
-Program::beginKernel(const std::string &name)
+Program::reserve(size_t uop_capacity, size_t region_capacity)
 {
-    if (kernel_open_)
-        rtoc_panic("beginKernel('%s'): region already open", name.c_str());
+    uops_.reserve(uop_capacity);
+    kernels_.reserve(region_capacity);
+}
+
+void
+Program::beginKernel(KernelId id)
+{
+    if (kernel_open_) {
+        rtoc_panic("beginKernel('%s'): region '%s' still open "
+                   "(kernel regions must not nest)",
+                   kernelName(id).c_str(),
+                   kernelName(kernels_.back().id).c_str());
+    }
     kernel_open_ = true;
-    kernels_.push_back({name, uops_.size(), uops_.size()});
+    kernels_.push_back({id, uops_.size(), uops_.size()});
 }
 
 void
@@ -89,9 +161,12 @@ Program::countRocc() const
 void
 Program::clear()
 {
+    if (kernel_open_) {
+        rtoc_panic("Program::clear with kernel region '%s' still open",
+                   kernelName(kernels_.back().id).c_str());
+    }
     uops_.clear();
     kernels_.clear();
-    kernel_open_ = false;
 }
 
 std::vector<KernelCycles>
@@ -102,17 +177,28 @@ accumulateKernelCycles(const std::vector<KernelRegion> &regions,
         rtoc_panic("kernel accounting mismatch: %zu regions, %zu samples",
                    regions.size(), region_cycles.size());
     }
-    std::map<std::string, KernelCycles> by_name;
+    // Accumulate by dense interned id, then emit in name order so the
+    // output matches the historical (map-ordered) behaviour.
+    std::vector<KernelCycles> by_id;
     for (size_t i = 0; i < regions.size(); ++i) {
-        auto &kc = by_name[regions[i].name];
-        kc.name = regions[i].name;
+        KernelId id = regions[i].id;
+        if (id >= by_id.size())
+            by_id.resize(id + 1);
+        auto &kc = by_id[id];
+        if (kc.invocations == 0)
+            kc.name = regions[i].name();
         kc.cycles += region_cycles[i];
         kc.invocations += 1;
     }
     std::vector<KernelCycles> out;
-    out.reserve(by_name.size());
-    for (auto &kv : by_name)
-        out.push_back(kv.second);
+    out.reserve(by_id.size());
+    for (auto &kc : by_id)
+        if (kc.invocations > 0)
+            out.push_back(std::move(kc));
+    std::sort(out.begin(), out.end(),
+              [](const KernelCycles &a, const KernelCycles &b) {
+                  return a.name < b.name;
+              });
     return out;
 }
 

@@ -6,6 +6,12 @@
  * kernels of Algorithms 1-3 (forward_pass_1, update_slack_1, ...),
  * which is how the paper's kernel-level figures (11, 12, 13) are
  * regenerated.
+ *
+ * Kernel names are interned into small integer ids (KernelId): the
+ * emission hot path stores and compares ids only, and the string is
+ * looked up when a table is printed. Streams are stored contiguously
+ * and capacity-reserved, so replaying a cached Program touches no
+ * allocator.
  */
 
 #ifndef RTOC_ISA_PROGRAM_HH
@@ -13,18 +19,37 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "isa/uop.hh"
 
 namespace rtoc::isa {
 
+/** Interned id of a kernel-region name. */
+using KernelId = uint32_t;
+
+/**
+ * Intern @p name into a process-wide id (thread-safe). Repeated calls
+ * with the same name return the same id; ids are dense from 0.
+ */
+KernelId internKernel(std::string_view name);
+
+/** The string a KernelId was interned from (stable reference). */
+const std::string &kernelName(KernelId id);
+
+/** Number of names interned so far. */
+size_t internedKernelCount();
+
 /** Half-open uop index range attributed to a named kernel. */
 struct KernelRegion
 {
-    std::string name;
+    KernelId id = 0;
     size_t begin = 0;
     size_t end = 0;
+
+    /** Interned name lookup (cold path: tables, tests). */
+    const std::string &name() const { return kernelName(id); }
 };
 
 /** Ordered micro-op stream plus region markers and counters. */
@@ -46,17 +71,39 @@ class Program
     /** Append one micro-op, returning its index. */
     size_t push(const Uop &u);
 
-    /** Open a named kernel region; regions must not nest. */
-    void beginKernel(const std::string &name);
+    /**
+     * Pre-size the uop and region storage so emission appends without
+     * reallocating (the ProgramCache sizes fresh emissions from the
+     * previous stream of the same shape).
+     */
+    void reserve(size_t uop_capacity, size_t region_capacity);
+
+    /** Open a kernel region by interned id; regions must not nest. */
+    void beginKernel(KernelId id);
+
+    /** Convenience overload interning @p name (cold path). */
+    void beginKernel(std::string_view name)
+    {
+        beginKernel(internKernel(name));
+    }
 
     /** Close the currently open region. */
     void endKernel();
+
+    /** True while a kernel region is open. */
+    bool kernelOpen() const { return kernel_open_; }
 
     /** All micro-ops in program order. */
     const std::vector<Uop> &uops() const { return uops_; }
 
     /** Closed kernel regions in program order. */
     const std::vector<KernelRegion> &kernels() const { return kernels_; }
+
+    /** Highest scalar virtual register id allocated (exclusive). */
+    uint32_t scalarRegCount() const { return next_reg_; }
+
+    /** Highest vector virtual register id allocated (exclusive). */
+    uint32_t vectorRegCount() const { return next_vreg_; }
 
     /** Total floating-point operations (vector ops weighted by VL). */
     double flops() const;

@@ -1,0 +1,90 @@
+#include "program_cache.hh"
+
+#include "common/logging.hh"
+
+namespace rtoc::isa {
+
+std::shared_ptr<const Program>
+ProgramCache::getOrEmit(const std::string &key, const Emitter &emit)
+{
+    // Two-level locking: the map mutex only guards entry lookup and
+    // insertion, while each entry carries its own mutex held across
+    // emission. A key is still emitted exactly once, but concurrent
+    // first-misses of *distinct* keys emit in parallel.
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = map_.find(key);
+        if (it == map_.end()) {
+            ++misses_;
+            it = map_.emplace(key, std::make_shared<Entry>()).first;
+        } else {
+            ++hits_;
+        }
+        entry = it->second;
+    }
+
+    std::lock_guard<std::mutex> elk(entry->mu);
+    if (!entry->prog) {
+        auto prog = std::make_shared<Program>();
+        // Typical instrumented solves run to ~1e5 uops; reserving
+        // here keeps the (one-time) emission from reallocating its
+        // way up.
+        prog->reserve(1 << 16, 1 << 10);
+        emit(*prog);
+        if (prog->kernelOpen())
+            rtoc_panic("ProgramCache: emitter for '%s' left a kernel "
+                       "region open", key.c_str());
+        entry->prog = std::move(prog);
+    }
+    return entry->prog;
+}
+
+std::shared_ptr<const Program>
+ProgramCache::lookup(const std::string &key) const
+{
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = map_.find(key);
+        if (it == map_.end())
+            return nullptr;
+        entry = it->second;
+    }
+    std::lock_guard<std::mutex> elk(entry->mu);
+    return entry->prog;
+}
+
+void
+ProgramCache::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    map_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+ProgramCacheStats
+ProgramCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ProgramCacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.entries = map_.size();
+    for (const auto &kv : map_) {
+        std::lock_guard<std::mutex> elk(kv.second->mu);
+        if (kv.second->prog)
+            s.cachedUops += kv.second->prog->size();
+    }
+    return s;
+}
+
+ProgramCache &
+ProgramCache::global()
+{
+    static ProgramCache cache;
+    return cache;
+}
+
+} // namespace rtoc::isa

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Memoization of emitted micro-op streams.
+ *
+ * TinyMPC emission is data-independent: given a backend configuration,
+ * a mapping style, problem dimensions, a horizon and a forced
+ * iteration count, the solver emits bit-identical streams regardless
+ * of the numerical state it solves from. Re-emitting the ~1e5-uop
+ * stream on every calibration or design-point evaluation is therefore
+ * pure waste — the ProgramCache emits once per distinct key and hands
+ * out shared, immutable replays.
+ *
+ * Thread safety: getOrEmit may be called concurrently from sweep
+ * workers. Each key owns a per-entry lock held across its (one-time)
+ * emission, so racing workers emit a key exactly once while distinct
+ * keys emit in parallel; hits return immediately with a shared_ptr
+ * and never touch the emitter.
+ */
+
+#ifndef RTOC_ISA_PROGRAM_CACHE_HH
+#define RTOC_ISA_PROGRAM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "isa/program.hh"
+
+namespace rtoc::isa {
+
+/** Counters for cache-effectiveness reporting. */
+struct ProgramCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t cachedUops = 0; ///< total uops held by cached programs
+    size_t entries = 0;
+};
+
+/** Keyed store of immutable emitted Programs. */
+class ProgramCache
+{
+  public:
+    /** Emitter callback: fill @p prog with the stream for a key. */
+    using Emitter = std::function<void(Program &prog)>;
+
+    /**
+     * Return the Program cached under @p key, emitting it via
+     * @p emit on the first request. The returned Program is shared
+     * and must not be mutated.
+     */
+    std::shared_ptr<const Program> getOrEmit(const std::string &key,
+                                             const Emitter &emit);
+
+    /** Look up @p key without emitting (nullptr on miss). */
+    std::shared_ptr<const Program> lookup(const std::string &key) const;
+
+    /** Drop all entries and reset statistics. */
+    void clear();
+
+    /** Snapshot of hit/miss/footprint counters. */
+    ProgramCacheStats stats() const;
+
+    /** Process-wide cache used by the benches and HIL calibration. */
+    static ProgramCache &global();
+
+  private:
+    /** One cached key: its own emission lock plus the frozen stream. */
+    struct Entry
+    {
+        std::mutex mu;
+        std::shared_ptr<const Program> prog;
+    };
+
+    mutable std::mutex mu_; ///< guards map_ and the counters only
+    std::unordered_map<std::string, std::shared_ptr<Entry>> map_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace rtoc::isa
+
+#endif // RTOC_ISA_PROGRAM_CACHE_HH

@@ -33,6 +33,16 @@ class Backend
     /** Short name for tables. */
     virtual std::string name() const = 0;
 
+    /**
+     * Key identifying the emitted stream: every knob that changes the
+     * micro-op sequence (flavor, vlen, mapping options, ...) must be
+     * encoded here. Backends whose name() already captures the whole
+     * configuration can rely on this default. Used by the
+     * ProgramCache: two backends with equal cacheKey() emit
+     * bit-identical streams for the same solve shape.
+     */
+    virtual std::string cacheKey() const { return name(); }
+
     /** Attach/detach the emission target. */
     void setProgram(isa::Program *prog) { prog_ = prog; }
     isa::Program *program() const { return prog_; }

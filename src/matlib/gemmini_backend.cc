@@ -60,6 +60,20 @@ GemminiBackend::name() const
     return "gemmini-baseline";
 }
 
+std::string
+GemminiBackend::cacheKey() const
+{
+    // name() collapses some option combinations; spell them all out.
+    return std::string("gemmini") +
+           (mapping_.staticSchedule ? ":static" : "") +
+           (mapping_.unroll ? ":unroll" : "") +
+           (mapping_.fineGrained ? ":fine" : ":cisc") +
+           (mapping_.spadResident ? ":spad" : "") +
+           (mapping_.useElementwise ? ":ewise" : "") +
+           (mapping_.usePooling ? ":pool" : "") + ":mesh" +
+           std::to_string(mapping_.meshDim);
+}
+
 void
 GemminiBackend::emitCmdConstruction()
 {

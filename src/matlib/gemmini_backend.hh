@@ -62,6 +62,8 @@ class GemminiBackend : public Backend
 
     std::string name() const override;
 
+    std::string cacheKey() const override;
+
     /**
      * Declare workspace buffers scratchpad-resident and emit the
      * one-time mvin of matrices + utility identities (solver setup).

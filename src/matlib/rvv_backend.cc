@@ -50,6 +50,19 @@ RvvBackend::name() const
     return n;
 }
 
+std::string
+RvvBackend::cacheKey() const
+{
+    // Every knob that changes the emitted stream: VLEN (strip sizes),
+    // LMUL, unrolling, fusion, and the transposed cache-matrix layout
+    // (name() omits vlen and the layout flag).
+    return "rvv:v" + std::to_string(vlen_) + ":m" +
+           std::to_string(mapping_.lmul) +
+           (mapping_.unroll ? ":unroll" : "") +
+           (mapping_.fuse ? ":fuse" : "") +
+           (mapping_.transposedLayout ? ":xpose" : "");
+}
+
 void
 RvvBackend::emitLibCallOverhead()
 {

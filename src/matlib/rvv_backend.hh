@@ -54,6 +54,8 @@ class RvvBackend : public Backend
 
     std::string name() const override;
 
+    std::string cacheKey() const override;
+
     void gemv(Mat y, const Mat &a, Mat x, float alpha,
               float beta) override;
     void gemvT(Mat y, const Mat &a, Mat x, float alpha,

@@ -1,9 +1,9 @@
 #include "gemmini.hh"
 
 #include <algorithm>
-#include <deque>
 
 #include "common/logging.hh"
+#include "common/ring_fifo.hh"
 
 namespace rtoc::systolic {
 
@@ -46,12 +46,25 @@ namespace {
 struct AccelState
 {
     uint64_t lastCompletion = 0;   ///< in-order execution tail
-    std::deque<uint64_t> inFlight; ///< per-command completion times
+    RingFifo inFlight;             ///< per-command completion times
     bool mvoutSinceFence = false;  ///< store pending -> fence penalty
     uint64_t cmds = 0;
     uint64_t fences = 0;
     uint64_t fenceStall = 0;
     uint64_t stallQueueFull = 0;
+
+    /** Rearm for a new run; the ring keeps its capacity. */
+    void
+    reset()
+    {
+        lastCompletion = 0;
+        inFlight.clear();
+        mvoutSinceFence = false;
+        cmds = 0;
+        fences = 0;
+        fenceStall = 0;
+        stallQueueFull = 0;
+    }
 };
 
 } // namespace
@@ -62,7 +75,8 @@ GemminiModel::run(const isa::Program &prog) const
     using isa::Uop;
     using isa::UopKind;
 
-    AccelState st;
+    static thread_local AccelState st;
+    st.reset();
     cpu::InOrderCore frontend(cfg_.frontend);
 
     auto exec_latency = [&](const Uop &u) -> uint64_t {
@@ -125,12 +139,12 @@ GemminiModel::run(const isa::Program &prog) const
 
         // Command-queue back-pressure.
         while (!st.inFlight.empty() && st.inFlight.front() <= present)
-            st.inFlight.pop_front();
+            st.inFlight.popFront();
         if (static_cast<int>(st.inFlight.size()) >= cfg_.robDepth) {
             uint64_t drain = st.inFlight.front();
             st.stallQueueFull += drain - present;
             release = drain;
-            st.inFlight.pop_front();
+            st.inFlight.popFront();
         }
 
         uint64_t start = std::max(std::max(present, release) +
@@ -138,7 +152,7 @@ GemminiModel::run(const isa::Program &prog) const
                                   st.lastCompletion);
         uint64_t completion = start + exec_latency(u);
         st.lastCompletion = completion;
-        st.inFlight.push_back(completion);
+        st.inFlight.pushBack(completion);
         ++st.cmds;
         if (u.kind == UopKind::RoccMvout)
             st.mvoutSinceFence = true;

@@ -7,6 +7,49 @@ namespace rtoc::tinympc {
 
 using matlib::Mat;
 
+namespace {
+
+/**
+ * Kernel-region ids interned once per process; the per-solve hot path
+ * opens regions by id and never constructs a name string.
+ */
+struct KernelIds
+{
+    isa::KernelId forwardPass1 = isa::internKernel("forward_pass_1");
+    isa::KernelId forwardPass2 = isa::internKernel("forward_pass_2");
+    isa::KernelId updateSlack1 = isa::internKernel("update_slack_1");
+    isa::KernelId updateSlack2 = isa::internKernel("update_slack_2");
+    isa::KernelId updateDual1 = isa::internKernel("update_dual_1");
+    isa::KernelId updateLinearCost1 =
+        isa::internKernel("update_linear_cost_1");
+    isa::KernelId updateLinearCost2 =
+        isa::internKernel("update_linear_cost_2");
+    isa::KernelId updateLinearCost3 =
+        isa::internKernel("update_linear_cost_3");
+    isa::KernelId updateLinearCost4 =
+        isa::internKernel("update_linear_cost_4");
+    isa::KernelId backwardPass1 = isa::internKernel("backward_pass_1");
+    isa::KernelId backwardPass2 = isa::internKernel("backward_pass_2");
+    isa::KernelId primalResidualState =
+        isa::internKernel("primal_residual_state");
+    isa::KernelId dualResidualState =
+        isa::internKernel("dual_residual_state");
+    isa::KernelId primalResidualInput =
+        isa::internKernel("primal_residual_input");
+    isa::KernelId dualResidualInput =
+        isa::internKernel("dual_residual_input");
+    isa::KernelId slackCopy = isa::internKernel("slack_copy");
+};
+
+const KernelIds &
+kid()
+{
+    static const KernelIds ids;
+    return ids;
+}
+
+} // namespace
+
 Solver::Solver(Workspace &ws, matlib::Backend &backend, MappingStyle style)
     : ws_(ws), backend_(backend), style_(style)
 {}
@@ -52,13 +95,13 @@ Solver::forwardPass()
         if (style_ == MappingStyle::Fused)
             backend_.beginFuse();
         {
-            KernelScope k(backend_, "forward_pass_1");
+            KernelScope k(backend_, kid().forwardPass1);
             // u[i] = -Kinf x[i] - d[i]
             backend_.gemv(ui, ws_.kinf.view(), xi, -1.0f, 0.0f);
             backend_.saxpby(ui, 1.0f, ui, -1.0f, di);
         }
         {
-            KernelScope k(backend_, "forward_pass_2");
+            KernelScope k(backend_, kid().forwardPass2);
             // x[i+1] = Adyn x[i] + Bdyn u[i]
             backend_.gemv(xn, ws_.adyn.view(), xi, 1.0f, 0.0f);
             backend_.gemv(xn, ws_.bdyn.view(), ui, 1.0f, 1.0f);
@@ -73,13 +116,13 @@ Solver::updateSlack()
 {
     if (style_ == MappingStyle::Library) {
         {
-            KernelScope k(backend_, "update_slack_1");
+            KernelScope k(backend_, kid().updateSlack1);
             backend_.add(ws_.znew.view(), ws_.u.view(), ws_.y.view());
             backend_.clampVec(ws_.znew.view(), ws_.znew.view(),
                               ws_.uMin.view(), ws_.uMax.view());
         }
         {
-            KernelScope k(backend_, "update_slack_2");
+            KernelScope k(backend_, kid().updateSlack2);
             backend_.add(ws_.vnew.view(), ws_.x.view(), ws_.g.view());
             backend_.clampVec(ws_.vnew.view(), ws_.vnew.view(),
                               ws_.xMin.view(), ws_.xMax.view());
@@ -89,7 +132,7 @@ Solver::updateSlack()
     // Fused: per-step rows, temporaries register-resident.
     for (int i = 0; i < ws_.N - 1; ++i) {
         backend_.beginFuse();
-        KernelScope k(backend_, "update_slack_1");
+        KernelScope k(backend_, kid().updateSlack1);
         Mat zi = ws_.znew.row(i);
         backend_.add(zi, ws_.u.row(i), ws_.y.row(i));
         backend_.clampVec(zi, zi, ws_.uMin.row(i), ws_.uMax.row(i));
@@ -97,7 +140,7 @@ Solver::updateSlack()
     }
     for (int i = 0; i < ws_.N; ++i) {
         backend_.beginFuse();
-        KernelScope k(backend_, "update_slack_2");
+        KernelScope k(backend_, kid().updateSlack2);
         Mat vi = ws_.vnew.row(i);
         backend_.add(vi, ws_.x.row(i), ws_.g.row(i));
         backend_.clampVec(vi, vi, ws_.xMin.row(i), ws_.xMax.row(i));
@@ -109,20 +152,20 @@ void
 Solver::updateDual()
 {
     if (style_ == MappingStyle::Library) {
-        KernelScope k(backend_, "update_dual_1");
+        KernelScope k(backend_, kid().updateDual1);
         backend_.accumDiff(ws_.y.view(), ws_.u.view(), ws_.znew.view());
         backend_.accumDiff(ws_.g.view(), ws_.x.view(), ws_.vnew.view());
         return;
     }
     for (int i = 0; i < ws_.N - 1; ++i) {
         backend_.beginFuse();
-        KernelScope k(backend_, "update_dual_1");
+        KernelScope k(backend_, kid().updateDual1);
         backend_.accumDiff(ws_.y.row(i), ws_.u.row(i), ws_.znew.row(i));
         backend_.endFuse();
     }
     for (int i = 0; i < ws_.N; ++i) {
         backend_.beginFuse();
-        KernelScope k(backend_, "update_dual_1");
+        KernelScope k(backend_, kid().updateDual1);
         backend_.accumDiff(ws_.g.row(i), ws_.x.row(i), ws_.vnew.row(i));
         backend_.endFuse();
     }
@@ -134,19 +177,19 @@ Solver::updateLinearCost()
     float rho = ws_.settings.rho;
     if (style_ == MappingStyle::Library) {
         {
-            KernelScope k(backend_, "update_linear_cost_1");
+            KernelScope k(backend_, kid().updateLinearCost1);
             // r = -rho (znew - y)
             backend_.saxpby(ws_.r.view(), -rho, ws_.znew.view(), rho,
                             ws_.y.view());
         }
         {
-            KernelScope k(backend_, "update_linear_cost_2");
+            KernelScope k(backend_, kid().updateLinearCost2);
             // q = -(Xref . Q)
             backend_.rowScaleNeg(ws_.q.view(), ws_.xRef.view(),
                                  ws_.qDiag.view());
         }
         {
-            KernelScope k(backend_, "update_linear_cost_3");
+            KernelScope k(backend_, kid().updateLinearCost3);
             // q -= rho (vnew - g)
             backend_.axpyDiff(ws_.q.view(), -rho, ws_.vnew.view(),
                               ws_.g.view());
@@ -154,7 +197,7 @@ Solver::updateLinearCost()
     } else {
         for (int i = 0; i < ws_.N - 1; ++i) {
             backend_.beginFuse();
-            KernelScope k(backend_, "update_linear_cost_1");
+            KernelScope k(backend_, kid().updateLinearCost1);
             backend_.saxpby(ws_.r.row(i), -rho, ws_.znew.row(i), rho,
                             ws_.y.row(i));
             backend_.endFuse();
@@ -162,12 +205,12 @@ Solver::updateLinearCost()
         for (int i = 0; i < ws_.N; ++i) {
             backend_.beginFuse();
             {
-                KernelScope k(backend_, "update_linear_cost_2");
+                KernelScope k(backend_, kid().updateLinearCost2);
                 backend_.rowScaleNeg(ws_.q.row(i), ws_.xRef.row(i),
                                      ws_.qDiag.view());
             }
             {
-                KernelScope k(backend_, "update_linear_cost_3");
+                KernelScope k(backend_, kid().updateLinearCost3);
                 backend_.axpyDiff(ws_.q.row(i), -rho, ws_.vnew.row(i),
                                   ws_.g.row(i));
             }
@@ -178,7 +221,7 @@ Solver::updateLinearCost()
         // p[N-1] = -(Xref[N-1]^T Pinf) - rho (vnew[N-1] - g[N-1])
         if (style_ == MappingStyle::Fused)
             backend_.beginFuse();
-        KernelScope k(backend_, "update_linear_cost_4");
+        KernelScope k(backend_, kid().updateLinearCost4);
         Mat p_last = ws_.p.row(ws_.N - 1);
         backend_.gemvT(p_last, ws_.pinf.view(), ws_.xRef.row(ws_.N - 1),
                        -1.0f, 0.0f);
@@ -202,14 +245,14 @@ Solver::backwardPass()
         if (style_ == MappingStyle::Fused)
             backend_.beginFuse();
         {
-            KernelScope k(backend_, "backward_pass_1");
+            KernelScope k(backend_, kid().backwardPass1);
             // d[i] = Quu_inv (Bdyn^T p[i+1] + r[i])
             backend_.gemv(tmp, ws_.bdynT.view(), pn, 1.0f, 0.0f);
             backend_.saxpby(tmp, 1.0f, tmp, 1.0f, ri);
             backend_.gemv(di, ws_.quuInv.view(), tmp, 1.0f, 0.0f);
         }
         {
-            KernelScope k(backend_, "backward_pass_2");
+            KernelScope k(backend_, kid().backwardPass2);
             // p[i] = q[i] + AmBKt p[i+1] - Kinf^T r[i]
             backend_.gemv(pi, ws_.amBKt.view(), pn, 1.0f, 0.0f);
             backend_.saxpby(pi, 1.0f, pi, 1.0f, ws_.q.row(i));
@@ -225,22 +268,22 @@ Solver::checkResiduals(SolveResult &res)
 {
     float rho = ws_.settings.rho;
     {
-        KernelScope k(backend_, "primal_residual_state");
+        KernelScope k(backend_, kid().primalResidualState);
         res.primalResidualState =
             backend_.absMaxDiff(ws_.x.view(), ws_.vnew.view());
     }
     {
-        KernelScope k(backend_, "dual_residual_state");
+        KernelScope k(backend_, kid().dualResidualState);
         res.dualResidualState =
             rho * backend_.absMaxDiff(ws_.v.view(), ws_.vnew.view());
     }
     {
-        KernelScope k(backend_, "primal_residual_input");
+        KernelScope k(backend_, kid().primalResidualInput);
         res.primalResidualInput =
             backend_.absMaxDiff(ws_.u.view(), ws_.znew.view());
     }
     {
-        KernelScope k(backend_, "dual_residual_input");
+        KernelScope k(backend_, kid().dualResidualInput);
         res.dualResidualInput =
             rho * backend_.absMaxDiff(ws_.z.view(), ws_.znew.view());
     }
@@ -271,7 +314,7 @@ Solver::solve()
         }
         {
             // Slack bookkeeping for the next dual residual.
-            KernelScope k(backend_, "slack_copy");
+            KernelScope k(backend_, kid().slackCopy);
             backend_.copy(ws_.z.view(), ws_.znew.view());
             backend_.copy(ws_.v.view(), ws_.vnew.view());
         }

@@ -91,11 +91,19 @@ class Solver
 class KernelScope
 {
   public:
-    KernelScope(matlib::Backend &backend, const std::string &name)
+    /** Hot path: interned id, no string construction per region. */
+    KernelScope(matlib::Backend &backend, isa::KernelId id)
         : prog_(backend.program())
     {
         if (prog_)
-            prog_->beginKernel(name);
+            prog_->beginKernel(id);
+    }
+
+    KernelScope(matlib::Backend &backend, std::string_view name)
+        : prog_(backend.program())
+    {
+        if (prog_)
+            prog_->beginKernel(isa::internKernel(name));
     }
 
     ~KernelScope()

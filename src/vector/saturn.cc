@@ -1,9 +1,9 @@
 #include "saturn.hh"
 
 #include <algorithm>
-#include <deque>
 
 #include "common/logging.hh"
+#include "common/ring_fifo.hh"
 
 namespace rtoc::vector {
 
@@ -28,10 +28,21 @@ struct VectorUnitState
     uint64_t vxuFree = 0; ///< arithmetic pipe next-free cycle
     uint64_t vluFree = 0; ///< load pipe
     uint64_t vsuFree = 0; ///< store pipe
-    std::deque<uint64_t> inFlight; ///< completion times, FIFO
+    RingFifo inFlight;             ///< completion times, FIFO
     cpu::RegReadyFile chainReady;  ///< first-element availability
     uint64_t vinstrs = 0;
     uint64_t stallQueueFull = 0;
+
+    /** Rearm for a new run; buffers keep their capacity. */
+    void
+    reset()
+    {
+        vxuFree = vluFree = vsuFree = 0;
+        inFlight.clear();
+        chainReady.reset();
+        vinstrs = 0;
+        stallQueueFull = 0;
+    }
 };
 
 } // namespace
@@ -42,7 +53,8 @@ SaturnModel::run(const isa::Program &prog) const
     using isa::Uop;
     using isa::UopKind;
 
-    VectorUnitState st;
+    static thread_local VectorUnitState st;
+    st.reset();
     cpu::InOrderCore frontend(cfg_.frontend);
 
     auto beats_of = [&](const Uop &u) -> uint64_t {
@@ -74,12 +86,12 @@ SaturnModel::run(const isa::Program &prog) const
         // Queue back-pressure: frontend blocks when the vector unit
         // already holds vqDepth undrained instructions.
         while (!st.inFlight.empty() && st.inFlight.front() <= present)
-            st.inFlight.pop_front();
+            st.inFlight.popFront();
         if (static_cast<int>(st.inFlight.size()) >= cfg_.vqDepth) {
             uint64_t drain = st.inFlight.front();
             st.stallQueueFull += drain - present;
             release = drain;
-            st.inFlight.pop_front();
+            st.inFlight.popFront();
         }
 
         uint64_t start = std::max(present, release);
@@ -165,7 +177,7 @@ SaturnModel::run(const isa::Program &prog) const
                        cfg_.name.c_str(), isa::uopName(u.kind));
         }
 
-        st.inFlight.push_back(completion);
+        st.inFlight.pushBack(completion);
         ++st.vinstrs;
         return {release, completion};
     };

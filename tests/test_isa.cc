@@ -94,15 +94,17 @@ TEST(Program, KernelRegions)
     p.endKernel();
 
     ASSERT_EQ(p.kernels().size(), 2u);
-    EXPECT_EQ(p.kernels()[0].name, "a");
+    EXPECT_EQ(p.kernels()[0].name(), "a");
     EXPECT_EQ(p.kernels()[0].end - p.kernels()[0].begin, 1u);
     EXPECT_EQ(p.kernels()[1].end - p.kernels()[1].begin, 2u);
 }
 
 TEST(Program, AccumulateKernelCyclesMergesByName)
 {
+    KernelId fwd = internKernel("fwd");
+    KernelId bwd = internKernel("bwd");
     std::vector<KernelRegion> regions = {
-        {"fwd", 0, 2}, {"bwd", 2, 4}, {"fwd", 4, 6}};
+        {fwd, 0, 2}, {bwd, 2, 4}, {fwd, 4, 6}};
     std::vector<uint64_t> cycles = {10, 20, 30};
     auto merged = accumulateKernelCycles(regions, cycles);
     ASSERT_EQ(merged.size(), 2u);

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Tests for the trace-cached micro-op pipeline and the parallel sweep
+ * engine: cached-vs-fresh stream bit-exactness across backends and
+ * mapping styles, timing-model determinism over replays (the scratch
+ * reuse must never leak state between runs or threads), thread-pool
+ * semantics, and serial-vs-parallel sweep equality under fixed seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+
+#include "bench_util.hh"
+#include "common/ring_fifo.hh"
+#include "common/thread_pool.hh"
+#include "cpu/inorder.hh"
+#include "cpu/ooo.hh"
+#include "hil/sweep.hh"
+#include "hil/timing.hh"
+#include "isa/program_cache.hh"
+#include "matlib/gemmini_backend.hh"
+#include "matlib/rvv_backend.hh"
+#include "matlib/scalar_backend.hh"
+#include "systolic/gemmini.hh"
+#include "vector/saturn.hh"
+
+namespace rtoc {
+namespace {
+
+bool
+sameUop(const isa::Uop &a, const isa::Uop &b)
+{
+    return a.kind == b.kind && a.dst == b.dst && a.src0 == b.src0 &&
+           a.src1 == b.src1 && a.src2 == b.src2 && a.vl == b.vl &&
+           a.sew == b.sew && a.lmul8 == b.lmul8 && a.bytes == b.bytes &&
+           a.rows == b.rows && a.cols == b.cols && a.taken == b.taken;
+}
+
+bool
+samePrograms(const isa::Program &a, const isa::Program &b)
+{
+    if (a.size() != b.size() || a.kernels().size() != b.kernels().size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (!sameUop(a.uops()[i], b.uops()[i]))
+            return false;
+    for (size_t i = 0; i < a.kernels().size(); ++i) {
+        const auto &ka = a.kernels()[i];
+        const auto &kb = b.kernels()[i];
+        if (ka.id != kb.id || ka.begin != kb.begin || ka.end != kb.end)
+            return false;
+    }
+    return true;
+}
+
+// --- kernel-name interning ---
+
+TEST(KernelIntern, StableIdsAndRoundTrip)
+{
+    isa::KernelId a1 = isa::internKernel("intern_test_a");
+    isa::KernelId b = isa::internKernel("intern_test_b");
+    isa::KernelId a2 = isa::internKernel("intern_test_a");
+    EXPECT_EQ(a1, a2);
+    EXPECT_NE(a1, b);
+    EXPECT_EQ(isa::kernelName(a1), "intern_test_a");
+    EXPECT_EQ(isa::kernelName(b), "intern_test_b");
+}
+
+// --- cached vs fresh emission, all backends x mapping styles ---
+
+struct EmitCase
+{
+    const char *label;
+    std::function<std::unique_ptr<matlib::Backend>()> make;
+    tinympc::MappingStyle style;
+};
+
+std::vector<EmitCase>
+emitCases()
+{
+    using tinympc::MappingStyle;
+    std::vector<EmitCase> cases;
+    for (auto style : {MappingStyle::Library, MappingStyle::LibraryPerStep,
+                       MappingStyle::Fused}) {
+        cases.push_back({"scalar",
+                         [] {
+                             return std::make_unique<matlib::ScalarBackend>(
+                                 matlib::ScalarFlavor::Optimized);
+                         },
+                         style});
+        cases.push_back({"rvv",
+                         [] {
+                             return std::make_unique<matlib::RvvBackend>(
+                                 512,
+                                 matlib::RvvMapping::handOptimized());
+                         },
+                         style});
+    }
+    // Gemmini: the library-style mappings the paper evaluates.
+    for (auto style :
+         {tinympc::MappingStyle::Library,
+          tinympc::MappingStyle::LibraryPerStep}) {
+        cases.push_back({"gemmini",
+                         [] {
+                             return std::make_unique<matlib::GemminiBackend>(
+                                 matlib::GemminiMapping::fullyOptimized());
+                         },
+                         style});
+    }
+    return cases;
+}
+
+TEST(ProgramCache, CachedReplayBitIdenticalToFreshEmission)
+{
+    for (const auto &c : emitCases()) {
+        auto fresh_backend = c.make();
+        isa::Program fresh =
+            bench::emitQuadSolve(*fresh_backend, c.style);
+
+        auto cached_backend = c.make();
+        auto cached =
+            bench::emitQuadSolveCached(*cached_backend, c.style);
+        ASSERT_TRUE(cached != nullptr);
+        EXPECT_TRUE(samePrograms(fresh, *cached))
+            << c.label << " style " << static_cast<int>(c.style);
+
+        // Second fetch returns the same shared object (a hit).
+        auto again_backend = c.make();
+        auto again = bench::emitQuadSolveCached(*again_backend, c.style);
+        EXPECT_EQ(cached.get(), again.get());
+    }
+}
+
+TEST(ProgramCache, EmissionIsDroneIndependent)
+{
+    // The cache keys (bench_util, hil::calibrateTiming) deliberately
+    // omit the drone: parameters change the numbers flowing through
+    // the stream, never the stream itself. Pin that premise across
+    // all three Table-1 drones and two solve shapes.
+    for (auto style : {tinympc::MappingStyle::Library,
+                       tinympc::MappingStyle::Fused}) {
+        matlib::RvvBackend b0(512, matlib::RvvMapping::handOptimized());
+        isa::Program cf = bench::emitQuadSolve(
+            b0, style, 5, quad::DroneParams::crazyflie());
+        matlib::RvvBackend b1(512, matlib::RvvMapping::handOptimized());
+        isa::Program hawk = bench::emitQuadSolve(
+            b1, style, 5, quad::DroneParams::hawk());
+        matlib::RvvBackend b2(512, matlib::RvvMapping::handOptimized());
+        isa::Program heron = bench::emitQuadSolve(
+            b2, style, 5, quad::DroneParams::heron());
+        EXPECT_TRUE(samePrograms(cf, hawk));
+        EXPECT_TRUE(samePrograms(cf, heron));
+    }
+}
+
+TEST(ProgramCache, StatsCountHitsAndMisses)
+{
+    isa::ProgramCache cache;
+    int emissions = 0;
+    auto emit = [&](isa::Program &p) {
+        ++emissions;
+        p.push(isa::Uop::scalar(isa::UopKind::IntAlu, p.newReg()));
+    };
+    auto a = cache.getOrEmit("k1", emit);
+    auto b = cache.getOrEmit("k1", emit);
+    auto c = cache.getOrEmit("k2", emit);
+    EXPECT_EQ(emissions, 2);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_NE(a.get(), c.get());
+    auto st = cache.stats();
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.misses, 2u);
+    EXPECT_EQ(st.entries, 2u);
+    EXPECT_EQ(st.cachedUops, 2u);
+    EXPECT_TRUE(cache.lookup("k1") != nullptr);
+    EXPECT_TRUE(cache.lookup("k3") == nullptr);
+}
+
+// --- timing models over cached replays: determinism, thread safety ---
+
+TEST(TimingReplay, RepeatedRunsIdenticalOnAllModels)
+{
+    matlib::ScalarBackend sb(matlib::ScalarFlavor::Optimized);
+    auto sp =
+        bench::emitQuadSolveCached(sb, tinympc::MappingStyle::Library);
+    matlib::RvvBackend rb(512, matlib::RvvMapping::handOptimized());
+    auto rp = bench::emitQuadSolveCached(rb, tinympc::MappingStyle::Fused);
+    matlib::GemminiBackend gb(matlib::GemminiMapping::fullyOptimized());
+    auto gp =
+        bench::emitQuadSolveCached(gb, tinympc::MappingStyle::Library);
+
+    cpu::InOrderCore shuttle(cpu::InOrderConfig::shuttle());
+    cpu::OooCore boom(cpu::OooConfig::boomMedium());
+    vector::SaturnModel saturn(vector::SaturnConfig::make(512, 256, true));
+    systolic::GemminiModel gem(systolic::GemminiConfig::os4x4(64));
+
+    for (int rep = 0; rep < 3; ++rep) {
+        static uint64_t first[4] = {0, 0, 0, 0};
+        uint64_t got[4] = {shuttle.run(*sp).cycles, boom.run(*sp).cycles,
+                           saturn.run(*rp).cycles, gem.run(*gp).cycles};
+        for (int i = 0; i < 4; ++i) {
+            if (rep == 0)
+                first[i] = got[i];
+            else
+                EXPECT_EQ(got[i], first[i]) << "model " << i;
+        }
+    }
+}
+
+TEST(TimingReplay, ConcurrentRunsMatchSerialRuns)
+{
+    matlib::RvvBackend rb(512, matlib::RvvMapping::handOptimized());
+    auto prog =
+        bench::emitQuadSolveCached(rb, tinympc::MappingStyle::Fused);
+    vector::SaturnModel saturn(vector::SaturnConfig::make(512, 256, true));
+    uint64_t expect = saturn.run(*prog).cycles;
+
+    ThreadPool pool(4);
+    std::vector<uint64_t> got(16, 0);
+    pool.parallelFor(got.size(), [&](size_t i) {
+        got[i] = saturn.run(*prog).cycles;
+    });
+    for (uint64_t g : got)
+        EXPECT_EQ(g, expect);
+}
+
+// --- thread pool semantics ---
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto &h : hits)
+        h = 0;
+    pool.parallelFor(hits.size(), [&](size_t i) { ++hits[i]; });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline)
+{
+    ThreadPool pool(3);
+    std::atomic<int> total{0};
+    pool.parallelFor(5, [&](size_t) {
+        pool.parallelFor(7, [&](size_t) { ++total; });
+    });
+    EXPECT_EQ(total.load(), 35);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagates)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(8,
+                                  [&](size_t i) {
+                                      if (i == 3)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+    // The pool survives the throw and stays usable.
+    std::atomic<int> n{0};
+    pool.parallelFor(4, [&](size_t) { ++n; });
+    EXPECT_EQ(n.load(), 4);
+}
+
+// --- ring fifo ---
+
+TEST(RingFifoTest, FifoOrderAcrossGrowth)
+{
+    RingFifo f;
+    EXPECT_TRUE(f.empty());
+    for (uint64_t i = 0; i < 100; ++i)
+        f.pushBack(i);
+    for (uint64_t i = 0; i < 50; ++i) {
+        EXPECT_EQ(f.front(), i);
+        f.popFront();
+    }
+    for (uint64_t i = 100; i < 300; ++i)
+        f.pushBack(i); // forces wrap + growth with live elements
+    for (uint64_t i = 50; i < 300; ++i) {
+        EXPECT_EQ(f.front(), i);
+        f.popFront();
+    }
+    EXPECT_TRUE(f.empty());
+    f.clear();
+    f.pushBack(7);
+    EXPECT_EQ(f.front(), 7u);
+}
+
+// --- serial vs parallel sweeps ---
+
+TEST(Sweep, ParallelEpisodesBitIdenticalToSerial)
+{
+    quad::DroneParams drone = quad::DroneParams::crazyflie();
+    hil::HilConfig cfg;
+    cfg.timing = hil::vectorControllerTiming(drone, 0.02, 10);
+    cfg.socFreqHz = 100e6;
+
+    ThreadPool serial(1);
+    ThreadPool pooled(4);
+    auto a = hil::SweepRunner(serial).runEpisodes(
+        drone, quad::Difficulty::Easy, 4, cfg);
+    auto b = hil::SweepRunner(pooled).runEpisodes(
+        drone, quad::Difficulty::Easy, 4, cfg);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].success, b[i].success) << i;
+        EXPECT_EQ(a[i].crashed, b[i].crashed) << i;
+        EXPECT_EQ(a[i].waypointsReached, b[i].waypointsReached) << i;
+        EXPECT_EQ(a[i].missionTimeS, b[i].missionTimeS) << i;
+        EXPECT_EQ(a[i].rotorEnergyJ, b[i].rotorEnergyJ) << i;
+        EXPECT_EQ(a[i].socEnergyJ, b[i].socEnergyJ) << i;
+        ASSERT_EQ(a[i].solveTimesS.size(), b[i].solveTimesS.size()) << i;
+        for (size_t s = 0; s < a[i].solveTimesS.samples().size(); ++s) {
+            EXPECT_EQ(a[i].solveTimesS.samples()[s],
+                      b[i].solveTimesS.samples()[s]);
+        }
+    }
+}
+
+TEST(Sweep, MapPreservesIndexOrder)
+{
+    hil::SweepRunner sweep;
+    auto out = sweep.map<size_t>(64, [](size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 64u);
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+// --- kernel-region guards ---
+
+TEST(ProgramGuards, NestedBeginPanics)
+{
+    isa::Program p;
+    p.beginKernel("outer_region");
+    EXPECT_DEATH(p.beginKernel("inner_region"), "still open");
+}
+
+TEST(ProgramGuards, UnmatchedEndPanics)
+{
+    isa::Program p;
+    EXPECT_DEATH(p.endKernel(), "no region open");
+}
+
+TEST(ProgramGuards, TimingOpenRegionPanics)
+{
+    isa::Program p;
+    p.beginKernel("half_open");
+    p.push(isa::Uop::scalar(isa::UopKind::IntAlu, p.newReg()));
+    cpu::InOrderCore rocket(cpu::InOrderConfig::rocket());
+    EXPECT_DEATH(rocket.run(p), "still open");
+}
+
+TEST(ProgramGuards, ClearWithOpenRegionPanics)
+{
+    isa::Program p;
+    p.beginKernel("pending_region");
+    EXPECT_DEATH(p.clear(), "still open");
+}
+
+} // namespace
+} // namespace rtoc

@@ -219,7 +219,7 @@ TEST(Solver, EmitsAllPaperKernels)
 
     std::set<std::string> names;
     for (const auto &k : prog.kernels())
-        names.insert(k.name);
+        names.insert(k.name());
     for (const char *expected :
          {"forward_pass_1", "forward_pass_2", "update_slack_1",
           "update_slack_2", "update_dual_1", "update_linear_cost_1",
@@ -256,8 +256,8 @@ TEST(Solver, IterativeKernelsDominateFlops)
             flops += isa::isVector(u.kind) ? per * u.vl : per;
         }
         total += flops;
-        if (region.name.rfind("forward_pass", 0) == 0 ||
-            region.name.rfind("backward_pass", 0) == 0)
+        if (region.name().rfind("forward_pass", 0) == 0 ||
+            region.name().rfind("backward_pass", 0) == 0)
             iterative += flops;
     }
     EXPECT_GT(total, 0.0);
