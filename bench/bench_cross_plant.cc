@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Cross-plant HIL sweep: every scenario spec in the ScenarioRegistry
+ * (quadrotor, rocket lander, differential-drive rover, cart-pole —
+ * clean and gusty disturbance profiles) x every backend timing model
+ * (ideal policy, optimized scalar, hand-optimized vector, fully-
+ * optimized Gemmini) through the parallel SweepRunner, reporting
+ * success rate, solve latency and power per cell, plus a
+ * BENCH_plants.json artifact.
+ *
+ * The whole grid is evaluated twice: the second pass costs nothing
+ * because runCell results are memoized process-wide — the
+ * cache-effect numbers (cell memo hits, ProgramCache replays) are
+ * reported alongside the sweep.
+ *
+ * Flags: --episodes=N (default 6), --smoke (2 episodes),
+ * --full (12 episodes), --freq=MHZ (default 100),
+ * --json=PATH (default BENCH_plants.json; empty disables).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "hil/sweep.hh"
+#include "hil/timing.hh"
+#include "isa/program_cache.hh"
+#include "plant/registry.hh"
+
+using namespace rtoc;
+
+namespace {
+
+/** One (scenario spec, timing model) grid point. */
+struct GridCell
+{
+    plant::ScenarioSpec spec;
+    std::string model; ///< ideal | scalar | vector | gemmini
+    hil::SweepCell cell;
+};
+
+double
+nowS()
+{
+    using clk = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clk::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    int episodes = static_cast<int>(
+        cli.getInt("episodes", cli.has("full") ? 12 : 6));
+    if (cli.has("smoke"))
+        episodes = 2;
+    const double freq_hz = cli.getDouble("freq", 100.0) * 1e6;
+    const std::string json_path =
+        cli.getString("json", "BENCH_plants.json");
+
+    const char *const models[] = {"ideal", "scalar", "vector",
+                                  "gemmini"};
+
+    std::vector<plant::ScenarioSpec> specs =
+        plant::ScenarioRegistry::global().specs();
+
+    // Calibrate each distinct problem shape once per model (memoized
+    // by (impl, nx, nu); plants sharing a shape share streams).
+    auto timing_for = [&](const plant::Plant &p,
+                          const std::string &model) {
+        if (model == "scalar")
+            return hil::scalarControllerTiming(p, 0.02, 10);
+        if (model == "vector")
+            return hil::vectorControllerTiming(p, 0.02, 10);
+        if (model == "gemmini")
+            return hil::gemminiControllerTiming(p, 0.02, 10);
+        return hil::vectorControllerTiming(p, 0.02, 10); // ideal: unused
+    };
+    auto power_for = [](const std::string &model) {
+        if (model == "scalar")
+            return soc::PowerParams::scalarCore();
+        if (model == "gemmini")
+            return soc::PowerParams::systolicCore();
+        return soc::PowerParams::vectorCore();
+    };
+
+    auto run_grid = [&]() -> std::vector<GridCell> {
+        // Grid point t = (spec t / n_models, model t % n_models);
+        // cells fan across the pool, aggregation is index-ordered.
+        const size_t n_models = std::size(models);
+        const size_t n = specs.size() * n_models;
+        hil::SweepRunner sweep;
+        return sweep.map<GridCell>(n, [&](size_t t) {
+            GridCell g;
+            g.spec = specs[t / n_models];
+            g.model = models[t % n_models];
+            hil::HilConfig cfg;
+            cfg.idealPolicy = g.model == std::string("ideal");
+            cfg.socFreqHz = freq_hz;
+            cfg.timing = timing_for(*g.spec.prototype, g.model);
+            cfg.power = power_for(g.model);
+            g.cell = hil::runCell(*g.spec.prototype, g.spec.difficulty,
+                                  episodes, cfg, g.spec.disturbance);
+            return g;
+        });
+    };
+
+    double t0 = nowS();
+    std::vector<GridCell> grid = run_grid();
+    double first_pass_s = nowS() - t0;
+
+    // Second pass: identical keys, served from the runCell memo.
+    t0 = nowS();
+    std::vector<GridCell> again = run_grid();
+    double second_pass_s = nowS() - t0;
+    (void)again;
+
+    Table t("Cross-plant HIL sweep (all registered scenarios x "
+            "backend timing models, " +
+                Table::num(freq_hz / 1e6, 0) + " MHz, " +
+                Table::num(static_cast<uint64_t>(episodes)) +
+                " episodes/cell)",
+            {"scenario", "shape", "model", "success", "solve ms (med)",
+             "avg iters", "actuation W", "compute W"});
+    for (const GridCell &g : grid) {
+        const hil::SweepCell &c = g.cell;
+        bool ideal = g.model == std::string("ideal");
+        t.addRow({g.spec.id,
+                  Table::num(static_cast<uint64_t>(
+                      g.spec.prototype->nx())) + "x" +
+                      Table::num(static_cast<uint64_t>(
+                          g.spec.prototype->nu())),
+                  g.model, Table::pct(c.successRate),
+                  ideal ? "-" : Table::num(c.solveTimeMs.median, 3),
+                  Table::num(c.avgIterations, 1),
+                  c.avgRotorPowerW > 0 ? Table::num(c.avgRotorPowerW, 2)
+                                       : "-",
+                  ideal ? "-" : Table::num(c.avgSocPowerW, 3)});
+    }
+    t.print();
+
+    hil::CellMemoStats ms = hil::cellMemoStats();
+    isa::ProgramCacheStats ps = isa::ProgramCache::global().stats();
+    std::printf("\nCell memo: %llu hits / %llu misses (%zu entries); "
+                "first grid pass %.2fs, memoized re-pass %.3fs\n",
+                static_cast<unsigned long long>(ms.hits),
+                static_cast<unsigned long long>(ms.misses), ms.entries,
+                first_pass_s, second_pass_s);
+    std::printf("Program cache: %llu hits / %llu misses, %llu cached "
+                "uops\n",
+                static_cast<unsigned long long>(ps.hits),
+                static_cast<unsigned long long>(ps.misses),
+                static_cast<unsigned long long>(ps.cachedUops));
+
+    if (!json_path.empty()) {
+        FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f)
+            rtoc_fatal("cannot write %s", json_path.c_str());
+        std::fprintf(f, "{\n  \"bench\": \"cross_plant\",\n");
+        std::fprintf(f, "  \"episodes_per_cell\": %d,\n", episodes);
+        std::fprintf(f, "  \"freq_mhz\": %.0f,\n", freq_hz / 1e6);
+        std::fprintf(f,
+                     "  \"cell_memo\": {\"hits\": %llu, \"misses\": "
+                     "%llu, \"entries\": %zu},\n",
+                     static_cast<unsigned long long>(ms.hits),
+                     static_cast<unsigned long long>(ms.misses),
+                     ms.entries);
+        std::fprintf(f, "  \"cells\": [\n");
+        for (size_t i = 0; i < grid.size(); ++i) {
+            const GridCell &g = grid[i];
+            const hil::SweepCell &c = g.cell;
+            std::fprintf(
+                f,
+                "    {\"scenario\": \"%s\", \"plant\": \"%s\", "
+                "\"difficulty\": \"%s\", \"disturbance\": \"%s\", "
+                "\"model\": \"%s\", \"nx\": %d, \"nu\": %d, "
+                "\"episodes\": %d, \"success\": %.4f, "
+                "\"solve_ms_median\": %.6f, \"avg_iterations\": %.3f, "
+                "\"actuation_w\": %.4f, \"soc_w\": %.5f}%s\n",
+                g.spec.id.c_str(), g.spec.plantName.c_str(),
+                plant::difficultyName(g.spec.difficulty),
+                g.spec.disturbance.name, g.model.c_str(),
+                g.spec.prototype->nx(), g.spec.prototype->nu(),
+                c.episodes, c.successRate, c.solveTimeMs.median,
+                c.avgIterations, c.avgRotorPowerW, c.avgSocPowerW,
+                i + 1 < grid.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("Wrote %s\n", json_path.c_str());
+    }
+
+    // Shape check: every plant must be flyable — the ideal policy
+    // completes easy missions on every registered plant.
+    bool ok = true;
+    for (const GridCell &g : grid) {
+        if (g.model == std::string("ideal") &&
+            g.spec.difficulty == plant::Difficulty::Easy &&
+            g.spec.disturbance.cmdNoiseSigma == 0.0 &&
+            g.cell.successRate <= 0.5) {
+            std::printf("FAIL: ideal policy succeeds on only %.0f%% of "
+                        "%s\n",
+                        100.0 * g.cell.successRate, g.spec.id.c_str());
+            ok = false;
+        }
+    }
+    std::printf("\nShape check: ideal policy completes easy missions "
+                "on all %zu registered plants: %s\n",
+                plant::ScenarioRegistry::global().plantNames().size(),
+                ok ? "yes" : "NO");
+    return ok ? 0 : 1;
+}

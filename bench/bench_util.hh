@@ -23,10 +23,58 @@
 #include "isa/program.hh"
 #include "isa/program_cache.hh"
 #include "matlib/backend.hh"
+#include "plant/quad_plant.hh"
 #include "quad/linearize.hh"
 #include "tinympc/solver.hh"
 
 namespace rtoc::bench {
+
+/**
+ * Emit an instrumented TinyMPC solve of @p plant's problem shape with
+ * exactly @p iters ADMM iterations (plant-generic counterpart of
+ * emitQuadSolve).
+ */
+inline isa::Program
+emitPlantSolve(const plant::Plant &plant, matlib::Backend &backend,
+               tinympc::MappingStyle style, int iters = 5,
+               double dt = 0.02, int horizon = 10)
+{
+    tinympc::Workspace ws = plant.buildWorkspace(dt, horizon);
+    ws.settings.maxIters = iters;
+    ws.settings.priTol = 0.0f;
+    ws.settings.duaTol = 0.0f;
+    isa::Program prog;
+    backend.setProgram(&prog);
+    tinympc::Solver solver(ws, backend, style);
+    solver.setup();
+    std::vector<float> x0(static_cast<size_t>(plant.nx()), 0.0f);
+    x0[0] = 0.4f;
+    ws.setInitialState(x0.data());
+    solver.solve();
+    backend.setProgram(nullptr);
+    return prog;
+}
+
+/**
+ * Cached variant of emitPlantSolve. The key carries the problem shape
+ * (nx, nu, horizon) but not the plant parameters: emission is
+ * data-independent, so plants sharing a shape share one stream.
+ */
+inline std::shared_ptr<const isa::Program>
+emitPlantSolveCached(const plant::Plant &plant, matlib::Backend &backend,
+                     tinympc::MappingStyle style, int iters = 5,
+                     double dt = 0.02, int horizon = 10)
+{
+    const std::string key = csprintf(
+        "plantsolve:%s:style%d:nx%d:nu%d:h%d:it%d",
+        backend.cacheKey().c_str(), static_cast<int>(style), plant.nx(),
+        plant.nu(), horizon, iters);
+    return isa::ProgramCache::global().getOrEmit(
+        key, [&](isa::Program &p) {
+            p = emitPlantSolve(plant, backend, style, iters, dt,
+                               horizon);
+        });
+}
 
 /**
  * Emit an instrumented TinyMPC solve of the standard quadrotor
@@ -54,10 +102,11 @@ emitQuadSolve(matlib::Backend &backend, tinympc::MappingStyle style,
 }
 
 /**
- * Cached variant: emits via emitQuadSolve on first use of a
- * (backend.cacheKey(), style, iters) key, replays the shared stream
- * afterwards. The returned Program is immutable and safe to time from
- * any thread.
+ * Cached variant of emitQuadSolve, sharing the plant-generic key
+ * space: the standard quadrotor problem is the 12x4 instantiation of
+ * emitPlantSolveCached, so quad-specific and cross-plant sweeps hit
+ * one cached stream. The returned Program is immutable and safe to
+ * time from any thread.
  *
  * The key deliberately omits @p drone: emission is data-independent,
  * so every drone produces the identical stream for a given shape
@@ -70,14 +119,8 @@ emitQuadSolveCached(matlib::Backend &backend,
                     const quad::DroneParams &drone =
                         quad::DroneParams::crazyflie())
 {
-    const std::string key =
-        csprintf("quadsolve:%s:style%d:it%d",
-                 backend.cacheKey().c_str(), static_cast<int>(style),
-                 iters);
-    return isa::ProgramCache::global().getOrEmit(
-        key, [&](isa::Program &p) {
-            p = emitQuadSolve(backend, style, iters, drone);
-        });
+    plant::QuadrotorPlant plant(drone);
+    return emitPlantSolveCached(plant, backend, style, iters);
 }
 
 /** Paper kernel names in Algorithm order, for stable table rows. */

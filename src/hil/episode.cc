@@ -2,48 +2,35 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <map>
+#include <mutex>
 
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "hil/sweep.hh"
 #include "matlib/scalar_backend.hh"
-#include "quad/linearize.hh"
+#include "plant/quad_plant.hh"
 #include "tinympc/solver.hh"
 
 namespace rtoc::hil {
 
-using quad::Vec3;
-
-namespace {
-
-double
-dist3(const Vec3 &a, const Vec3 &b)
-{
-    double dx = a[0] - b[0];
-    double dy = a[1] - b[1];
-    double dz = a[2] - b[2];
-    return std::sqrt(dx * dx + dy * dy + dz * dz);
-}
-
-} // namespace
-
 EpisodeResult
-runEpisode(const quad::DroneParams &drone, const quad::Scenario &sc,
+runEpisode(plant::Plant &plant, const plant::Scenario &sc,
            const HilConfig &cfg)
 {
     EpisodeResult res;
 
-    quad::QuadSim sim(drone);
-    sim.resetHover({0, 0, 1.0});
+    plant.reset();
 
     tinympc::Workspace ws =
-        quad::buildQuadWorkspace(drone, cfg.controlPeriodS, cfg.horizon);
+        plant.buildWorkspace(cfg.controlPeriodS, cfg.horizon);
     // Functional-only backend: identical arithmetic, no emission.
     matlib::ScalarBackend backend(matlib::ScalarFlavor::Optimized);
     tinympc::Solver solver(ws, backend, tinympc::MappingStyle::Library);
 
-    double hover = sim.hoverCmd();
-    std::array<double, 4> current_cmd = {hover, hover, hover, hover};
-    std::array<double, 4> pending_cmd = current_cmd;
+    std::vector<double> current_cmd = plant.trimCommand();
+    std::vector<double> pending_cmd = current_cmd;
     double pending_apply_at = -1.0;
     double controller_free_at = 0.0;
     double next_tick = 0.0;
@@ -51,24 +38,34 @@ runEpisode(const quad::DroneParams &drone, const quad::Scenario &sc,
 
     const double uart_latency =
         cfg.idealPolicy ? 0.0
-                        : cfg.uart.uplinkS() + cfg.uart.downlinkS();
+                        : cfg.uart.uplinkS(plant.nx()) +
+                              cfg.uart.downlinkS(plant.nu());
 
     int revealed = 0;
     int reached = 0;
     bool final_reached = false;
     double final_within_since = -1.0;
-    const double reach_radius = 0.12;
-    const double settle_s = 0.2;
+    const double reach_radius = plant.reachRadius();
+    const double settle_s = plant.settleS();
     const double limit = sc.timeLimitS();
+
+    // Actuation-noise disturbance profile. A zero sigma performs no
+    // draws, keeping clean episodes bit-identical to the historical
+    // (profile-free) runner.
+    const double noise_sigma = sc.disturbance.cmdNoiseSigma;
+    Rng noise_rng(0xD157A11ull +
+                  (static_cast<uint64_t>(sc.difficulty) + 1) * 104729ull +
+                  static_cast<uint64_t>(sc.seed) * 7727ull);
+    std::vector<double> noisy_cmd(current_cmd.size());
+
+    std::vector<float> x0(static_cast<size_t>(plant.nx()), 0.0f);
 
     auto run_solve = [&](double now) -> double {
         // Sample state, set reference to the newest revealed waypoint.
-        float x0[12];
-        quad::packMpcState(sim.state(), x0);
-        ws.setInitialState(x0);
+        plant.packState(x0.data());
+        ws.setInitialState(x0.data());
         int target_idx = std::max(0, revealed - 1);
-        ws.setReferenceAll(
-            quad::hoverReference(sc.waypoints[target_idx]));
+        ws.setReferenceAll(plant.reference(sc.waypoints[target_idx]));
 
         tinympc::SolveResult sr = solver.solve();
         res.iterations.add(static_cast<double>(sr.iterations));
@@ -82,11 +79,7 @@ runEpisode(const quad::DroneParams &drone, const quad::Scenario &sc,
         busy_time += solve_s;
 
         matlib::Mat u0 = solver.firstInput();
-        double tmax = drone.maxThrustPerMotorN();
-        for (int m = 0; m < 4; ++m) {
-            pending_cmd[m] = std::clamp(
-                hover + static_cast<double>(u0[m]), 0.0, tmax);
-        }
+        pending_cmd = plant.commandFromDelta(u0.data);
         (void)now;
         return solve_s;
     };
@@ -121,25 +114,31 @@ runEpisode(const quad::DroneParams &drone, const quad::Scenario &sc,
             }
         }
 
-        sim.step(current_cmd, cfg.physicsDtS);
-        t = sim.timeS();
+        if (noise_sigma > 0.0) {
+            for (size_t i = 0; i < current_cmd.size(); ++i) {
+                noisy_cmd[i] = current_cmd[i] *
+                               (1.0 + noise_sigma * noise_rng.gaussian());
+            }
+            plant.step(noisy_cmd, cfg.physicsDtS);
+        } else {
+            plant.step(current_cmd, cfg.physicsDtS);
+        }
+        t = plant.timeS();
 
-        if (sim.crashed()) {
+        if (plant.crashed()) {
             res.crashed = true;
             break;
         }
 
         // Waypoint progress diagnostic: furthest visited in order.
         while (reached < revealed &&
-               dist3(sim.state().pos, sc.waypoints[reached]) <
-                   reach_radius) {
+               plant.distanceTo(sc.waypoints[reached]) < reach_radius) {
             ++reached;
         }
         // Mission success: navigate to the *final* waypoint (the
         // paper's criterion) and hold it briefly.
         if (revealed == static_cast<int>(sc.waypoints.size())) {
-            double dev =
-                dist3(sim.state().pos, sc.waypoints.back());
+            double dev = plant.distanceTo(sc.waypoints.back());
             if (dev < reach_radius) {
                 if (final_within_since < 0.0)
                     final_within_since = t;
@@ -155,8 +154,8 @@ runEpisode(const quad::DroneParams &drone, const quad::Scenario &sc,
 
     res.waypointsReached = reached;
     res.success = !res.crashed && final_reached;
-    res.missionTimeS = sim.timeS();
-    res.rotorEnergyJ = sim.rotorEnergyJ();
+    res.missionTimeS = plant.timeS();
+    res.rotorEnergyJ = plant.actuationEnergyJ();
     res.avgRotorPowerW =
         res.missionTimeS > 0 ? res.rotorEnergyJ / res.missionTimeS : 0.0;
 
@@ -170,12 +169,77 @@ runEpisode(const quad::DroneParams &drone, const quad::Scenario &sc,
     return res;
 }
 
+EpisodeResult
+runEpisode(const quad::DroneParams &drone, const quad::Scenario &sc,
+           const HilConfig &cfg)
+{
+    plant::QuadrotorPlant plant(drone);
+    plant::Scenario psc;
+    psc.difficulty = sc.difficulty;
+    psc.seed = sc.seed;
+    psc.intervalS = sc.intervalS;
+    psc.waypoints = sc.waypoints;
+    return runEpisode(plant, psc, cfg);
+}
+
+namespace {
+
+/**
+ * Process-wide runCell memo. Cells are deterministic functions of the
+ * key, so racing workers may compute a key twice (benign: identical
+ * values) but never block each other across distinct keys.
+ */
+struct CellMemo
+{
+    std::mutex mu;
+    std::map<std::string, SweepCell> memo;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+};
+
+CellMemo &
+cellMemo()
+{
+    static CellMemo m;
+    return m;
+}
+
+bool
+cellMemoEnabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("RTOC_CELL_MEMO");
+        return env == nullptr || std::string(env) != "0";
+    }();
+    return enabled;
+}
+
+std::string
+cellKey(const plant::Plant &proto, plant::Difficulty d, int n,
+        const HilConfig &cfg, const plant::DisturbanceProfile &dist)
+{
+    return csprintf(
+        "%s|d%d|n%d|noise%g|arch:%s:%s|b%.17g|i%.17g|f%.17g|ideal%d|"
+        "h%d|ctl%.17g|phys%.17g|uart%g/%d|pw:%s:%g:%g:%g:%g:%g",
+        proto.cacheKey().c_str(), static_cast<int>(d), n,
+        dist.cmdNoiseSigma, cfg.timing.archName.c_str(),
+        cfg.timing.mappingName.c_str(), cfg.timing.baseCycles,
+        cfg.timing.cyclesPerIter, cfg.socFreqHz,
+        cfg.idealPolicy ? 1 : 0, cfg.horizon, cfg.controlPeriodS,
+        cfg.physicsDtS, cfg.uart.baud(), cfg.uart.framingBytes(),
+        cfg.power.name.c_str(), cfg.power.leakageW,
+        cfg.power.idleCapNfV2, cfg.power.busyCapNfV2, cfg.power.v0,
+        cfg.power.vSlopePerGHz);
+}
+
 SweepCell
-runCell(const quad::DroneParams &drone, quad::Difficulty d,
-        int n_scenarios, const HilConfig &cfg)
+computeCell(const plant::Plant &proto, plant::Difficulty d,
+            int n_scenarios, const HilConfig &cfg,
+            const plant::DisturbanceProfile &disturbance)
 {
     SweepCell cell;
     cell.arch = cfg.idealPolicy ? "ideal" : cfg.timing.mappingName;
+    cell.plant = proto.name();
     cell.freqMhz = cfg.socFreqHz / 1e6;
     cell.difficulty = d;
 
@@ -191,7 +255,7 @@ runCell(const quad::DroneParams &drone, quad::Difficulty d,
     // bit-identical to the historical serial loop.
     SweepRunner sweep;
     std::vector<EpisodeResult> episodes =
-        sweep.runEpisodes(drone, d, n_scenarios, cfg);
+        sweep.runEpisodes(proto, d, n_scenarios, cfg, disturbance);
 
     for (const EpisodeResult &er : episodes) {
         cell.episodes += 1;
@@ -221,6 +285,52 @@ runCell(const quad::DroneParams &drone, quad::Difficulty d,
     cell.avgSocPowerW = successes ? soc_sum / successes : 0.0;
     cell.avgTotalPowerW = cell.avgRotorPowerW + cell.avgSocPowerW;
     return cell;
+}
+
+} // namespace
+
+SweepCell
+runCell(const plant::Plant &proto, plant::Difficulty d, int n_scenarios,
+        const HilConfig &cfg,
+        const plant::DisturbanceProfile &disturbance)
+{
+    if (!cellMemoEnabled())
+        return computeCell(proto, d, n_scenarios, cfg, disturbance);
+
+    CellMemo &m = cellMemo();
+    const std::string key =
+        cellKey(proto, d, n_scenarios, cfg, disturbance);
+    {
+        std::lock_guard<std::mutex> lk(m.mu);
+        auto it = m.memo.find(key);
+        if (it != m.memo.end()) {
+            ++m.hits;
+            return it->second;
+        }
+    }
+    SweepCell cell = computeCell(proto, d, n_scenarios, cfg, disturbance);
+    {
+        std::lock_guard<std::mutex> lk(m.mu);
+        ++m.misses;
+        m.memo.emplace(key, cell);
+    }
+    return cell;
+}
+
+SweepCell
+runCell(const quad::DroneParams &drone, quad::Difficulty d,
+        int n_scenarios, const HilConfig &cfg)
+{
+    plant::QuadrotorPlant proto(drone);
+    return runCell(proto, d, n_scenarios, cfg);
+}
+
+CellMemoStats
+cellMemoStats()
+{
+    CellMemo &m = cellMemo();
+    std::lock_guard<std::mutex> lk(m.mu);
+    return {m.hits, m.misses, m.memo.size()};
 }
 
 } // namespace rtoc::hil

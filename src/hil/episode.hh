@@ -7,6 +7,17 @@
  * the control period the next state sample slips to a later period
  * boundary, degrading the effective control rate — the mechanism
  * behind the success/power cliffs of Figure 16.
+ *
+ * The runner is plant-generic: it drives any plant::Plant (runtime
+ * nx/nu problem shape, task-space waypoints, plant-owned crash and
+ * reach predicates). The historical quad::DroneParams entry points
+ * are thin wrappers over a QuadrotorPlant and remain bit-identical to
+ * the pre-abstraction code path.
+ *
+ * runCell results are memoized process-wide keyed on (plant config,
+ * difficulty, disturbance, episode count, timing model, frequency,
+ * HIL config), so multi-figure bench binaries evaluating the same
+ * cell pay for it once. Set RTOC_CELL_MEMO=0 to disable.
  */
 
 #ifndef RTOC_HIL_EPISODE_HH
@@ -14,6 +25,7 @@
 
 #include "common/stats.hh"
 #include "hil/timing.hh"
+#include "plant/plant.hh"
 #include "quad/scenario.hh"
 #include "soc/power_model.hh"
 #include "soc/uart.hh"
@@ -42,14 +54,18 @@ struct EpisodeResult
     double missionTimeS = 0.0;
     Distribution solveTimesS;  ///< per-solve latency samples
     Distribution iterations;   ///< per-solve ADMM iterations
-    double rotorEnergyJ = 0.0;
+    double rotorEnergyJ = 0.0; ///< actuation energy (rotors/engine/...)
     double avgRotorPowerW = 0.0;
     double socEnergyJ = 0.0;
     double avgSocPowerW = 0.0;
     double computeUtilization = 0.0;
 };
 
-/** Run scenario @p sc on drone @p drone under @p cfg. */
+/** Run scenario @p sc on @p plant under @p cfg (plant is reset). */
+EpisodeResult runEpisode(plant::Plant &plant, const plant::Scenario &sc,
+                         const HilConfig &cfg);
+
+/** Historical quadrotor entry point (bit-identical wrapper). */
 EpisodeResult runEpisode(const quad::DroneParams &drone,
                          const quad::Scenario &sc, const HilConfig &cfg);
 
@@ -57,8 +73,9 @@ EpisodeResult runEpisode(const quad::DroneParams &drone,
 struct SweepCell
 {
     std::string arch;
+    std::string plant;  ///< Plant::name() of the swept plant
     double freqMhz = 0.0;
-    quad::Difficulty difficulty = quad::Difficulty::Easy;
+    plant::Difficulty difficulty = plant::Difficulty::Easy;
     int episodes = 0;
     double successRate = 0.0;
     DistSummary solveTimeMs;
@@ -68,9 +85,26 @@ struct SweepCell
     double avgTotalPowerW = 0.0;
 };
 
-/** Run @p n_scenarios seeded scenarios of @p d and aggregate. */
+/**
+ * Run @p n_scenarios seeded scenarios of @p d on clones of @p proto
+ * and aggregate. Memoized process-wide (see file comment).
+ */
+SweepCell runCell(const plant::Plant &proto, plant::Difficulty d,
+                  int n_scenarios, const HilConfig &cfg,
+                  const plant::DisturbanceProfile &disturbance = {});
+
+/** Historical quadrotor entry point (bit-identical wrapper). */
 SweepCell runCell(const quad::DroneParams &drone, quad::Difficulty d,
                   int n_scenarios, const HilConfig &cfg);
+
+/** runCell memo counters (for tests and cache-effect reporting). */
+struct CellMemoStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    size_t entries = 0;
+};
+CellMemoStats cellMemoStats();
 
 } // namespace rtoc::hil
 

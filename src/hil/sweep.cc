@@ -1,18 +1,31 @@
 #include "sweep.hh"
 
+#include "plant/quad_plant.hh"
+
 namespace rtoc::hil {
+
+std::vector<EpisodeResult>
+SweepRunner::runEpisodes(const plant::Plant &proto, plant::Difficulty d,
+                         int n, const HilConfig &cfg,
+                         const plant::DisturbanceProfile &disturbance) const
+{
+    return map<EpisodeResult>(
+        static_cast<size_t>(n < 0 ? 0 : n), [&](size_t i) {
+            plant::Scenario sc =
+                proto.makeScenario(d, static_cast<int>(i));
+            sc.disturbance = disturbance;
+            std::unique_ptr<plant::Plant> plant = proto.clone();
+            return runEpisode(*plant, sc, cfg);
+        });
+}
 
 std::vector<EpisodeResult>
 SweepRunner::runEpisodes(const quad::DroneParams &drone,
                          quad::Difficulty d, int n,
                          const HilConfig &cfg) const
 {
-    return map<EpisodeResult>(
-        static_cast<size_t>(n < 0 ? 0 : n), [&](size_t i) {
-            quad::Scenario sc =
-                quad::makeScenario(d, static_cast<int>(i));
-            return runEpisode(drone, sc, cfg);
-        });
+    plant::QuadrotorPlant proto(drone);
+    return runEpisodes(proto, d, n, cfg);
 }
 
 } // namespace rtoc::hil

@@ -54,9 +54,16 @@ class SweepRunner
     }
 
     /**
-     * Run the @p n seeded scenarios of difficulty @p d (scenario i is
-     * makeScenario(d, i), exactly as the serial loops did).
+     * Run the @p n seeded scenarios of difficulty @p d on clones of
+     * @p proto (scenario i is proto.makeScenario(d, i), exactly as
+     * the serial loops did).
      */
+    std::vector<EpisodeResult>
+    runEpisodes(const plant::Plant &proto, plant::Difficulty d, int n,
+                const HilConfig &cfg,
+                const plant::DisturbanceProfile &disturbance = {}) const;
+
+    /** Historical quadrotor entry point (bit-identical wrapper). */
     std::vector<EpisodeResult>
     runEpisodes(const quad::DroneParams &drone, quad::Difficulty d,
                 int n, const HilConfig &cfg) const;

@@ -7,41 +7,49 @@
 #include "common/logging.hh"
 #include "cpu/inorder.hh"
 #include "isa/program_cache.hh"
+#include "matlib/gemmini_backend.hh"
 #include "matlib/rvv_backend.hh"
 #include "matlib/scalar_backend.hh"
+#include "plant/quad_plant.hh"
+#include "systolic/gemmini.hh"
 #include "vector/saturn.hh"
 
 namespace rtoc::hil {
 
 ControllerTiming
 calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
-                tinympc::MappingStyle style,
-                const quad::DroneParams &drone, double dt, int horizon)
+                tinympc::MappingStyle style, const plant::Plant &plant,
+                double dt, int horizon)
 {
     // Emission is data-independent: given the backend configuration,
     // mapping style, problem shape and a forced iteration count the
-    // solver emits bit-identical streams regardless of drone masses
+    // solver emits bit-identical streams regardless of plant masses
     // or states. The stream is therefore cached process-wide and the
     // (cheap) timing replay is the only per-calibration work.
-    // The key deliberately omits the drone (values never change the
-    // stream — pinned by ProgramCache.EmissionIsDroneIndependent) but
-    // includes dt and horizon for symmetry with the workspace shape.
+    // The key carries the problem shape (nx, nu, dt, horizon) but
+    // deliberately omits the plant parameters (values never change
+    // the stream — pinned by ProgramCache.EmissionIsDroneIndependent
+    // and the cross-plant shape tests).
     auto run_iters = [&](int iters) -> double {
         const std::string key = csprintf(
-            "calib:%s:style%d:dt%g:h%d:it%d", backend.cacheKey().c_str(),
-            static_cast<int>(style), dt, horizon, iters);
+            "calib:%s:style%d:nx%d:nu%d:dt%g:h%d:it%d",
+            backend.cacheKey().c_str(), static_cast<int>(style),
+            plant.nx(), plant.nu(), dt, horizon, iters);
         auto prog = isa::ProgramCache::global().getOrEmit(
             key, [&](isa::Program &p) {
                 tinympc::Workspace ws =
-                    quad::buildQuadWorkspace(drone, dt, horizon);
+                    plant.buildWorkspace(dt, horizon);
                 ws.settings.maxIters = iters;
                 ws.settings.checkTermination = 5;
                 ws.settings.priTol = 0.0f; // force exactly maxIters
                 ws.settings.duaTol = 0.0f;
                 ws.coldStart();
-                float x0[12] = {0.3f, -0.2f, 0.8f, 0, 0, 0,
-                                0,    0,     0,   0, 0, 0};
-                ws.setInitialState(x0);
+                const float seed_x0[3] = {0.3f, -0.2f, 0.8f};
+                std::vector<float> x0(
+                    static_cast<size_t>(plant.nx()), 0.0f);
+                for (int i = 0; i < plant.nx() && i < 3; ++i)
+                    x0[i] = seed_x0[i];
+                ws.setInitialState(x0.data());
 
                 backend.setProgram(&p);
                 tinympc::Solver solver(ws, backend, style);
@@ -69,18 +77,29 @@ calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
     return t;
 }
 
+ControllerTiming
+calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
+                tinympc::MappingStyle style,
+                const quad::DroneParams &drone, double dt, int horizon)
+{
+    plant::QuadrotorPlant plant(drone);
+    return calibrateTiming(model, backend, style, plant, dt, horizon);
+}
+
 namespace {
 
 /**
  * The convenience calibrations use fixed core/backend configurations,
- * so the resulting cycle model depends only on (dt, horizon) — the
- * stream shape is drone-independent. The HIL benches call these per
- * drone per frequency; memoizing here removes all repeat work.
+ * so the resulting cycle model depends only on the problem shape
+ * (nx, nu, dt, horizon) — the stream is plant-parameter-independent.
+ * The HIL benches call these per plant per frequency; memoizing here
+ * removes all repeat work, and plants sharing a shape share entries.
  */
 struct CalibMemo
 {
     std::mutex mu;
-    std::map<std::tuple<int, double, int>, ControllerTiming> memo;
+    std::map<std::tuple<int, int, int, double, int>, ControllerTiming>
+        memo;
 };
 
 CalibMemo &
@@ -92,11 +111,13 @@ calibMemo()
 
 template <typename MakeFn>
 ControllerTiming
-memoizedCalibration(int which, double dt, int horizon, MakeFn &&make)
+memoizedCalibration(int which, const plant::Plant &plant, double dt,
+                    int horizon, MakeFn &&make)
 {
     CalibMemo &m = calibMemo();
     std::lock_guard<std::mutex> lk(m.mu);
-    auto key = std::make_tuple(which, dt, horizon);
+    auto key =
+        std::make_tuple(which, plant.nx(), plant.nu(), dt, horizon);
     auto it = m.memo.find(key);
     if (it != m.memo.end())
         return it->second;
@@ -108,31 +129,68 @@ memoizedCalibration(int which, double dt, int horizon, MakeFn &&make)
 } // namespace
 
 ControllerTiming
-scalarControllerTiming(const quad::DroneParams &drone, double dt,
-                       int horizon)
+scalarControllerTiming(const plant::Plant &plant, double dt, int horizon)
 {
-    return memoizedCalibration(0, dt, horizon, [&] {
+    return memoizedCalibration(0, plant, dt, horizon, [&] {
         cpu::InOrderCore core(cpu::InOrderConfig::shuttle());
         matlib::ScalarBackend backend(matlib::ScalarFlavor::Optimized);
         return calibrateTiming(core, backend,
-                               tinympc::MappingStyle::Library, drone,
+                               tinympc::MappingStyle::Library, plant,
                                dt, horizon);
     });
+}
+
+ControllerTiming
+vectorControllerTiming(const plant::Plant &plant, double dt, int horizon)
+{
+    return memoizedCalibration(1, plant, dt, horizon, [&] {
+        vector::SaturnModel saturn(
+            vector::SaturnConfig::make(512, 256, true));
+        matlib::RvvBackend backend(512,
+                                   matlib::RvvMapping::handOptimized());
+        return calibrateTiming(saturn, backend,
+                               tinympc::MappingStyle::Fused, plant, dt,
+                               horizon);
+    });
+}
+
+ControllerTiming
+gemminiControllerTiming(const plant::Plant &plant, double dt, int horizon)
+{
+    return memoizedCalibration(2, plant, dt, horizon, [&] {
+        systolic::GemminiModel gemmini(systolic::GemminiConfig::os4x4());
+        matlib::GemminiBackend backend(
+            matlib::GemminiMapping::fullyOptimized());
+        // Library style: the Gemmini backend rejects Fused emission
+        // (CISC tiled-matmul constraints).
+        return calibrateTiming(gemmini, backend,
+                               tinympc::MappingStyle::Library, plant,
+                               dt, horizon);
+    });
+}
+
+ControllerTiming
+scalarControllerTiming(const quad::DroneParams &drone, double dt,
+                       int horizon)
+{
+    plant::QuadrotorPlant plant(drone);
+    return scalarControllerTiming(plant, dt, horizon);
 }
 
 ControllerTiming
 vectorControllerTiming(const quad::DroneParams &drone, double dt,
                        int horizon)
 {
-    return memoizedCalibration(1, dt, horizon, [&] {
-        vector::SaturnModel saturn(
-            vector::SaturnConfig::make(512, 256, true));
-        matlib::RvvBackend backend(512,
-                                   matlib::RvvMapping::handOptimized());
-        return calibrateTiming(saturn, backend,
-                               tinympc::MappingStyle::Fused, drone, dt,
-                               horizon);
-    });
+    plant::QuadrotorPlant plant(drone);
+    return vectorControllerTiming(plant, dt, horizon);
+}
+
+ControllerTiming
+gemminiControllerTiming(const quad::DroneParams &drone, double dt,
+                        int horizon)
+{
+    plant::QuadrotorPlant plant(drone);
+    return gemminiControllerTiming(plant, dt, horizon);
 }
 
 } // namespace rtoc::hil

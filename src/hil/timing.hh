@@ -6,6 +6,11 @@
  * counts and fitting base + perIter·iters. The HIL loop then treats
  * the SoC exactly as the paper's setup treats the Cygnus chip: a
  * black box whose solve latency is cycles(iterations) / frequency.
+ *
+ * Calibration is plant-generic: the emitted stream depends only on
+ * the problem shape (nx, nu, horizon), never on plant parameter
+ * values, so cache and memo keys carry the shape and every plant with
+ * the quadrotor's 12x4 shape replays the quadrotor's cached streams.
  */
 
 #ifndef RTOC_HIL_TIMING_HH
@@ -15,6 +20,7 @@
 
 #include "cpu/core_model.hh"
 #include "matlib/backend.hh"
+#include "plant/plant.hh"
 #include "quad/linearize.hh"
 #include "tinympc/solver.hh"
 
@@ -38,23 +44,43 @@ struct ControllerTiming
 
 /**
  * Calibrate @p backend/@p style on @p model using a freshly-built
- * quadrotor workspace of @p drone.
+ * workspace of @p plant (emission cached per backend config, style
+ * and problem shape).
  */
+ControllerTiming
+calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
+                tinympc::MappingStyle style, const plant::Plant &plant,
+                double dt, int horizon);
+
+/** Historical quadrotor entry point (wraps a QuadrotorPlant). */
 ControllerTiming
 calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
                 tinympc::MappingStyle style,
                 const quad::DroneParams &drone, double dt, int horizon);
 
 /**
- * Convenience calibrations of the two on-chip implementations the
- * paper flies (§5.2): optimized scalar (Eigen-style on the Shuttle
- * scalar pipeline) and hand-optimized RVV on the large Saturn core
- * (VLEN=512, DLEN=256, Shuttle frontend).
+ * Convenience calibrations of the three on-chip implementations the
+ * cross-plant sweeps compare (§5.2 flies the first two): optimized
+ * scalar (Eigen-style on the Shuttle scalar pipeline), hand-optimized
+ * RVV on the large Saturn core (VLEN=512, DLEN=256, Shuttle
+ * frontend), and the fully-optimized Gemmini mapping on the OS 4x4
+ * systolic array (library style: Fused is rejected at emission time
+ * by the Gemmini backend). Memoized per (impl, nx, nu, dt, horizon).
  */
+ControllerTiming scalarControllerTiming(const plant::Plant &plant,
+                                        double dt, int horizon);
+ControllerTiming vectorControllerTiming(const plant::Plant &plant,
+                                        double dt, int horizon);
+ControllerTiming gemminiControllerTiming(const plant::Plant &plant,
+                                         double dt, int horizon);
+
+/** Historical quadrotor entry points. */
 ControllerTiming scalarControllerTiming(const quad::DroneParams &drone,
                                         double dt, int horizon);
 ControllerTiming vectorControllerTiming(const quad::DroneParams &drone,
                                         double dt, int horizon);
+ControllerTiming gemminiControllerTiming(const quad::DroneParams &drone,
+                                         double dt, int horizon);
 
 } // namespace rtoc::hil
 

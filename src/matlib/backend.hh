@@ -78,6 +78,15 @@ class Backend
         saxpby(out, 1.0f, a, -1.0f, b);
     }
 
+    /**
+     * Whether the backend can *emit* the hand-optimized Fused mapping
+     * structure (§4.1.2). Backends whose ISA cannot realize
+     * register-resident per-step fusion (Gemmini's CISC/RoCC
+     * constraints) return false, and the solver rejects Fused-style
+     * emission on them with a fatal error.
+     */
+    virtual bool supportsFusedEmission() const { return true; }
+
     /** Open a fusion region (default: no effect). */
     virtual void beginFuse() {}
 

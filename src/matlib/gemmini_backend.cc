@@ -127,6 +127,16 @@ GemminiBackend::tiles(int r, int c) const
 void
 GemminiBackend::initResident(std::initializer_list<const Mat *> mats)
 {
+    // Per-solver-session reset: residency and config-elision state
+    // must not leak across sessions. A fresh workspace can heap-reuse
+    // the addresses of a destroyed one, and a ProgramCache hit can
+    // skip an earlier emission entirely, so carried state would make
+    // the emitted stream depend on allocation and cache history
+    // instead of only on (mapping, shape, iters).
+    resident_.clear();
+    config_valid_ = false;
+    last_cfg_rows_ = -1;
+    last_cfg_cols_ = -1;
     if (!mapping_.spadResident)
         return;
     // One-time staging of the solver workspace plus utility matrices

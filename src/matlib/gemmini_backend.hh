@@ -88,6 +88,17 @@ class GemminiBackend : public Backend
     void copy(Mat out, const Mat &a) override;
     void fill(Mat out, float s) override;
 
+    /**
+     * The Gemmini backend does not support MappingStyle::Fused
+     * emission: CISC configuration overhead and the scratchpad
+     * staging discipline make the hand-optimized per-step fusion
+     * structure unrealizable on the RoCC command stream (ROADMAP open
+     * item, resolved as an explicit rejection — the solver fatals
+     * when asked to *emit* a Fused-style solve on this backend;
+     * purely functional fused solves remain legal).
+     */
+    bool supportsFusedEmission() const override { return false; }
+
     void sync() override;
 
     const GemminiMapping &mapping() const { return mapping_; }

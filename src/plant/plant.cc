@@ -1,0 +1,126 @@
+#include "plant.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rtoc::plant {
+
+using numerics::DMatrix;
+
+std::vector<double>
+Plant::commandFromDelta(const float *du) const
+{
+    std::vector<double> trim = trimCommand();
+    std::vector<double> lo = commandMin();
+    std::vector<double> hi = commandMax();
+    std::vector<double> cmd(static_cast<size_t>(nu()));
+    for (int i = 0; i < nu(); ++i) {
+        cmd[i] = std::clamp(trim[i] + static_cast<double>(du[i]),
+                            lo[i], hi[i]);
+    }
+    return cmd;
+}
+
+std::vector<double>
+Plant::trimState() const
+{
+    return std::vector<double>(static_cast<size_t>(nx()), 0.0);
+}
+
+LinearModel
+Plant::linearize(double dt) const
+{
+    return fdLinearize(*this, dt);
+}
+
+void
+discretizeInPlace(LinearModel &m, double dt)
+{
+    const int nx = m.ac.rows();
+    const int nu = m.bc.cols();
+    m.dt = dt;
+    DMatrix adbd = numerics::zohDiscretize(m.ac, m.bc, dt);
+    m.ad = DMatrix(nx, nx);
+    m.bd = DMatrix(nx, nu);
+    for (int i = 0; i < nx; ++i) {
+        for (int j = 0; j < nx; ++j)
+            m.ad(i, j) = adbd(i, j);
+        for (int j = 0; j < nu; ++j)
+            m.bd(i, j) = adbd(i, nx + j);
+    }
+}
+
+LinearModel
+fdLinearize(const Plant &plant, double dt)
+{
+    const int nx = plant.nx();
+    const int nu = plant.nu();
+    LinearModel m;
+    m.dt = dt;
+    m.ac = DMatrix(nx, nx);
+    m.bc = DMatrix(nx, nu);
+
+    std::vector<double> x0 = plant.trimState();
+    std::vector<double> u0(static_cast<size_t>(nu), 0.0);
+    std::vector<double> fp(static_cast<size_t>(nx));
+    std::vector<double> fm(static_cast<size_t>(nx));
+
+    const double h = 1e-6;
+    for (int j = 0; j < nx; ++j) {
+        std::vector<double> xp = x0, xm = x0;
+        xp[j] += h;
+        xm[j] -= h;
+        plant.modelDeriv(xp.data(), u0.data(), fp.data());
+        plant.modelDeriv(xm.data(), u0.data(), fm.data());
+        for (int i = 0; i < nx; ++i)
+            m.ac(i, j) = (fp[i] - fm[i]) / (2.0 * h);
+    }
+    for (int j = 0; j < nu; ++j) {
+        std::vector<double> up = u0, um = u0;
+        up[j] += h;
+        um[j] -= h;
+        plant.modelDeriv(x0.data(), up.data(), fp.data());
+        plant.modelDeriv(x0.data(), um.data(), fm.data());
+        for (int i = 0; i < nx; ++i)
+            m.bc(i, j) = (fp[i] - fm[i]) / (2.0 * h);
+    }
+
+    discretizeInPlace(m, dt);
+    return m;
+}
+
+tinympc::Workspace
+Plant::buildWorkspace(double dt, int horizon) const
+{
+    LinearModel model = linearize(dt);
+    Weights w = mpcWeights();
+    rtoc_assert(static_cast<int>(w.qDiag.size()) == nx());
+    rtoc_assert(static_cast<int>(w.rDiag.size()) == nu());
+
+    DMatrix q = DMatrix::diag(w.qDiag);
+    DMatrix r = DMatrix::diag(w.rDiag);
+    numerics::LqrCache cache =
+        numerics::solveDare(model.ad, model.bd, q, r, w.rho);
+
+    tinympc::Workspace ws =
+        tinympc::Workspace::allocate(nx(), nu(), horizon);
+    ws.settings.rho = static_cast<float>(w.rho);
+    ws.loadCache(model.ad, model.bd, cache, w.qDiag);
+
+    std::vector<double> trim = trimCommand();
+    std::vector<double> lo = commandMin();
+    std::vector<double> hi = commandMax();
+    std::vector<float> flo(static_cast<size_t>(nu()));
+    std::vector<float> fhi(static_cast<size_t>(nu()));
+    for (int i = 0; i < nu(); ++i) {
+        flo[i] = static_cast<float>(lo[i] - trim[i]);
+        fhi[i] = static_cast<float>(hi[i] - trim[i]);
+    }
+    ws.setInputBounds(flo, fhi);
+    ws.setReferenceAll(reference(home()));
+    return ws;
+}
+
+} // namespace rtoc::plant

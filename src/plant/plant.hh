@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Plant abstraction: everything the HIL/sweep stack needs to fly an
+ * arbitrary linearizable plant through the closed-loop MPC pipeline.
+ *
+ * A Plant bundles two coupled views of one physical system:
+ *  - the *simulation* view: a nonlinear stepper (RK4 inside the
+ *    concrete plants), actuator limits with trim, a crash predicate
+ *    and actuation-energy accounting — the role gym-pybullet-drones
+ *    plays for the paper's quadrotor;
+ *  - the *controller* view: an nx-dimensional MPC model with
+ *    continuous dynamics around a trim point, linearized analytically
+ *    (plants override linearize()) or by central finite differences
+ *    (the fdLinearize default), packed into a ready-to-solve TinyMPC
+ *    workspace of runtime (nx, nu) shape.
+ *
+ * Waypoints are task-space Vec3 targets; each plant maps them to an
+ * MPC reference and a scalar tracking distance, so the same episode
+ * runner, sweep engine and benches amortize across every registered
+ * plant. Plants are cloneable prototypes: parallel sweeps clone one
+ * instance per episode, never sharing mutable state.
+ */
+
+#ifndef RTOC_PLANT_PLANT_HH
+#define RTOC_PLANT_PLANT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "numerics/dare.hh"
+#include "plant/scenario.hh"
+#include "tinympc/workspace.hh"
+
+namespace rtoc::plant {
+
+/** Continuous + ZOH-discretized model around the trim point. */
+struct LinearModel
+{
+    numerics::DMatrix ac; ///< nx x nx continuous
+    numerics::DMatrix bc; ///< nx x nu continuous
+    numerics::DMatrix ad; ///< nx x nx discrete (ZOH)
+    numerics::DMatrix bd; ///< nx x nu discrete
+    double dt = 0.02;
+};
+
+/** LQR weights of a plant's tracking task. */
+struct Weights
+{
+    std::vector<double> qDiag; ///< nx state cost diagonal
+    std::vector<double> rDiag; ///< nu input cost diagonal
+    double rho = 5.0;          ///< ADMM penalty
+};
+
+/**
+ * One classic RK4 step of ds/dt = f(s), shared by the concrete
+ * plants' nonlinear simulators (actuator/lag state is held constant
+ * across the step by the callers).
+ */
+template <size_t N, typename DerivFn>
+std::array<double, N>
+rk4Step(const std::array<double, N> &s, double dt, DerivFn &&f)
+{
+    auto add = [](const std::array<double, N> &a,
+                  const std::array<double, N> &b, double h) {
+        std::array<double, N> r;
+        for (size_t i = 0; i < N; ++i)
+            r[i] = a[i] + h * b[i];
+        return r;
+    };
+    std::array<double, N> k1 = f(s);
+    std::array<double, N> k2 = f(add(s, k1, dt / 2));
+    std::array<double, N> k3 = f(add(s, k2, dt / 2));
+    std::array<double, N> k4 = f(add(s, k3, dt));
+    std::array<double, N> out = s;
+    for (size_t i = 0; i < N; ++i)
+        out[i] += dt / 6.0 * (k1[i] + 2 * k2[i] + 2 * k3[i] + k4[i]);
+    return out;
+}
+
+/** Fill @p m's ad/bd by ZOH-discretizing its ac/bc with @p dt. */
+void discretizeInPlace(LinearModel &m, double dt);
+
+/** Abstract linearizable plant. */
+class Plant
+{
+  public:
+    virtual ~Plant() = default;
+
+    // --- identity / problem shape ---
+
+    /** Short name for tables and registry ids. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Key identifying the plant *configuration* for memoization
+     * (runCell memo, calibration memo): every parameter that changes
+     * closed-loop behaviour must be encoded. Defaults to name();
+     * parameterized plants must append their knobs.
+     */
+    virtual std::string cacheKey() const { return name(); }
+
+    /** MPC state dimension. */
+    virtual int nx() const = 0;
+
+    /** MPC input dimension. */
+    virtual int nu() const = 0;
+
+    /** Fresh copy with reset simulation state (prototype pattern). */
+    virtual std::unique_ptr<Plant> clone() const = 0;
+
+    // --- nonlinear simulation ---
+
+    /** Reset to the nominal start state; zero time and energy. */
+    virtual void reset() = 0;
+
+    /** Advance @p dt seconds under actuator command @p cmd (size nu;
+     *  concrete plants clamp to the actuator envelope). */
+    virtual void step(const std::vector<double> &cmd, double dt) = 0;
+
+    /** Simulated time since reset (s). */
+    virtual double timeS() const = 0;
+
+    /** True when the plant has entered an unrecoverable state. */
+    virtual bool crashed() const = 0;
+
+    /** Actuation energy consumed since reset (J). */
+    virtual double actuationEnergyJ() const = 0;
+
+    // --- actuators ---
+
+    /** Command that holds the trim/equilibrium condition (size nu). */
+    virtual std::vector<double> trimCommand() const = 0;
+
+    /** Per-actuator lower command limits (size nu). */
+    virtual std::vector<double> commandMin() const = 0;
+
+    /** Per-actuator upper command limits (size nu). */
+    virtual std::vector<double> commandMax() const = 0;
+
+    /**
+     * Absolute actuator command from the solver's first input (nu
+     * deltas from trim), clamped to the actuator envelope.
+     */
+    virtual std::vector<double> commandFromDelta(const float *du) const;
+
+    // --- MPC model ---
+
+    /** Model-space trim state the linearization expands around
+     *  (size nx; defaults to the origin). */
+    virtual std::vector<double> trimState() const;
+
+    /**
+     * Continuous dynamics of the nx-dimensional MPC model:
+     * dxdt = f(x, du) with @p du the nu input deltas from trim. For
+     * plants whose simulation state is richer than the model (the
+     * quadrotor's quaternion vs its small-angle rpy model) this is
+     * the *model*, not the simulator.
+     */
+    virtual void modelDeriv(const double *x, const double *du,
+                            double *dxdt) const = 0;
+
+    /**
+     * Linearize around (trimState, 0) and ZOH-discretize with @p dt.
+     * Default: central finite differences of modelDeriv (fdLinearize);
+     * plants with analytic Jacobians override.
+     */
+    virtual LinearModel linearize(double dt) const;
+
+    /** Tracking-cost weights. */
+    virtual Weights mpcWeights() const = 0;
+
+    /**
+     * Build a ready-to-solve TinyMPC workspace: linearized model,
+     * Riccati cache, input box from the actuator envelope minus trim,
+     * reference at the home waypoint.
+     */
+    virtual tinympc::Workspace buildWorkspace(double dt,
+                                              int horizon) const;
+
+    /** Pack the current simulation state into nx MPC coordinates. */
+    virtual void packState(float *x) const = 0;
+
+    /** MPC reference (size nx) tracking task-space waypoint @p wp. */
+    virtual std::vector<float> reference(const Vec3 &wp) const = 0;
+
+    // --- task space ---
+
+    /** Nominal start / hold waypoint (where reset() puts the plant). */
+    virtual Vec3 home() const = 0;
+
+    /** Task-space distance from the current state to @p wp. */
+    virtual double distanceTo(const Vec3 &wp) const = 0;
+
+    /** Radius within which a waypoint counts as reached (m). */
+    virtual double reachRadius() const { return 0.12; }
+
+    /** Hold time at the final waypoint for mission success (s). */
+    virtual double settleS() const { return 0.2; }
+
+    // --- scenarios ---
+
+    /** Per-difficulty waypoint-generation parameters. */
+    virtual DifficultySpec difficultySpec(Difficulty d) const = 0;
+
+    /** Deterministically generate scenario @p index of @p d. */
+    virtual Scenario makeScenario(Difficulty d, int index) const = 0;
+};
+
+/**
+ * Central-difference linearization of @p plant's modelDeriv around
+ * (trimState, 0), ZOH-discretized with @p dt — the default behind
+ * Plant::linearize and the reference the analytic Jacobians are
+ * validated against in the tests.
+ */
+LinearModel fdLinearize(const Plant &plant, double dt);
+
+} // namespace rtoc::plant
+
+#endif // RTOC_PLANT_PLANT_HH

@@ -1,0 +1,173 @@
+#include "quad_plant.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "quad/linearize.hh"
+
+namespace rtoc::plant {
+
+QuadrotorPlant::QuadrotorPlant(quad::DroneParams params)
+    : params_(std::move(params)), sim_(params_)
+{}
+
+std::string
+QuadrotorPlant::name() const
+{
+    return "quad-" + params_.name;
+}
+
+std::string
+QuadrotorPlant::cacheKey() const
+{
+    return csprintf("quad:%s:m%.17g:prop%.17g:arm%.17g:kv%.17g:cells%d:ct%.17g:"
+                    "load%.17g:kt%.17g:tau%.17g:drag%.17g",
+                    params_.name.c_str(), params_.massKg,
+                    params_.propDiameterM, params_.armLengthM,
+                    params_.motorKvRpmPerV, params_.batteryCells,
+                    params_.thrustCoeff, params_.rpmLoadFactor,
+                    params_.torqueCoeff, params_.motorTauS,
+                    params_.dragCoeff);
+}
+
+std::unique_ptr<Plant>
+QuadrotorPlant::clone() const
+{
+    return std::make_unique<QuadrotorPlant>(params_);
+}
+
+void
+QuadrotorPlant::reset()
+{
+    sim_.resetHover({0, 0, 1.0});
+}
+
+void
+QuadrotorPlant::step(const std::vector<double> &cmd, double dt)
+{
+    rtoc_assert(cmd.size() == 4);
+    sim_.step({cmd[0], cmd[1], cmd[2], cmd[3]}, dt);
+}
+
+std::vector<double>
+QuadrotorPlant::trimCommand() const
+{
+    double hover = params_.hoverThrustPerMotorN();
+    return {hover, hover, hover, hover};
+}
+
+std::vector<double>
+QuadrotorPlant::commandMin() const
+{
+    return {0.0, 0.0, 0.0, 0.0};
+}
+
+std::vector<double>
+QuadrotorPlant::commandMax() const
+{
+    double tmax = params_.maxThrustPerMotorN();
+    return {tmax, tmax, tmax, tmax};
+}
+
+void
+QuadrotorPlant::modelDeriv(const double *x, const double *du,
+                           double *dxdt) const
+{
+    // The 12-state small-angle hover model of quad::linearizeHover:
+    // [pos, rpy, vel, omega], inputs per-motor thrust deltas.
+    double m = params_.massKg;
+    double kd_over_m = params_.dragCoeff / m;
+    for (int i = 0; i < 3; ++i) {
+        dxdt[i] = x[6 + i];     // pos_dot = vel
+        dxdt[3 + i] = x[9 + i]; // rpy_dot = omega
+    }
+    double du_sum = du[0] + du[1] + du[2] + du[3];
+    dxdt[6] = quad::kGravity * x[4] - kd_over_m * x[6];
+    dxdt[7] = -quad::kGravity * x[3] - kd_over_m * x[7];
+    dxdt[8] = -kd_over_m * x[8] + du_sum / m;
+
+    double l = params_.momentArmM();
+    double kt = params_.torqueCoeff;
+    auto inertia = params_.inertiaDiag();
+    const double mix[3][4] = {
+        {-l, -l, l, l},    // roll torque
+        {-l, l, l, -l},    // pitch torque
+        {kt, -kt, kt, -kt} // yaw torque
+    };
+    for (int axis = 0; axis < 3; ++axis) {
+        double t = 0.0;
+        for (int j = 0; j < 4; ++j)
+            t += mix[axis][j] * du[j];
+        dxdt[9 + axis] = t / inertia[axis];
+    }
+}
+
+LinearModel
+QuadrotorPlant::linearize(double dt) const
+{
+    quad::LinearModel qm = quad::linearizeHover(params_, dt);
+    LinearModel m;
+    m.ac = qm.ac;
+    m.bc = qm.bc;
+    m.ad = qm.ad;
+    m.bd = qm.bd;
+    m.dt = qm.dt;
+    return m;
+}
+
+Weights
+QuadrotorPlant::mpcWeights() const
+{
+    quad::MpcWeights w = quad::MpcWeights::forDrone(params_);
+    return {w.qDiag, w.rDiag, w.rho};
+}
+
+tinympc::Workspace
+QuadrotorPlant::buildWorkspace(double dt, int horizon) const
+{
+    // Delegate to the historical path: identical float rounding to
+    // the pre-Plant episode runner.
+    return quad::buildQuadWorkspace(params_, dt, horizon);
+}
+
+void
+QuadrotorPlant::packState(float *x) const
+{
+    quad::packMpcState(sim_.state(), x);
+}
+
+std::vector<float>
+QuadrotorPlant::reference(const Vec3 &wp) const
+{
+    return quad::hoverReference(wp);
+}
+
+double
+QuadrotorPlant::distanceTo(const Vec3 &wp) const
+{
+    const Vec3 &p = sim_.state().pos;
+    double dx = p[0] - wp[0];
+    double dy = p[1] - wp[1];
+    double dz = p[2] - wp[2];
+    return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+DifficultySpec
+QuadrotorPlant::difficultySpec(Difficulty d) const
+{
+    return quad::difficultySpec(d);
+}
+
+Scenario
+QuadrotorPlant::makeScenario(Difficulty d, int index) const
+{
+    quad::Scenario qs = quad::makeScenario(d, index);
+    Scenario sc;
+    sc.difficulty = qs.difficulty;
+    sc.seed = qs.seed;
+    sc.intervalS = qs.intervalS;
+    sc.waypoints = qs.waypoints;
+    return sc;
+}
+
+} // namespace rtoc::plant

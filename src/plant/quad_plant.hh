@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The quadrotor as a registered Plant: a thin adapter over QuadSim,
+ * quad::linearizeHover and quad::makeScenario. Every method delegates
+ * to the historical quad:: code paths so episodes flown through the
+ * Plant interface are bit-identical to the pre-abstraction HIL stack
+ * (pinned by the fig15–18 byte-identity requirement).
+ */
+
+#ifndef RTOC_PLANT_QUAD_PLANT_HH
+#define RTOC_PLANT_QUAD_PLANT_HH
+
+#include "plant/plant.hh"
+#include "quad/dynamics.hh"
+#include "quad/scenario.hh"
+
+namespace rtoc::plant {
+
+/** Quadrotor waypoint-tracking plant (nx=12, nu=4). */
+class QuadrotorPlant : public Plant
+{
+  public:
+    explicit QuadrotorPlant(
+        quad::DroneParams params = quad::DroneParams::crazyflie());
+
+    std::string name() const override;
+    std::string cacheKey() const override;
+    int nx() const override { return 12; }
+    int nu() const override { return 4; }
+    std::unique_ptr<Plant> clone() const override;
+
+    void reset() override;
+    void step(const std::vector<double> &cmd, double dt) override;
+    double timeS() const override { return sim_.timeS(); }
+    bool crashed() const override { return sim_.crashed(); }
+    double actuationEnergyJ() const override
+    {
+        return sim_.rotorEnergyJ();
+    }
+
+    std::vector<double> trimCommand() const override;
+    std::vector<double> commandMin() const override;
+    std::vector<double> commandMax() const override;
+
+    void modelDeriv(const double *x, const double *du,
+                    double *dxdt) const override;
+    LinearModel linearize(double dt) const override;
+    Weights mpcWeights() const override;
+    tinympc::Workspace buildWorkspace(double dt,
+                                      int horizon) const override;
+    void packState(float *x) const override;
+    std::vector<float> reference(const Vec3 &wp) const override;
+
+    Vec3 home() const override { return {0, 0, 1.0}; }
+    double distanceTo(const Vec3 &wp) const override;
+
+    DifficultySpec difficultySpec(Difficulty d) const override;
+    Scenario makeScenario(Difficulty d, int index) const override;
+
+    const quad::DroneParams &params() const { return params_; }
+    quad::QuadSim &sim() { return sim_; }
+
+  private:
+    quad::DroneParams params_;
+    quad::QuadSim sim_;
+};
+
+} // namespace rtoc::plant
+
+#endif // RTOC_PLANT_QUAD_PLANT_HH

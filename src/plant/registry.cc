@@ -1,0 +1,130 @@
+#include "registry.hh"
+
+#include "common/logging.hh"
+#include "plant/cartpole.hh"
+#include "plant/quad_plant.hh"
+#include "plant/rocket.hh"
+#include "plant/rover.hh"
+
+namespace rtoc::plant {
+
+Scenario
+ScenarioSpec::makeScenario(int index) const
+{
+    Scenario sc = prototype->makeScenario(difficulty, index);
+    sc.disturbance = disturbance;
+    return sc;
+}
+
+namespace {
+
+std::string
+specId(const Plant &proto, Difficulty d,
+       const DisturbanceProfile &profile)
+{
+    std::string id = proto.name() + "/" + difficultyName(d);
+    if (profile.cmdNoiseSigma > 0.0)
+        id += std::string("+") + profile.name;
+    return id;
+}
+
+} // namespace
+
+ScenarioRegistry &
+ScenarioRegistry::global()
+{
+    static ScenarioRegistry *reg = [] {
+        auto *r = new ScenarioRegistry();
+        r->registerPlant(std::make_shared<QuadrotorPlant>());
+        r->registerPlant(std::make_shared<RocketPlant>());
+        r->registerPlant(std::make_shared<RoverPlant>());
+        r->registerPlant(std::make_shared<CartPolePlant>());
+        return r;
+    }();
+    return *reg;
+}
+
+void
+ScenarioRegistry::registerPlant(std::shared_ptr<const Plant> proto)
+{
+    rtoc_assert(proto != nullptr);
+    for (Difficulty d : kAllDifficulties) {
+        ScenarioSpec spec;
+        spec.plantName = proto->name();
+        spec.difficulty = d;
+        spec.disturbance = DisturbanceProfile::clean();
+        spec.prototype = proto;
+        spec.id = specId(*proto, d, spec.disturbance);
+        addSpec(std::move(spec));
+    }
+    // One disturbed family per plant: gusty actuation at medium.
+    ScenarioSpec gusty;
+    gusty.plantName = proto->name();
+    gusty.difficulty = Difficulty::Medium;
+    gusty.disturbance = DisturbanceProfile::gusty();
+    gusty.prototype = std::move(proto);
+    gusty.id = specId(*gusty.prototype, gusty.difficulty,
+                      gusty.disturbance);
+    addSpec(std::move(gusty));
+}
+
+void
+ScenarioRegistry::addSpec(ScenarioSpec spec)
+{
+    rtoc_assert(spec.prototype != nullptr);
+    if (spec.id.empty())
+        spec.id = specId(*spec.prototype, spec.difficulty,
+                         spec.disturbance);
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const ScenarioSpec &s : specs_) {
+        if (s.id == spec.id)
+            rtoc_fatal("duplicate scenario spec '%s'", spec.id.c_str());
+    }
+    specs_.push_back(std::move(spec));
+}
+
+std::vector<ScenarioSpec>
+ScenarioRegistry::specs() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return specs_;
+}
+
+std::unique_ptr<ScenarioSpec>
+ScenarioRegistry::find(const std::string &id) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const ScenarioSpec &s : specs_) {
+        if (s.id == id)
+            return std::make_unique<ScenarioSpec>(s);
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+ScenarioRegistry::plantNames() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::string> names;
+    for (const ScenarioSpec &s : specs_) {
+        bool seen = false;
+        for (const std::string &n : names)
+            seen = seen || n == s.plantName;
+        if (!seen)
+            names.push_back(s.plantName);
+    }
+    return names;
+}
+
+std::unique_ptr<Plant>
+ScenarioRegistry::makePlant(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const ScenarioSpec &s : specs_) {
+        if (s.plantName == name)
+            return s.prototype->clone();
+    }
+    return nullptr;
+}
+
+} // namespace rtoc::plant

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Declarative scenario registry: name -> (plant prototype, difficulty,
+ * waypoint generator, disturbance profile). The registry enumerates
+ * every runnable scenario spec so sweep benches (bench_cross_plant)
+ * and examples fan "all registered workloads x all backends" without
+ * hardwiring plant types — the paper's quadrotor becomes one row of a
+ * family of control workloads sharing the trace-cached solve pipeline.
+ *
+ * Built-in plants (quadrotor, rocket lander, rover, cart-pole) are
+ * registered lazily on first access of global(); additional plants
+ * can be registered at runtime. Plant prototypes are immutable and
+ * cloned per episode, so specs are safe to share across sweep threads.
+ */
+
+#ifndef RTOC_PLANT_REGISTRY_HH
+#define RTOC_PLANT_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "plant/plant.hh"
+
+namespace rtoc::plant {
+
+/** One runnable scenario family: plant x difficulty x disturbance. */
+struct ScenarioSpec
+{
+    std::string id;        ///< "rover-rover/medium+gusty"
+    std::string plantName; ///< prototype Plant::name()
+    Difficulty difficulty = Difficulty::Easy;
+    DisturbanceProfile disturbance;
+    std::shared_ptr<const Plant> prototype;
+
+    /** Scenario @p index of this spec: the plant's deterministic
+     *  waypoints with the spec's disturbance profile applied. */
+    Scenario makeScenario(int index) const;
+
+    /** Fresh mutable plant for one episode. */
+    std::unique_ptr<Plant> makePlant() const
+    {
+        return prototype->clone();
+    }
+};
+
+/** Process-wide registry of plants and their scenario specs. */
+class ScenarioRegistry
+{
+  public:
+    /** Global registry, built-in plants registered on first use. */
+    static ScenarioRegistry &global();
+
+    /**
+     * Register @p proto: adds one clean spec per difficulty plus a
+     * gusty medium spec (disturbance-profile coverage).
+     */
+    void registerPlant(std::shared_ptr<const Plant> proto);
+
+    /** Register a single explicit spec (id derived when empty). */
+    void addSpec(ScenarioSpec spec);
+
+    /** All registered specs, registration order. */
+    std::vector<ScenarioSpec> specs() const;
+
+    /** Spec by id; nullptr when unknown. */
+    std::unique_ptr<ScenarioSpec> find(const std::string &id) const;
+
+    /** Distinct registered plant names, registration order. */
+    std::vector<std::string> plantNames() const;
+
+    /** Fresh plant by name; nullptr when unknown. */
+    std::unique_ptr<Plant> makePlant(const std::string &name) const;
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<ScenarioSpec> specs_;
+};
+
+} // namespace rtoc::plant
+
+#endif // RTOC_PLANT_REGISTRY_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * 3-DoF rocket soft-landing plant: a thrust-vectoring point-mass
+ * lander descending through revealed waypoints to a hover above the
+ * pad. The simulation integrates translational dynamics with
+ * quadratic aerodynamic drag and a first-order engine lag under RK4;
+ * the MPC model is the double integrator with gravity-compensating
+ * trim thrust, linearized analytically. Actuation energy follows the
+ * jet-power model P = |T| * ve_eff (thrust times effective velocity
+ * scale), the rocket analogue of the quadrotor's momentum-theory
+ * Equation 4.
+ */
+
+#ifndef RTOC_PLANT_ROCKET_HH
+#define RTOC_PLANT_ROCKET_HH
+
+#include "plant/plant.hh"
+
+namespace rtoc::plant {
+
+/** Physical description of the lander. */
+struct RocketParams
+{
+    std::string name = "lander";
+    double massKg = 1.5;
+    double maxThrustN = 30.0;   ///< main engine (vertical) limit
+    double maxLateralN = 8.0;   ///< thrust-vectoring lateral authority
+    double dragCoeff = 0.08;    ///< quadratic drag, N per (m/s)^2
+    double engineTauS = 0.10;   ///< first-order thrust-response lag
+    double jetVelocity = 40.0;  ///< effective exhaust-power scale (m/s)
+    double startAltitudeM = 12.0;
+
+    /** Hover (trim) thrust: weight. */
+    double hoverThrustN() const;
+
+    /** Thrust-to-weight sanity metric. */
+    double thrustToWeight() const;
+};
+
+/** Rocket soft-landing plant (nx=6, nu=3). */
+class RocketPlant : public Plant
+{
+  public:
+    explicit RocketPlant(RocketParams params = RocketParams());
+
+    std::string name() const override;
+    std::string cacheKey() const override;
+    int nx() const override { return 6; }
+    int nu() const override { return 3; }
+    std::unique_ptr<Plant> clone() const override;
+
+    void reset() override;
+    void step(const std::vector<double> &cmd, double dt) override;
+    double timeS() const override { return time_s_; }
+    bool crashed() const override;
+    double actuationEnergyJ() const override { return energy_j_; }
+
+    std::vector<double> trimCommand() const override;
+    std::vector<double> commandMin() const override;
+    std::vector<double> commandMax() const override;
+
+    void modelDeriv(const double *x, const double *du,
+                    double *dxdt) const override;
+    LinearModel linearize(double dt) const override;
+    Weights mpcWeights() const override;
+    void packState(float *x) const override;
+    std::vector<float> reference(const Vec3 &wp) const override;
+
+    Vec3 home() const override;
+    double distanceTo(const Vec3 &wp) const override;
+    double reachRadius() const override { return 0.35; }
+    double settleS() const override { return 0.25; }
+
+    DifficultySpec difficultySpec(Difficulty d) const override;
+    Scenario makeScenario(Difficulty d, int index) const override;
+
+    const RocketParams &params() const { return params_; }
+    const Vec3 &position() const { return pos_; }
+    const Vec3 &velocity() const { return vel_; }
+
+  private:
+    /** Continuous derivative of [pos, vel] with thrust held. */
+    std::array<double, 6> deriv(const std::array<double, 6> &s,
+                                const Vec3 &thrust) const;
+
+    RocketParams params_;
+    Vec3 pos_{0, 0, 0};
+    Vec3 vel_{0, 0, 0};
+    Vec3 thrust_{0, 0, 0}; ///< actual engine output (lagged)
+    double time_s_ = 0.0;
+    double energy_j_ = 0.0;
+};
+
+} // namespace rtoc::plant
+
+#endif // RTOC_PLANT_ROCKET_HH

@@ -1,0 +1,21 @@
+#include "scenario.hh"
+
+#include "common/logging.hh"
+
+namespace rtoc::plant {
+
+const char *
+difficultyName(Difficulty d)
+{
+    switch (d) {
+      case Difficulty::Easy:
+        return "easy";
+      case Difficulty::Medium:
+        return "medium";
+      case Difficulty::Hard:
+        return "hard";
+    }
+    rtoc_panic("bad difficulty");
+}
+
+} // namespace rtoc::plant

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Plant-agnostic scenario vocabulary for the HIL stack.
+ *
+ * A scenario is a sequence of task-space waypoints revealed at a fixed
+ * interval (the paper's Figure 15 protocol), plus an optional
+ * disturbance profile. Every plant interprets a waypoint in its own
+ * task space — 3-D position for the quadrotor and rocket, a 2-D
+ * ground-plane target for the rover, a track position for the
+ * cart-pole — so one episode runner drives them all.
+ *
+ * quad::Difficulty / quad::DifficultySpec are aliases of the types
+ * here; the quadrotor keeps its historical Figure 15 table while
+ * other plants declare their own per-difficulty parameters.
+ */
+
+#ifndef RTOC_PLANT_SCENARIO_HH
+#define RTOC_PLANT_SCENARIO_HH
+
+#include <array>
+#include <vector>
+
+namespace rtoc::plant {
+
+/** 3-vector helper (same underlying type as quad::Vec3). */
+using Vec3 = std::array<double, 3>;
+
+/** Scenario difficulty category (the paper's Easy/Medium/Hard). */
+enum class Difficulty { Easy, Medium, Hard };
+
+/** Per-difficulty waypoint-generation parameters. */
+struct DifficultySpec
+{
+    const char *name;
+    int waypointCount;
+    double timeBetweenS;
+    double avgDistanceM;
+};
+
+/** All difficulties, for sweep loops. */
+inline const Difficulty kAllDifficulties[] = {
+    Difficulty::Easy, Difficulty::Medium, Difficulty::Hard};
+
+/** Printable difficulty name (plant-independent). */
+const char *difficultyName(Difficulty d);
+
+/**
+ * Actuation-noise disturbance profile, applied by the episode runner
+ * uniformly across plants: each physics step multiplies every
+ * actuator command by (1 + sigma * N(0,1)). A zero sigma draws no
+ * random numbers, so clean episodes are bit-identical to the
+ * pre-profile code path.
+ */
+struct DisturbanceProfile
+{
+    const char *name = "clean";
+    double cmdNoiseSigma = 0.0;
+
+    static DisturbanceProfile clean() { return {}; }
+
+    /** Gusty actuation: 5% multiplicative command noise. */
+    static DisturbanceProfile gusty() { return {"gusty", 0.05}; }
+};
+
+/** One waypoint-tracking scenario, plant-agnostic. */
+struct Scenario
+{
+    Difficulty difficulty = Difficulty::Easy;
+    int seed = 0;
+    double intervalS = 0.5;      ///< time between waypoint reveals
+    double graceS = 1.5;         ///< settling grace after last reveal
+    std::vector<Vec3> waypoints; ///< revealed sequentially
+    DisturbanceProfile disturbance;
+
+    /** Mission time limit: reveals plus settling grace. */
+    double timeLimitS() const
+    {
+        return intervalS * static_cast<double>(waypoints.size()) +
+               graceS;
+    }
+};
+
+} // namespace rtoc::plant
+
+#endif // RTOC_PLANT_SCENARIO_HH

@@ -14,21 +14,16 @@
 #include <string>
 #include <vector>
 
+#include "plant/scenario.hh"
 #include "quad/dynamics.hh"
 
 namespace rtoc::quad {
 
-/** Scenario difficulty category. */
-enum class Difficulty { Easy, Medium, Hard };
+/** Scenario difficulty category (shared across plants). */
+using Difficulty = plant::Difficulty;
 
-/** Figure 15 parameters for a difficulty. */
-struct DifficultySpec
-{
-    const char *name;
-    int waypointCount;
-    double timeBetweenS;
-    double avgDistanceM;
-};
+/** Figure 15 parameters for a difficulty (shared across plants). */
+using DifficultySpec = plant::DifficultySpec;
 
 /** The Figure 15 table. */
 DifficultySpec difficultySpec(Difficulty d);

@@ -37,13 +37,21 @@ class UartModel
         return bits / baud_;
     }
 
-    /** Host -> SoC: 12 state floats + 3 target floats. */
-    double uplinkS() const { return transferS((12 + 3) * 4); }
+    /** Host -> SoC: @p state_floats state + 3 target floats (the
+     *  quadrotor's 12-state message is the historical default). */
+    double uplinkS(int state_floats = 12) const
+    {
+        return transferS((state_floats + 3) * 4);
+    }
 
-    /** SoC -> host: 4 motor command floats. */
-    double downlinkS() const { return transferS(4 * 4); }
+    /** SoC -> host: @p cmd_floats actuator command floats. */
+    double downlinkS(int cmd_floats = 4) const
+    {
+        return transferS(cmd_floats * 4);
+    }
 
     double baud() const { return baud_; }
+    int framingBytes() const { return framing_; }
 
   private:
     double baud_;

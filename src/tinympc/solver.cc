@@ -55,8 +55,22 @@ Solver::Solver(Workspace &ws, matlib::Backend &backend, MappingStyle style)
 {}
 
 void
+Solver::checkFusedEmission() const
+{
+    if (style_ == MappingStyle::Fused && backend_.program() != nullptr &&
+        !backend_.supportsFusedEmission()) {
+        rtoc_fatal("backend '%s' cannot emit MappingStyle::Fused "
+                   "kernels (CISC tiled-matmul constraints forbid "
+                   "register-resident per-step fusion, paper §4.2.3); "
+                   "use MappingStyle::Library or LibraryPerStep",
+                   backend_.name().c_str());
+    }
+}
+
+void
 Solver::setup()
 {
+    checkFusedEmission();
     // Gemmini scratchpad residency: stage the whole solver workspace
     // plus the cache matrices into bank 0 once (paper Fig. 8).
     if (auto *gem = dynamic_cast<matlib::GemminiBackend *>(&backend_)) {
@@ -297,6 +311,7 @@ Solver::checkResiduals(SolveResult &res)
 SolveResult
 Solver::solve()
 {
+    checkFusedEmission();
     SolveResult res;
     const Settings &s = ws_.settings;
 

@@ -73,6 +73,9 @@ class Solver
     MappingStyle style() const { return style_; }
 
   private:
+    /** Fatal when asked to emit Fused on a backend that cannot. */
+    void checkFusedEmission() const;
+
     void forwardPass();
     void updateSlack();
     void updateDual();

@@ -298,6 +298,52 @@ TEST(Solver, FusedFasterThanLibraryOnSaturn)
     EXPECT_GT(static_cast<double>(clib) / copt, 2.0);
 }
 
+TEST(Solver, GemminiRejectsFusedEmission)
+{
+    // ROADMAP open item resolved: the Gemmini CISC constraints make
+    // the hand-optimized Fused structure unrealizable, so *emitting*
+    // it is an explicit fatal error...
+    EXPECT_EXIT(
+        {
+            Workspace ws = doubleIntegratorWs(10, 1.0f);
+            matlib::GemminiBackend b(
+                matlib::GemminiMapping::fullyOptimized());
+            isa::Program prog;
+            b.setProgram(&prog);
+            Solver solver(ws, b, MappingStyle::Fused);
+            solver.solve();
+        },
+        ::testing::ExitedWithCode(1), "cannot emit MappingStyle::Fused");
+
+    // ...while the purely functional Fused solve (no attached
+    // Program) and Library-style emission both remain legal.
+    {
+        Workspace ws = doubleIntegratorWs(10, 1.0f);
+        matlib::GemminiBackend b(
+            matlib::GemminiMapping::fullyOptimized());
+        EXPECT_FALSE(b.supportsFusedEmission());
+        Solver solver(ws, b, MappingStyle::Fused);
+        float x0[2] = {1.0f, 0.0f};
+        ws.setInitialState(x0);
+        SolveResult res = solver.solve();
+        EXPECT_GT(res.iterations, 0);
+    }
+    {
+        Workspace ws = doubleIntegratorWs(10, 1.0f);
+        matlib::GemminiBackend b(
+            matlib::GemminiMapping::fullyOptimized());
+        isa::Program prog;
+        b.setProgram(&prog);
+        Solver solver(ws, b, MappingStyle::Library);
+        solver.setup();
+        float x0[2] = {1.0f, 0.0f};
+        ws.setInitialState(x0);
+        solver.solve();
+        b.setProgram(nullptr);
+        EXPECT_GT(prog.uops().size(), 0u);
+    }
+}
+
 TEST(Workspace, AllocateValidatesDims)
 {
     EXPECT_EXIT({ Workspace::allocate(0, 1, 5); },
