@@ -13,9 +13,11 @@
  * cache-effect numbers (cell memo hits, ProgramCache replays) are
  * reported alongside the sweep.
  *
- * Flags: --episodes=N (default 6), --smoke (2 episodes),
- * --full (12 episodes), --freq=MHZ (default 100),
- * --json=PATH (default BENCH_plants.json; empty disables).
+ * Flags: --episodes=N (override every cell; default: the registry's
+ * per-spec episode counts), --smoke (2 episodes), --full (doubles the
+ * per-spec counts), --plant=NAME (restrict the grid to one registered
+ * plant), --freq=MHZ (default 100), --json=PATH (default
+ * BENCH_plants.json; empty disables).
  */
 
 #include <chrono>
@@ -56,19 +58,54 @@ int
 main(int argc, char **argv)
 {
     Cli cli(argc, argv);
-    int episodes = static_cast<int>(
-        cli.getInt("episodes", cli.has("full") ? 12 : 6));
-    if (cli.has("smoke"))
-        episodes = 2;
+    const bool smoke = cli.has("smoke");
+    const bool full = cli.has("full");
+    const int episodes_flag =
+        static_cast<int>(cli.getInt("episodes", 0));
     const double freq_hz = cli.getDouble("freq", 100.0) * 1e6;
     const std::string json_path =
         cli.getString("json", "BENCH_plants.json");
+    const std::string plant_filter = cli.getString("plant", "");
 
     const char *const models[] = {"ideal", "scalar", "vector",
                                   "gemmini"};
 
     std::vector<plant::ScenarioSpec> specs =
         plant::ScenarioRegistry::global().specs();
+    if (!plant_filter.empty()) {
+        std::vector<plant::ScenarioSpec> kept;
+        for (plant::ScenarioSpec &s : specs) {
+            if (s.plantName.find(plant_filter) != std::string::npos)
+                kept.push_back(std::move(s));
+        }
+        if (kept.empty()) {
+            std::string known;
+            for (const std::string &n :
+                 plant::ScenarioRegistry::global().plantNames()) {
+                known += known.empty() ? n : ", " + n;
+            }
+            rtoc_fatal("--plant=%s matches no registered plant "
+                       "(known: %s)",
+                       plant_filter.c_str(), known.c_str());
+        }
+        specs = std::move(kept);
+    }
+
+    // Episode counts are registry-driven per spec; --episodes pins
+    // every cell, --smoke shrinks for CI, --full doubles the per-spec
+    // defaults (the historical 6 -> 12).
+    auto episodes_for = [&](const plant::ScenarioSpec &s) -> int {
+        if (smoke)
+            return 2;
+        if (episodes_flag > 0)
+            return episodes_flag;
+        return full ? 2 * s.episodes : s.episodes;
+    };
+    int uniform_episodes = episodes_for(specs.front());
+    for (const plant::ScenarioSpec &s : specs) {
+        if (episodes_for(s) != uniform_episodes)
+            uniform_episodes = -1;
+    }
 
     // Calibrate each distinct problem shape once per model (memoized
     // by (impl, nx, nu); plants sharing a shape share streams).
@@ -106,7 +143,8 @@ main(int argc, char **argv)
             cfg.timing = timing_for(*g.spec.prototype, g.model);
             cfg.power = power_for(g.model);
             g.cell = hil::runCell(*g.spec.prototype, g.spec.difficulty,
-                                  episodes, cfg, g.spec.disturbance);
+                                  episodes_for(g.spec), cfg,
+                                  g.spec.disturbance);
             return g;
         });
     };
@@ -124,7 +162,10 @@ main(int argc, char **argv)
     Table t("Cross-plant HIL sweep (all registered scenarios x "
             "backend timing models, " +
                 Table::num(freq_hz / 1e6, 0) + " MHz, " +
-                Table::num(static_cast<uint64_t>(episodes)) +
+                (uniform_episodes > 0
+                     ? Table::num(
+                           static_cast<uint64_t>(uniform_episodes))
+                     : std::string("registry")) +
                 " episodes/cell)",
             {"scenario", "shape", "model", "success", "solve ms (med)",
              "avg iters", "actuation W", "compute W"});
@@ -163,7 +204,14 @@ main(int argc, char **argv)
         if (!f)
             rtoc_fatal("cannot write %s", json_path.c_str());
         std::fprintf(f, "{\n  \"bench\": \"cross_plant\",\n");
-        std::fprintf(f, "  \"episodes_per_cell\": %d,\n", episodes);
+        // null when the registry counts vary (per-cell "episodes"
+        // fields carry the truth either way).
+        if (uniform_episodes > 0) {
+            std::fprintf(f, "  \"episodes_per_cell\": %d,\n",
+                         uniform_episodes);
+        } else {
+            std::fprintf(f, "  \"episodes_per_cell\": null,\n");
+        }
         std::fprintf(f, "  \"freq_mhz\": %.0f,\n", freq_hz / 1e6);
         std::fprintf(f,
                      "  \"cell_memo\": {\"hits\": %llu, \"misses\": "

@@ -1,11 +1,21 @@
 /**
  * @file
- * Timing-model interface shared by every architecture backend.
+ * TimingModel: the timing-simulation interface shared by all four
+ * architecture families (in-order scalar, OoO scalar, Saturn vector,
+ * Gemmini systolic).
  *
- * A model consumes a Program (micro-op stream) and returns the cycle
- * count plus per-kernel-region attribution. Models are deterministic
- * and purely analytical over the stream: running the same Program
- * twice gives identical results, which the property tests rely on.
+ * A model consumes a micro-op stream and returns the cycle count plus
+ * per-kernel-region attribution. The hot entry point is
+ * runStream(UopStreamView): a columnar view whose decoded class
+ * column was computed once for the owning Program, so N models (or N
+ * replays) over one cached stream share a single decode pass. The
+ * historical AoS loop is kept behind runAos() as the
+ * bit-exactness reference and the layout-comparison baseline — both
+ * paths must produce identical cycles (pinned by tests).
+ *
+ * Models are deterministic and purely analytical over the stream:
+ * running the same Program twice gives identical results, which the
+ * property tests rely on.
  *
  * Models keep no mutable state across run() calls; the per-run scratch
  * (finish-time arrays, register ready files, queue rings) lives in
@@ -84,17 +94,47 @@ struct TimingResult
 };
 
 /** Abstract architecture timing model. */
-class CoreModel
+class TimingModel
 {
   public:
-    virtual ~CoreModel() = default;
+    virtual ~TimingModel() = default;
 
-    /** Simulate @p prog and return cycles plus attribution. */
-    virtual TimingResult run(const isa::Program &prog) const = 0;
+    /**
+     * Simulate the columnar stream (hot path). The view must come
+     * from Program::stream() — region attribution follows
+     * view.program back to the kernel markers.
+     */
+    virtual TimingResult runStream(const isa::UopStreamView &view)
+        const = 0;
+
+    /**
+     * Historical AoS reference loop over Program::uops(). Cycle
+     * results are bit-identical to runStream; kept for the layout
+     * pinning tests and the SoA-vs-AoS replay-throughput bench.
+     */
+    virtual TimingResult runAos(const isa::Program &prog) const = 0;
 
     /** Configuration name for tables ("rocket", "boom-small", ...). */
     virtual std::string name() const = 0;
+
+    /**
+     * Key identifying the cycle results: every configuration knob
+     * that changes timing must be encoded here (the on-disk
+     * calibration cache is keyed on it). Models whose name() already
+     * captures the whole configuration may rely on this default.
+     */
+    virtual std::string cacheKey() const { return name(); }
+
+    /** Simulate @p prog through its (decode-once) columnar view. */
+    TimingResult
+    run(const isa::Program &prog) const
+    {
+        return runStream(prog.stream());
+    }
 };
+
+/** Historical name of the timing-model interface. */
+using CoreModel = TimingModel;
 
 /**
  * Shared region-attribution helper: given the completion cycle of each
@@ -109,6 +149,66 @@ class CoreModel
 std::vector<uint64_t>
 attributeRegions(const isa::Program &prog,
                  const std::vector<uint64_t> &finish);
+
+/**
+ * Streaming equivalent of attributeRegions for the columnar loops:
+ * regions are ordered and non-overlapping, so the attribution walks
+ * them alongside the uop loop instead of buffering every finish time.
+ * Feed completion cycles in program order via step(); the costs are
+ * identical to the buffered helper (pinned by the SoA-vs-AoS tests).
+ */
+class RegionAttributor
+{
+  public:
+    /** Panics (like attributeRegions) when a region is still open. */
+    explicit RegionAttributor(const isa::Program &prog);
+
+    /** Record uop @p i completing at cycle @p done. */
+    void
+    step(size_t i, uint64_t done)
+    {
+        closeUpTo(i);
+        if (done > running_max_)
+            running_max_ = done;
+    }
+
+    /** Close remaining regions and take the per-region costs. */
+    std::vector<uint64_t> finish(size_t n_uops);
+
+    /** Max completion cycle seen so far (program total after finish). */
+    uint64_t maxCompletion() const { return running_max_; }
+
+  private:
+    /** Handle region boundaries at uop index @p i (before its
+     *  completion merges into the running max). */
+    void
+    closeUpTo(size_t i)
+    {
+        while (true) {
+            if (open_) {
+                if (regions_[next_].end > i)
+                    return;
+                out_.push_back(running_max_ - open_before_);
+                open_ = false;
+                ++next_;
+            } else {
+                if (next_ >= regions_.size() ||
+                    regions_[next_].begin > i) {
+                    return;
+                }
+                open_before_ = running_max_;
+                open_ = true;
+            }
+        }
+    }
+
+    const std::vector<isa::KernelRegion> &regions_;
+    std::vector<uint64_t> out_;
+    size_t next_ = 0;            ///< first region not yet closed
+    uint64_t running_max_ = 0;   ///< max completion over uops [0, i)
+    uint64_t open_before_ = 0;   ///< running max at the open begin
+    bool open_ = false;
+};
 
 } // namespace rtoc::cpu
 

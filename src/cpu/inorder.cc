@@ -1,5 +1,7 @@
 #include "inorder.hh"
 
+#include "common/logging.hh"
+
 namespace rtoc::cpu {
 
 InOrderConfig
@@ -25,9 +27,22 @@ InOrderConfig::shuttle()
 }
 
 TimingResult
-InOrderCore::run(const isa::Program &prog) const
+InOrderCore::runStream(const isa::UopStreamView &view) const
 {
     // Pure scalar run: any coprocessor uop is a programming error.
+    return runStreamWithCoproc(
+        view,
+        [this](const isa::UopStreamView &v, size_t i, uint64_t,
+               RegReadyFile &,
+               RegReadyFile &) -> std::pair<uint64_t, uint64_t> {
+            rtoc_panic("scalar core '%s' given coprocessor uop %s",
+                       cfg_.name.c_str(), isa::uopName(v.kind[i]));
+        });
+}
+
+TimingResult
+InOrderCore::runAos(const isa::Program &prog) const
+{
     return runWithCoproc(
         prog,
         [this](const isa::Uop &u, uint64_t, RegReadyFile &,
@@ -35,6 +50,17 @@ InOrderCore::run(const isa::Program &prog) const
             rtoc_panic("scalar core '%s' given coprocessor uop %s",
                        cfg_.name.c_str(), isa::uopName(u.kind));
         });
+}
+
+std::string
+InOrderCore::cacheKey() const
+{
+    return csprintf("inorder:%s:iw%d:fpu%d:mp%d:ld%d:fp%d:div%d:"
+                    "imul%d:bb%d",
+                    cfg_.name.c_str(), cfg_.issueWidth, cfg_.fpuCount,
+                    cfg_.memPorts, cfg_.loadLatency, cfg_.fpLatency,
+                    cfg_.fpDivLatency, cfg_.intMulLatency,
+                    cfg_.branchBubble);
 }
 
 } // namespace rtoc::cpu

@@ -40,22 +40,36 @@ class InOrderCore : public CoreModel
   public:
     explicit InOrderCore(InOrderConfig cfg) : cfg_(std::move(cfg)) {}
 
-    TimingResult run(const isa::Program &prog) const override;
+    TimingResult runStream(const isa::UopStreamView &view) const override;
+
+    TimingResult runAos(const isa::Program &prog) const override;
 
     std::string name() const override { return cfg_.name; }
+
+    std::string cacheKey() const override;
 
     const InOrderConfig &config() const { return cfg_; }
 
     /**
-     * Stream-level entry point used by the Saturn and Gemmini wrappers:
-     * simulates only scalar uops, invoking @p coproc for non-scalar
-     * kinds. @p coproc receives the uop and the cycle at which the
-     * frontend presents it and returns the cycle at which the frontend
-     * may proceed (allowing coprocessor back-pressure).
+     * Historical AoS entry point used by the Saturn and Gemmini
+     * reference paths: simulates only scalar uops, invoking @p coproc
+     * for non-scalar kinds. @p coproc receives the uop and the cycle
+     * at which the frontend presents it and returns the cycle at
+     * which the frontend may proceed (allowing coprocessor
+     * back-pressure).
      */
     template <typename CoprocFn>
     TimingResult runWithCoproc(const isa::Program &prog,
                                CoprocFn &&coproc) const;
+
+    /**
+     * Columnar counterpart of runWithCoproc: @p coproc receives the
+     * view and the uop index (it reads only the columns its ISA
+     * needs) plus the present cycle and the register files.
+     */
+    template <typename CoprocFn>
+    TimingResult runStreamWithCoproc(const isa::UopStreamView &view,
+                                     CoprocFn &&coproc) const;
 
   private:
     InOrderConfig cfg_;

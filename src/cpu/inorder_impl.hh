@@ -4,6 +4,13 @@
  * the coprocessor callback so the Saturn and Gemmini wrappers reuse
  * one frontend model without virtual-dispatch overhead per uop.
  *
+ * Two instantiations of the loop exist. runStreamWithCoproc is the
+ * hot path: it walks the columnar UopStreamView, reads the
+ * precomputed class byte instead of re-switching on the kind, and
+ * turns latency classes into cycles through a small per-run table.
+ * runWithCoproc is the historical AoS loop, kept verbatim as the
+ * bit-exactness reference — both produce identical cycle counts.
+ *
  * The scoreboard scratch (finish times, scalar/vector ready files) is
  * thread-local and reset — capacity kept — per run, so replaying a
  * cached Program allocates nothing in the per-uop loop and concurrent
@@ -35,6 +42,146 @@ struct InOrderScratch
         vregs.reset();
     }
 };
+
+template <typename CoprocFn>
+TimingResult
+InOrderCore::runStreamWithCoproc(const isa::UopStreamView &v,
+                                 CoprocFn &&coproc) const
+{
+    using isa::LatClass;
+
+    if (!v.program) {
+        rtoc_panic("in-order core '%s': view has no owning program "
+                   "(region attribution needs Program::stream())",
+                   cfg_.name.c_str());
+    }
+
+    TimingResult result;
+
+    // The columnar loop needs no finish-time buffer: completions fold
+    // into the streaming RegionAttributor as they happen.
+    static thread_local InOrderScratch scratch;
+    scratch.sregs.reset();
+    scratch.vregs.reset();
+    RegReadyFile &sregs = scratch.sregs;
+    RegReadyFile &vregs = scratch.vregs;
+    RegionAttributor attr(*v.program);
+
+    // Per-run latency table indexed by LatClass (the decode pass
+    // already classified every uop; the config only prices classes).
+    uint64_t lat[isa::kNumLatClasses] = {};
+    lat[static_cast<size_t>(LatClass::IntAlu)] = 1;
+    lat[static_cast<size_t>(LatClass::IntMul)] =
+        static_cast<uint64_t>(cfg_.intMulLatency);
+    lat[static_cast<size_t>(LatClass::Fp)] =
+        static_cast<uint64_t>(cfg_.fpLatency);
+    lat[static_cast<size_t>(LatClass::FpDiv)] =
+        static_cast<uint64_t>(cfg_.fpDivLatency);
+    lat[static_cast<size_t>(LatClass::FpCmp)] = 2;
+    lat[static_cast<size_t>(LatClass::FpMove)] = 2;
+    lat[static_cast<size_t>(LatClass::Load)] =
+        static_cast<uint64_t>(cfg_.loadLatency);
+    lat[static_cast<size_t>(LatClass::Store)] = 1;
+    lat[static_cast<size_t>(LatClass::Branch)] = 1;
+
+    constexpr uint8_t kBranchCls =
+        static_cast<uint8_t>(LatClass::Branch);
+
+    // Hoisted column pointers: the loop below touches only these.
+    const uint8_t *const cls_col = v.cls;
+    const uint32_t *const dst_col = v.dst;
+    const uint32_t *const src0_col = v.src0;
+    const uint32_t *const src1_col = v.src1;
+    const uint32_t *const src2_col = v.src2;
+    const uint8_t *const taken_col = v.taken;
+
+    uint64_t cycle = 0;
+    int slots = 0;
+    int fp_used = 0;
+    int mem_used = 0;
+    uint64_t stall_data = 0;
+    uint64_t stall_struct = 0;
+
+    auto advance_to = [&](uint64_t c) {
+        if (c > cycle) {
+            cycle = c;
+            slots = 0;
+            fp_used = 0;
+            mem_used = 0;
+        }
+    };
+
+    for (size_t i = 0; i < v.n; ++i) {
+        const uint8_t cls = cls_col[i];
+
+        if (!(cls & isa::kClsScalar)) {
+            // Frontend presents the coprocessor instruction: it costs
+            // one issue slot, then the coprocessor decides when the
+            // frontend may continue (back-pressure, fences).
+            while (slots >= cfg_.issueWidth)
+                advance_to(cycle + 1);
+            // Scalar operand of the coprocessor op must be ready
+            // (e.g. vfmacc.vf reads a scalar f-register).
+            const uint32_t s0 = src0_col[i];
+            const uint32_t s1 = src1_col[i];
+            const uint32_t s2 = src2_col[i];
+            uint64_t ready = std::max(
+                std::max(sregs.readyTime(
+                             isa::Program::isVReg(s0) ? isa::kNoReg
+                                                      : s0),
+                         sregs.readyTime(isa::Program::isVReg(s1)
+                                             ? isa::kNoReg
+                                             : s1)),
+                sregs.readyTime(isa::Program::isVReg(s2) ? isa::kNoReg
+                                                         : s2));
+            if (ready > cycle) {
+                stall_data += ready - cycle;
+                advance_to(ready);
+            }
+            ++slots;
+            auto [release, done] = coproc(v, i, cycle, sregs, vregs);
+            attr.step(i, done);
+            if (release > cycle)
+                advance_to(release);
+            continue;
+        }
+
+        uint64_t ready =
+            std::max(std::max(sregs.readyTime(src0_col[i]),
+                              sregs.readyTime(src1_col[i])),
+                     sregs.readyTime(src2_col[i]));
+        if (ready > cycle) {
+            stall_data += ready - cycle;
+            advance_to(ready);
+        }
+        while (slots >= cfg_.issueWidth ||
+               ((cls & isa::kClsFp) && fp_used >= cfg_.fpuCount) ||
+               ((cls & isa::kClsMem) && mem_used >= cfg_.memPorts)) {
+            ++stall_struct;
+            advance_to(cycle + 1);
+        }
+        ++slots;
+        if (cls & isa::kClsFp)
+            ++fp_used;
+        if (cls & isa::kClsMem)
+            ++mem_used;
+
+        uint64_t done = cycle + lat[cls & isa::kClsLatMask];
+        attr.step(i, done);
+        sregs.setReady(dst_col[i], done);
+
+        if ((cls & isa::kClsLatMask) == kBranchCls && taken_col[i])
+            advance_to(cycle + 1 +
+                       static_cast<uint64_t>(cfg_.branchBubble));
+    }
+
+    result.regionCycles = attr.finish(v.n);
+    result.cycles = std::max(cycle, attr.maxCompletion());
+    result.stats.set("uops", v.n);
+    result.stats.set("stall_data", stall_data);
+    result.stats.set("stall_struct", stall_struct);
+    return result;
+}
 
 template <typename CoprocFn>
 TimingResult

@@ -129,7 +129,106 @@ struct OooScratch
 } // namespace
 
 TimingResult
-OooCore::run(const isa::Program &prog) const
+OooCore::runStream(const isa::UopStreamView &v) const
+{
+    using isa::LatClass;
+
+    if (!v.program) {
+        rtoc_panic("OoO core '%s': view has no owning program",
+                   cfg_.name.c_str());
+    }
+
+    TimingResult result;
+
+    // The columnar loop needs no finish-time buffer: completions fold
+    // into the streaming RegionAttributor as they happen.
+    static thread_local OooScratch scratch;
+    scratch.regs.reset();
+    scratch.commit.assign(static_cast<size_t>(cfg_.robSize), 0);
+    scratch.intSlots.reset(cfg_.intIssue);
+    scratch.memSlots.reset(cfg_.memIssue);
+    scratch.fpSlots.reset(cfg_.fpIssue);
+
+    RegReadyFile &regs = scratch.regs;
+    RegionAttributor attr(*v.program);
+
+    // Per-run latency table indexed by the precomputed LatClass.
+    uint64_t lat[isa::kNumLatClasses] = {};
+    lat[static_cast<size_t>(LatClass::IntAlu)] = 1;
+    lat[static_cast<size_t>(LatClass::IntMul)] =
+        static_cast<uint64_t>(cfg_.intMulLatency);
+    lat[static_cast<size_t>(LatClass::Fp)] =
+        static_cast<uint64_t>(cfg_.fpLatency);
+    lat[static_cast<size_t>(LatClass::FpDiv)] =
+        static_cast<uint64_t>(cfg_.fpDivLatency);
+    lat[static_cast<size_t>(LatClass::FpCmp)] = 2;
+    lat[static_cast<size_t>(LatClass::FpMove)] = 2;
+    lat[static_cast<size_t>(LatClass::Load)] =
+        static_cast<uint64_t>(cfg_.loadLatency);
+    lat[static_cast<size_t>(LatClass::Store)] = 1;
+    lat[static_cast<size_t>(LatClass::Branch)] = 1;
+
+    // LatClass -> issue pipeline (same partition as classOf()).
+    SlotMap *pipe[isa::kNumLatClasses] = {};
+    pipe[static_cast<size_t>(LatClass::IntAlu)] = &scratch.intSlots;
+    pipe[static_cast<size_t>(LatClass::IntMul)] = &scratch.intSlots;
+    pipe[static_cast<size_t>(LatClass::Fp)] = &scratch.fpSlots;
+    pipe[static_cast<size_t>(LatClass::FpDiv)] = &scratch.fpSlots;
+    pipe[static_cast<size_t>(LatClass::FpCmp)] = &scratch.fpSlots;
+    pipe[static_cast<size_t>(LatClass::FpMove)] = &scratch.fpSlots;
+    pipe[static_cast<size_t>(LatClass::Load)] = &scratch.memSlots;
+    pipe[static_cast<size_t>(LatClass::Store)] = &scratch.memSlots;
+    pipe[static_cast<size_t>(LatClass::Branch)] = &scratch.intSlots;
+
+    // In-order commit ring for the ROB-occupancy constraint.
+    std::vector<uint64_t> &commit = scratch.commit;
+    uint64_t last_commit = 0;
+
+    for (size_t i = 0; i < v.n; ++i) {
+        const uint8_t cls = v.cls[i];
+        if (!(cls & isa::kClsScalar)) {
+            rtoc_panic("OoO core '%s' given coprocessor uop %s "
+                       "(BOOM cores are evaluated scalar-only)",
+                       cfg_.name.c_str(), isa::uopName(v.kind[i]));
+        }
+
+        uint64_t fetch =
+            static_cast<uint64_t>(i) /
+            static_cast<uint64_t>(cfg_.frontWidth);
+        uint64_t rob_free = commit[i % cfg_.robSize];
+        uint64_t operands = std::max({regs.readyTime(v.src0[i]),
+                                      regs.readyTime(v.src1[i]),
+                                      regs.readyTime(v.src2[i])});
+        uint64_t t = std::max({fetch, rob_free, operands});
+
+        uint64_t issue = pipe[cls & isa::kClsLatMask]->claimFrom(t);
+        uint64_t done = issue + lat[cls & isa::kClsLatMask];
+        attr.step(i, done);
+        regs.setReady(v.dst[i], done);
+
+        last_commit = std::max(last_commit, done);
+        commit[i % cfg_.robSize] = last_commit;
+    }
+
+    result.regionCycles = attr.finish(v.n);
+    result.cycles = attr.maxCompletion();
+    result.stats.set("uops", v.n);
+    return result;
+}
+
+std::string
+OooCore::cacheKey() const
+{
+    return csprintf("ooo:%s:fw%d:rob%d:ii%d:mi%d:fi%d:ld%d:fp%d:"
+                    "div%d:imul%d",
+                    cfg_.name.c_str(), cfg_.frontWidth, cfg_.robSize,
+                    cfg_.intIssue, cfg_.memIssue, cfg_.fpIssue,
+                    cfg_.loadLatency, cfg_.fpLatency,
+                    cfg_.fpDivLatency, cfg_.intMulLatency);
+}
+
+TimingResult
+OooCore::runAos(const isa::Program &prog) const
 {
     using isa::Uop;
     using isa::UopKind;

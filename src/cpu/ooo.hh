@@ -48,9 +48,13 @@ class OooCore : public CoreModel
   public:
     explicit OooCore(OooConfig cfg) : cfg_(std::move(cfg)) {}
 
-    TimingResult run(const isa::Program &prog) const override;
+    TimingResult runStream(const isa::UopStreamView &view) const override;
+
+    TimingResult runAos(const isa::Program &prog) const override;
 
     std::string name() const override { return cfg_.name; }
+
+    std::string cacheKey() const override;
 
     const OooConfig &config() const { return cfg_; }
 

@@ -1,5 +1,6 @@
 #include "timing.hh"
 
+#include <cstring>
 #include <map>
 #include <mutex>
 #include <tuple>
@@ -16,11 +17,89 @@
 
 namespace rtoc::hil {
 
+namespace {
+
+/** Process-wide calibration-cache counters. */
+struct CalibCounters
+{
+    std::mutex mu;
+    CalibCacheStats stats;
+};
+
+CalibCounters &
+calibCounters()
+{
+    static CalibCounters c;
+    return c;
+}
+
+void
+bumpCalib(uint64_t CalibCacheStats::*field)
+{
+    CalibCounters &c = calibCounters();
+    std::lock_guard<std::mutex> lk(c.mu);
+    ++(c.stats.*field);
+}
+
+} // namespace
+
+CalibCacheStats
+calibCacheStats()
+{
+    CalibCounters &c = calibCounters();
+    std::lock_guard<std::mutex> lk(c.mu);
+    return c.stats;
+}
+
+std::string
+encodeTiming(const ControllerTiming &t)
+{
+    std::string out;
+    isa::blob::putRaw<uint32_t>(out, 1); // payload version
+    isa::blob::putStr(out, t.archName);
+    isa::blob::putStr(out, t.mappingName);
+    isa::blob::putRaw<double>(out, t.baseCycles);
+    isa::blob::putRaw<double>(out, t.cyclesPerIter);
+    return out;
+}
+
+std::optional<ControllerTiming>
+decodeTiming(const std::string &payload)
+{
+    isa::blob::Reader r(payload);
+    if (r.raw<uint32_t>() != 1 || !r.ok)
+        return std::nullopt;
+    ControllerTiming t;
+    t.archName = r.str();
+    t.mappingName = r.str();
+    t.baseCycles = r.raw<double>();
+    t.cyclesPerIter = r.raw<double>();
+    if (!r.ok || r.left != 0)
+        return std::nullopt;
+    return t;
+}
+
 ControllerTiming
 calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
                 tinympc::MappingStyle style, const plant::Plant &plant,
-                double dt, int horizon)
+                double dt, int horizon, const isa::DiskCache *disk)
 {
+    // The fitted linear cycle model is as deterministic as the stream
+    // it replays, so it persists across processes under a key carrying
+    // every timing-relevant knob: the full model configuration, the
+    // backend's emission key, the mapping style and the problem shape.
+    const std::string calib_key = csprintf(
+        "%s|%s|style%d|nx%d|nu%d|dt%.17g|h%d",
+        model.cacheKey().c_str(), backend.cacheKey().c_str(),
+        static_cast<int>(style), plant.nx(), plant.nu(), dt, horizon);
+    if (disk) {
+        if (auto payload = disk->get("calib", calib_key)) {
+            if (auto t = decodeTiming(*payload)) {
+                bumpCalib(&CalibCacheStats::diskHits);
+                return *t;
+            }
+        }
+    }
     // Emission is data-independent: given the backend configuration,
     // mapping style, problem shape and a forced iteration count the
     // solver emits bit-identical streams regardless of plant masses
@@ -74,6 +153,9 @@ calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
     t.baseCycles = c_lo - 5.0 * t.cyclesPerIter;
     if (t.baseCycles < 0.0)
         t.baseCycles = 0.0;
+    bumpCalib(&CalibCacheStats::computes);
+    if (disk)
+        disk->put("calib", calib_key, encodeTiming(t));
     return t;
 }
 
@@ -119,8 +201,10 @@ memoizedCalibration(int which, const plant::Plant &plant, double dt,
     auto key =
         std::make_tuple(which, plant.nx(), plant.nu(), dt, horizon);
     auto it = m.memo.find(key);
-    if (it != m.memo.end())
+    if (it != m.memo.end()) {
+        bumpCalib(&CalibCacheStats::memoHits);
         return it->second;
+    }
     ControllerTiming t = make();
     m.memo.emplace(key, t);
     return t;

@@ -16,9 +16,11 @@
 #ifndef RTOC_HIL_TIMING_HH
 #define RTOC_HIL_TIMING_HH
 
+#include <optional>
 #include <string>
 
 #include "cpu/core_model.hh"
+#include "isa/disk_cache.hh"
 #include "matlib/backend.hh"
 #include "plant/plant.hh"
 #include "quad/linearize.hh"
@@ -45,12 +47,16 @@ struct ControllerTiming
 /**
  * Calibrate @p backend/@p style on @p model using a freshly-built
  * workspace of @p plant (emission cached per backend config, style
- * and problem shape).
+ * and problem shape). The fitted ControllerTiming is persisted to
+ * @p disk keyed on (model cacheKey, backend cacheKey, style, shape),
+ * so a warm process skips both the replay runs and the emission; pass
+ * nullptr to force recomputation.
  */
 ControllerTiming
 calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
                 tinympc::MappingStyle style, const plant::Plant &plant,
-                double dt, int horizon);
+                double dt, int horizon,
+                const isa::DiskCache *disk = &isa::DiskCache::global());
 
 /** Historical quadrotor entry point (wraps a QuadrotorPlant). */
 ControllerTiming
@@ -81,6 +87,21 @@ ControllerTiming vectorControllerTiming(const quad::DroneParams &drone,
                                         double dt, int horizon);
 ControllerTiming gemminiControllerTiming(const quad::DroneParams &drone,
                                          double dt, int horizon);
+
+/** Calibration-cache counters (tests, CI warm-start assertions). */
+struct CalibCacheStats
+{
+    uint64_t memoHits = 0; ///< in-memory convenience-memo hits
+    uint64_t diskHits = 0; ///< calibrations loaded from disk
+    uint64_t computes = 0; ///< full two-point replay fits performed
+};
+CalibCacheStats calibCacheStats();
+
+/** Serialize a ControllerTiming (bit-exact double round-trip). */
+std::string encodeTiming(const ControllerTiming &t);
+
+/** Decode an encodeTiming payload; nullopt when malformed. */
+std::optional<ControllerTiming> decodeTiming(const std::string &payload);
 
 } // namespace rtoc::hil
 

@@ -67,10 +67,152 @@ internedKernelCount()
     return in.names.size();
 }
 
+uint64_t
+Program::nextId()
+{
+    static std::atomic<uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Program::Program(const Program &o)
+    : uops_(o.uops_), kernels_(o.kernels_), next_reg_(o.next_reg_),
+      next_vreg_(o.next_vreg_), kernel_open_(o.kernel_open_)
+{
+}
+
+Program &
+Program::operator=(const Program &o)
+{
+    if (this == &o)
+        return *this;
+    uops_ = o.uops_;
+    kernels_ = o.kernels_;
+    next_reg_ = o.next_reg_;
+    next_vreg_ = o.next_vreg_;
+    kernel_open_ = o.kernel_open_;
+    invalidateColumns();
+    return *this;
+}
+
+Program::Program(Program &&o) noexcept
+    : uops_(std::move(o.uops_)), kernels_(std::move(o.kernels_)),
+      next_reg_(o.next_reg_), next_vreg_(o.next_vreg_),
+      kernel_open_(o.kernel_open_)
+{
+    o.invalidateColumns();
+}
+
+Program &
+Program::operator=(Program &&o) noexcept
+{
+    if (this == &o)
+        return *this;
+    uops_ = std::move(o.uops_);
+    kernels_ = std::move(o.kernels_);
+    next_reg_ = o.next_reg_;
+    next_vreg_ = o.next_vreg_;
+    kernel_open_ = o.kernel_open_;
+    invalidateColumns();
+    o.invalidateColumns();
+    return *this;
+}
+
+void
+Program::invalidateColumns()
+{
+    cols_valid_.store(false, std::memory_order_release);
+}
+
+UopStreamView
+Program::makeView() const
+{
+    const UopColumns &c = *cols_;
+    UopStreamView v;
+    v.n = c.kind.size();
+    v.kind = c.kind.data();
+    v.cls = c.cls.data();
+    v.dst = c.dst.data();
+    v.src0 = c.src0.data();
+    v.src1 = c.src1.data();
+    v.src2 = c.src2.data();
+    v.vl = c.vl.data();
+    v.sew = c.sew.data();
+    v.lmul8 = c.lmul8.data();
+    v.bytes = c.bytes.data();
+    v.rows = c.rows.data();
+    v.cols = c.cols.data();
+    v.taken = c.taken.data();
+    v.program = this;
+    return v;
+}
+
+UopStreamView
+Program::stream() const
+{
+    // Fast path: columns already mirror the stream. The acquire pairs
+    // with the release below so a replay thread that observes the
+    // flag also observes the filled arrays.
+    if (cols_valid_.load(std::memory_order_acquire))
+        return makeView();
+
+    std::lock_guard<std::mutex> lk(cols_mu_);
+    if (!cols_valid_.load(std::memory_order_relaxed)) {
+        if (!cols_)
+            cols_ = std::make_unique<UopColumns>();
+        UopColumns &c = *cols_;
+        const size_t n = uops_.size();
+        c.kind.resize(n);
+        c.cls.resize(n);
+        c.dst.resize(n);
+        c.src0.resize(n);
+        c.src1.resize(n);
+        c.src2.resize(n);
+        c.vl.resize(n);
+        c.sew.resize(n);
+        c.lmul8.resize(n);
+        c.bytes.resize(n);
+        c.rows.resize(n);
+        c.cols.resize(n);
+        c.taken.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+            const Uop &u = uops_[i];
+            c.kind[i] = u.kind;
+            c.cls[i] = decodeClass(u.kind);
+            c.dst[i] = u.dst;
+            c.src0[i] = u.src0;
+            c.src1[i] = u.src1;
+            c.src2[i] = u.src2;
+            c.vl[i] = u.vl;
+            c.sew[i] = u.sew;
+            c.lmul8[i] = u.lmul8;
+            c.bytes[i] = u.bytes;
+            c.rows[i] = u.rows;
+            c.cols[i] = u.cols;
+            c.taken[i] = u.taken;
+        }
+        cols_valid_.store(true, std::memory_order_release);
+    }
+    return makeView();
+}
+
+Program
+Program::assemble(std::vector<Uop> uops, std::vector<KernelRegion> kernels,
+                  uint32_t next_reg, uint32_t next_vreg)
+{
+    Program p;
+    p.uops_ = std::move(uops);
+    p.kernels_ = std::move(kernels);
+    p.next_reg_ = next_reg;
+    p.next_vreg_ = next_vreg;
+    return p;
+}
+
 size_t
 Program::push(const Uop &u)
 {
     uops_.push_back(u);
+    if (cols_valid_.load(std::memory_order_relaxed))
+        invalidateColumns();
     return uops_.size() - 1;
 }
 
@@ -167,6 +309,7 @@ Program::clear()
     }
     uops_.clear();
     kernels_.clear();
+    invalidateColumns();
 }
 
 std::vector<KernelCycles>

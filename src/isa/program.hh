@@ -12,17 +12,28 @@
  * looked up when a table is printed. Streams are stored contiguously
  * and capacity-reserved, so replaying a cached Program touches no
  * allocator.
+ *
+ * Storage is dual-mode: emitters append AoS Uop records through the
+ * unchanged push() API, and the first stream() call transposes the
+ * stream into a columnar (SoA) store — including the decoded class
+ * column — that every TimingModel replay reads through a
+ * UopStreamView. The transpose happens once per Program (identified
+ * by id()), no matter how many models or threads replay it.
  */
 
 #ifndef RTOC_ISA_PROGRAM_HH
 #define RTOC_ISA_PROGRAM_HH
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "isa/uop.hh"
+#include "isa/uop_stream.hh"
 
 namespace rtoc::isa {
 
@@ -52,10 +63,35 @@ struct KernelRegion
     const std::string &name() const { return kernelName(id); }
 };
 
+/** Backing arrays of the columnar storage mode (built lazily). */
+struct UopColumns
+{
+    std::vector<UopKind> kind;
+    std::vector<uint8_t> cls;
+    std::vector<uint32_t> dst, src0, src1, src2;
+    std::vector<uint32_t> vl;
+    std::vector<uint16_t> sew, lmul8;
+    std::vector<uint32_t> bytes;
+    std::vector<uint16_t> rows, cols;
+    std::vector<uint8_t> taken;
+};
+
 /** Ordered micro-op stream plus region markers and counters. */
 class Program
 {
   public:
+    Program() = default;
+
+    /**
+     * Copies/moves carry the stream and counters; the lazily-built
+     * column store is rebuilt on demand by the destination (copies
+     * get a fresh id — column memoization is per object).
+     */
+    Program(const Program &o);
+    Program &operator=(const Program &o);
+    Program(Program &&o) noexcept;
+    Program &operator=(Program &&o) noexcept;
+
     /** Allocate a fresh scalar virtual register. */
     uint32_t newReg() { return next_reg_++; }
 
@@ -96,6 +132,26 @@ class Program
     /** All micro-ops in program order. */
     const std::vector<Uop> &uops() const { return uops_; }
 
+    /**
+     * Columnar view of the stream. The SoA store (and the decoded
+     * class column) is built on first use and cached until the next
+     * mutation; safe to call concurrently from replay threads on a
+     * frozen Program. Pointers in the returned view stay valid while
+     * this Program is alive and unmodified.
+     */
+    UopStreamView stream() const;
+
+    /** Process-unique identity of this object (column-memo key). */
+    uint64_t id() const { return id_; }
+
+    /**
+     * Rebuild a Program from decoded parts (the disk-cache loader).
+     * Regions must already be validated (ordered, in bounds).
+     */
+    static Program assemble(std::vector<Uop> uops,
+                            std::vector<KernelRegion> kernels,
+                            uint32_t next_reg, uint32_t next_vreg);
+
     /** Closed kernel regions in program order. */
     const std::vector<KernelRegion> &kernels() const { return kernels_; }
 
@@ -122,11 +178,21 @@ class Program
   private:
     static constexpr uint32_t kVRegBit = 0x80000000u;
 
+    static uint64_t nextId();
+    void invalidateColumns();
+    UopStreamView makeView() const; ///< requires cols_ to be built
+
     std::vector<Uop> uops_;
     std::vector<KernelRegion> kernels_;
     uint32_t next_reg_ = 1;
     uint32_t next_vreg_ = 1;
     bool kernel_open_ = false;
+    uint64_t id_ = nextId();
+
+    /** Lazily-built SoA mirror of uops_ (see stream()). */
+    mutable std::unique_ptr<UopColumns> cols_;
+    mutable std::mutex cols_mu_;
+    mutable std::atomic<bool> cols_valid_{false};
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "program_cache.hh"
 
 #include "common/logging.hh"
+#include "isa/disk_cache.hh"
 
 namespace rtoc::isa {
 
@@ -26,6 +27,20 @@ ProgramCache::getOrEmit(const std::string &key, const Emitter &emit)
 
     std::lock_guard<std::mutex> elk(entry->mu);
     if (!entry->prog) {
+        // A first-miss consults the persistent cache before paying
+        // for emission; fresh emissions are persisted for the next
+        // process.
+        if (disk_) {
+            if (auto payload = disk_->get("prog", key)) {
+                if (auto prog = decodeProgram(*payload)) {
+                    entry->prog = std::make_shared<const Program>(
+                        std::move(*prog));
+                    std::lock_guard<std::mutex> slk(stat_mu_);
+                    ++disk_hits_;
+                    return entry->prog;
+                }
+            }
+        }
         auto prog = std::make_shared<Program>();
         // Typical instrumented solves run to ~1e5 uops; reserving
         // here keeps the (one-time) emission from reallocating its
@@ -35,7 +50,11 @@ ProgramCache::getOrEmit(const std::string &key, const Emitter &emit)
         if (prog->kernelOpen())
             rtoc_panic("ProgramCache: emitter for '%s' left a kernel "
                        "region open", key.c_str());
+        if (disk_)
+            disk_->put("prog", key, encodeProgram(*prog));
         entry->prog = std::move(prog);
+        std::lock_guard<std::mutex> slk(stat_mu_);
+        ++emissions_;
     }
     return entry->prog;
 }
@@ -62,6 +81,9 @@ ProgramCache::clear()
     map_.clear();
     hits_ = 0;
     misses_ = 0;
+    std::lock_guard<std::mutex> slk(stat_mu_);
+    emissions_ = 0;
+    disk_hits_ = 0;
 }
 
 ProgramCacheStats
@@ -71,6 +93,11 @@ ProgramCache::stats() const
     ProgramCacheStats s;
     s.hits = hits_;
     s.misses = misses_;
+    {
+        std::lock_guard<std::mutex> slk(stat_mu_);
+        s.emissions = emissions_;
+        s.diskHits = disk_hits_;
+    }
     s.entries = map_.size();
     for (const auto &kv : map_) {
         std::lock_guard<std::mutex> elk(kv.second->mu);
@@ -83,7 +110,7 @@ ProgramCache::stats() const
 ProgramCache &
 ProgramCache::global()
 {
-    static ProgramCache cache;
+    static ProgramCache cache(&DiskCache::global());
     return cache;
 }
 

@@ -1,8 +1,43 @@
 #include "uop.hh"
 
 #include "common/logging.hh"
+#include "isa/uop_stream.hh"
 
 namespace rtoc::isa {
+
+uint8_t
+decodeClass(UopKind k)
+{
+    const auto cls = [](LatClass lc, uint8_t flags) -> uint8_t {
+        return static_cast<uint8_t>(lc) | flags;
+    };
+    switch (k) {
+      case UopKind::IntAlu:
+        return cls(LatClass::IntAlu, kClsScalar);
+      case UopKind::IntMul:
+        return cls(LatClass::IntMul, kClsScalar);
+      case UopKind::FpAdd:
+      case UopKind::FpMul:
+      case UopKind::FpFma:
+      case UopKind::FpMinMax:
+      case UopKind::FpAbs:
+        return cls(LatClass::Fp, kClsScalar | kClsFp);
+      case UopKind::FpDiv:
+        return cls(LatClass::FpDiv, kClsScalar | kClsFp);
+      case UopKind::FpCmp:
+        return cls(LatClass::FpCmp, kClsScalar | kClsFp);
+      case UopKind::FpMove:
+        return cls(LatClass::FpMove, kClsScalar);
+      case UopKind::Load:
+        return cls(LatClass::Load, kClsScalar | kClsMem);
+      case UopKind::Store:
+        return cls(LatClass::Store, kClsScalar | kClsMem);
+      case UopKind::Branch:
+        return cls(LatClass::Branch, kClsScalar);
+      default:
+        return cls(LatClass::Coproc, 0);
+    }
+}
 
 bool
 isScalar(UopKind k)

@@ -205,6 +205,15 @@ class Plant
 
     /** Deterministically generate scenario @p index of @p d. */
     virtual Scenario makeScenario(Difficulty d, int index) const = 0;
+
+    /**
+     * Episodes per sweep cell the registry records for this plant's
+     * scenario specs. Plants whose episodes are long or whose success
+     * metric converges slowly may override the historical default;
+     * sweep drivers (bench_cross_plant) read the per-spec count
+     * instead of one global n.
+     */
+    virtual int defaultEpisodes() const { return 6; }
 };
 
 /**

@@ -48,6 +48,7 @@ void
 ScenarioRegistry::registerPlant(std::shared_ptr<const Plant> proto)
 {
     rtoc_assert(proto != nullptr);
+    const int episodes = proto->defaultEpisodes();
     for (Difficulty d : kAllDifficulties) {
         ScenarioSpec spec;
         spec.plantName = proto->name();
@@ -55,6 +56,7 @@ ScenarioRegistry::registerPlant(std::shared_ptr<const Plant> proto)
         spec.disturbance = DisturbanceProfile::clean();
         spec.prototype = proto;
         spec.id = specId(*proto, d, spec.disturbance);
+        spec.episodes = episodes;
         addSpec(std::move(spec));
     }
     // One disturbed family per plant: gusty actuation at medium.
@@ -65,6 +67,7 @@ ScenarioRegistry::registerPlant(std::shared_ptr<const Plant> proto)
     gusty.prototype = std::move(proto);
     gusty.id = specId(*gusty.prototype, gusty.difficulty,
                       gusty.disturbance);
+    gusty.episodes = episodes;
     addSpec(std::move(gusty));
 }
 

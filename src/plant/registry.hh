@@ -34,6 +34,10 @@ struct ScenarioSpec
     Difficulty difficulty = Difficulty::Easy;
     DisturbanceProfile disturbance;
     std::shared_ptr<const Plant> prototype;
+    /** Episodes per sweep cell (from Plant::defaultEpisodes unless a
+     *  spec overrides it); sweep drivers read this instead of one
+     *  global n. */
+    int episodes = 6;
 
     /** Scenario @p index of this spec: the plant's deterministic
      *  waypoints with the spec's disturbance profile applied. */

@@ -19,21 +19,42 @@ class UartModel
 {
   public:
     /**
+     * Largest payload a small frame covers: one length byte plus a
+     * CRC-16. Larger messages need a two-byte length field and a
+     * CRC-32, adding 3 framing bytes. Every registered plant's
+     * state/command message fits a small frame today (the quadrotor's
+     * 15-float uplink is 60 bytes), so the historical fixed overhead
+     * is exactly the small-frame cost; wide custom shapes pay the
+     * large-frame overhead their payload actually needs.
+     */
+    static constexpr int kMaxSmallPayload = 255;
+
+    /**
      * @param baud_rate line rate (default 460800, a typical tethered
      *        research-chip configuration)
-     * @param framing_bytes protocol overhead per message
+     * @param framing_bytes small-frame protocol overhead per message
+     *        (sync + length + flags + CRC-16)
      */
     explicit UartModel(double baud_rate = 460800.0,
                        int framing_bytes = 6)
         : baud_(baud_rate), framing_(framing_bytes)
     {}
 
+    /** Framing overhead carried by a @p payload_bytes message. */
+    int
+    framingBytes(int payload_bytes) const
+    {
+        return payload_bytes <= kMaxSmallPayload ? framing_
+                                                 : framing_ + 3;
+    }
+
     /** Seconds to transfer @p payload_bytes. */
     double
     transferS(int payload_bytes) const
     {
-        double bits =
-            10.0 * static_cast<double>(payload_bytes + framing_);
+        double bits = 10.0 * static_cast<double>(
+                                 payload_bytes +
+                                 framingBytes(payload_bytes));
         return bits / baud_;
     }
 
@@ -51,6 +72,8 @@ class UartModel
     }
 
     double baud() const { return baud_; }
+
+    /** Small-frame overhead (configuration value, memo keys). */
     int framingBytes() const { return framing_; }
 
   private:

@@ -70,7 +70,141 @@ struct AccelState
 } // namespace
 
 cpu::TimingResult
-GemminiModel::run(const isa::Program &prog) const
+GemminiModel::runStream(const isa::UopStreamView &view) const
+{
+    using isa::UopKind;
+
+    static thread_local AccelState st;
+    st.reset();
+    cpu::InOrderCore frontend(cfg_.frontend);
+
+    // Columnar twin of the AoS coproc below: a RoCC command reads
+    // only kind/rows/cols/bytes/taken, through pointers hoisted out
+    // of the per-op call. Any change here must be mirrored there —
+    // the SoA-vs-AoS pinning tests hold the two bit-identical.
+    const UopKind *const kind_col = view.kind;
+    const uint16_t *const rows_col = view.rows;
+    const uint16_t *const cols_col = view.cols;
+    const uint32_t *const bytes_col = view.bytes;
+    const uint8_t *const taken_col = view.taken;
+
+    // The DMA bus width is a power of two on every real
+    // configuration; folding the per-op ceil-divide into a shift
+    // removes a 64-bit divider from the command hot path (identical
+    // results — the non-power-of-two fallback keeps the division).
+    const uint64_t bus = static_cast<uint64_t>(cfg_.busBytes);
+    const bool bus_pow2 = bus != 0 && (bus & (bus - 1)) == 0;
+    const int bus_shift = bus_pow2 ? __builtin_ctzll(bus) : 0;
+    auto div_bus = [&](uint64_t x) -> uint64_t {
+        return bus_pow2 ? x >> bus_shift : x / bus;
+    };
+
+    auto exec_latency = [&](size_t i) -> uint64_t {
+        switch (kind_col[i]) {
+          case UopKind::RoccConfig:
+            return static_cast<uint64_t>(cfg_.configLat);
+          case UopKind::RoccMvin:
+          case UopKind::RoccMvout: {
+            const uint16_t rows = rows_col[i];
+            uint64_t move;
+            if (cols_col[i] == 1 && rows > 1 && !cfg_.hardwareGemv) {
+                // Column vector: one element per cycle into/out of a
+                // scratchpad column (§4.2.4 inefficiency). The
+                // hardware-GEMV extension packs vectors across rows
+                // and moves them at full bandwidth instead.
+                move = rows;
+            } else {
+                move = div_bus(static_cast<uint64_t>(bytes_col[i]) +
+                               bus - 1);
+            }
+            // Pool window > 1 adds a comparator pass per output row.
+            if (kind_col[i] == UopKind::RoccMvout && taken_col[i])
+                move += rows;
+            return static_cast<uint64_t>(cfg_.dmaFixed) + move;
+          }
+          case UopKind::RoccPreload:
+            return static_cast<uint64_t>(cfg_.meshDim);
+          case UopKind::RoccCompute:
+            // rows flow through a meshDim-deep pipeline.
+            return static_cast<uint64_t>(rows_col[i]) +
+                   2 * static_cast<uint64_t>(cfg_.meshDim);
+          default:
+            rtoc_panic("gemmini '%s': unsupported uop %s",
+                       cfg_.name.c_str(), isa::uopName(kind_col[i]));
+        }
+    };
+
+    auto coproc = [&](const isa::UopStreamView &, size_t i,
+                      uint64_t present, cpu::RegReadyFile &sregs,
+                      cpu::RegReadyFile &vregs)
+        -> std::pair<uint64_t, uint64_t> {
+        (void)sregs;
+        (void)vregs;
+        uint64_t release = present;
+
+        if (kind_col[i] == UopKind::RoccFence) {
+            // Frontend blocks until the accelerator drains; when an
+            // mvout is outstanding the memory system must also be
+            // ordered, costing the paper's measured several-hundred-
+            // cycle stall.
+            uint64_t done = std::max(present, st.lastCompletion) +
+                            static_cast<uint64_t>(cfg_.fenceBase);
+            if (st.mvoutSinceFence)
+                done += static_cast<uint64_t>(cfg_.fenceMemPenalty);
+            st.mvoutSinceFence = false;
+            st.inFlight.clear();
+            ++st.fences;
+            st.fenceStall += done - present;
+            return {done, done};
+        }
+
+        // Command-queue back-pressure.
+        while (!st.inFlight.empty() && st.inFlight.front() <= present)
+            st.inFlight.popFront();
+        if (static_cast<int>(st.inFlight.size()) >= cfg_.robDepth) {
+            uint64_t drain = st.inFlight.front();
+            st.stallQueueFull += drain - present;
+            release = drain;
+            st.inFlight.popFront();
+        }
+
+        uint64_t start = std::max(std::max(present, release) +
+                                      static_cast<uint64_t>(cfg_.issueLat),
+                                  st.lastCompletion);
+        uint64_t completion = start + exec_latency(i);
+        st.lastCompletion = completion;
+        st.inFlight.pushBack(completion);
+        ++st.cmds;
+        if (kind_col[i] == UopKind::RoccMvout)
+            st.mvoutSinceFence = true;
+        return {release, completion};
+    };
+
+    cpu::TimingResult result =
+        frontend.runStreamWithCoproc(view, coproc);
+    result.stats.set("rocc_cmds", st.cmds);
+    result.stats.set("rocc_fences", st.fences);
+    result.stats.set("fence_stall_cycles", st.fenceStall);
+    result.stats.set("stall_rob_full", st.stallQueueFull);
+    return result;
+}
+
+std::string
+GemminiModel::cacheKey() const
+{
+    return csprintf(
+        "gemmini:%s:m%d:df%d:spad%d:acc%d:rob%d:il%d:cl%d:dma%d:"
+        "bus%d:fb%d:fmp%d:hwgemv%d|%s",
+        cfg_.name.c_str(), cfg_.meshDim,
+        static_cast<int>(cfg_.dataflow), cfg_.spadKb, cfg_.accKb,
+        cfg_.robDepth, cfg_.issueLat, cfg_.configLat, cfg_.dmaFixed,
+        cfg_.busBytes, cfg_.fenceBase, cfg_.fenceMemPenalty,
+        cfg_.hardwareGemv ? 1 : 0,
+        cpu::InOrderCore(cfg_.frontend).cacheKey().c_str());
+}
+
+cpu::TimingResult
+GemminiModel::runAos(const isa::Program &prog) const
 {
     using isa::Uop;
     using isa::UopKind;

@@ -69,9 +69,14 @@ class GemminiModel : public cpu::CoreModel
   public:
     explicit GemminiModel(GemminiConfig cfg) : cfg_(std::move(cfg)) {}
 
-    cpu::TimingResult run(const isa::Program &prog) const override;
+    cpu::TimingResult
+    runStream(const isa::UopStreamView &view) const override;
+
+    cpu::TimingResult runAos(const isa::Program &prog) const override;
 
     std::string name() const override { return cfg_.name; }
+
+    std::string cacheKey() const override;
 
     const GemminiConfig &config() const { return cfg_; }
 

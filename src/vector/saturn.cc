@@ -48,7 +48,188 @@ struct VectorUnitState
 } // namespace
 
 cpu::TimingResult
-SaturnModel::run(const isa::Program &prog) const
+SaturnModel::runStream(const isa::UopStreamView &view) const
+{
+    using isa::UopKind;
+
+    static thread_local VectorUnitState st;
+    st.reset();
+    cpu::InOrderCore frontend(cfg_.frontend);
+
+    // Columnar twin of the AoS coproc below: reads only the columns a
+    // vector op consumes (kind, registers, vl/sew/lmul8), through
+    // pointers hoisted out of the per-op call. Any change here must
+    // be mirrored there — the SoA-vs-AoS pinning tests hold the two
+    // bit-identical.
+    const UopKind *const kind_col = view.kind;
+    const uint32_t *const dst_col = view.dst;
+    const uint32_t *const src0_col = view.src0;
+    const uint32_t *const src1_col = view.src1;
+    const uint32_t *const src2_col = view.src2;
+    const uint32_t *const vl_col = view.vl;
+    const uint16_t *const sew_col = view.sew;
+    const uint16_t *const lmul8_col = view.lmul8;
+
+    // Datapath widths are powers of two on every real configuration;
+    // folding the per-op ceil-divide into a shift removes a 64-bit
+    // divider from the vector-op hot path (results are identical —
+    // the non-power-of-two fallback keeps the division).
+    const uint64_t dlen = static_cast<uint64_t>(cfg_.dlen);
+    const bool dlen_pow2 = dlen != 0 && (dlen & (dlen - 1)) == 0;
+    const int dlen_shift =
+        dlen_pow2 ? __builtin_ctzll(dlen) : 0;
+    auto div_dlen = [&](uint64_t x) -> uint64_t {
+        return dlen_pow2 ? x >> dlen_shift : x / dlen;
+    };
+
+    auto beats_of = [&](size_t i) -> uint64_t {
+        if (lmul8_col[i] > 8) {
+            uint64_t group_bits = static_cast<uint64_t>(lmul8_col[i]) *
+                                  static_cast<uint64_t>(cfg_.vlen) / 8;
+            return std::max<uint64_t>(1, div_dlen(group_bits + dlen - 1));
+        }
+        uint64_t live_bits = static_cast<uint64_t>(vl_col[i]) *
+                             static_cast<uint64_t>(sew_col[i]);
+        return std::max<uint64_t>(1, div_dlen(live_bits + dlen - 1));
+    };
+
+    auto coproc = [&](const isa::UopStreamView &, size_t i,
+                      uint64_t present, cpu::RegReadyFile &sregs,
+                      cpu::RegReadyFile &vregs)
+        -> std::pair<uint64_t, uint64_t> {
+        const UopKind kind = kind_col[i];
+        const uint32_t dst = dst_col[i];
+        uint64_t release = present;
+
+        if (kind == UopKind::VSetVl) {
+            // Decode-stage handling with a short interlock before the
+            // new VL takes effect for the following vector ops.
+            sregs.setReady(dst, present + 2);
+            return {present + 1, present + 2};
+        }
+
+        const uint32_t src0 = src0_col[i];
+        const uint32_t src1 = src1_col[i];
+        const uint32_t src2 = src2_col[i];
+
+        // Queue back-pressure: frontend blocks when the vector unit
+        // already holds vqDepth undrained instructions.
+        while (!st.inFlight.empty() && st.inFlight.front() <= present)
+            st.inFlight.popFront();
+        if (static_cast<int>(st.inFlight.size()) >= cfg_.vqDepth) {
+            uint64_t drain = st.inFlight.front();
+            st.stallQueueFull += drain - present;
+            release = drain;
+            st.inFlight.popFront();
+        }
+
+        uint64_t start = std::max(present, release);
+        // Chaining: wait for the first elements of vector operands.
+        for (uint32_t src : {src0, src1, src2}) {
+            if (src != isa::kNoReg && isa::Program::isVReg(src))
+                start = std::max(start, st.chainReady.readyTime(src));
+        }
+
+        uint64_t beats = beats_of(i);
+        uint64_t completion = 0;
+
+        switch (kind) {
+          case UopKind::VLoad:
+          case UopKind::VLoadStrided: {
+            start = std::max(start, st.vluFree);
+            uint64_t lat = static_cast<uint64_t>(cfg_.memLat);
+            uint64_t occ = kind == UopKind::VLoadStrided
+                               ? std::max<uint64_t>(vl_col[i], 1)
+                               : beats;
+            st.vluFree = start + occ;
+            completion = start + lat + occ;
+            st.chainReady.setReady(dst, start + lat + 1);
+            vregs.setReady(dst, completion);
+            break;
+          }
+          case UopKind::VStore: {
+            start = std::max(start, st.vsuFree);
+            // Stores need full operand data, not just the head.
+            for (uint32_t src : {src0, src1}) {
+                if (src != isa::kNoReg && isa::Program::isVReg(src))
+                    start = std::max(start, vregs.readyTime(src));
+            }
+            st.vsuFree = start + beats;
+            completion = start + beats + 1;
+            break;
+          }
+          case UopKind::VArith:
+          case UopKind::VFma: {
+            start = std::max(start, st.vxuFree);
+            st.vxuFree = start + beats;
+            completion =
+                start + static_cast<uint64_t>(cfg_.pipeLat) + beats;
+            st.chainReady.setReady(dst,
+                                   start + cfg_.pipeLat + cfg_.chainLat);
+            vregs.setReady(dst, completion);
+            break;
+          }
+          case UopKind::VRed: {
+            start = std::max(start, st.vxuFree);
+            // Reductions cannot chain out: full tree latency.
+            for (uint32_t src : {src0, src1}) {
+                if (src != isa::kNoReg && isa::Program::isVReg(src))
+                    start = std::max(start, vregs.readyTime(src));
+            }
+            // Ordered FP reductions are slow on short-vector
+            // machines: a multi-pass lane tree plus pipeline drain.
+            uint64_t tree = 12;
+            st.vxuFree = start + beats + tree;
+            completion = start + cfg_.pipeLat + beats + tree +
+                         static_cast<uint64_t>(cfg_.scalarMoveLat);
+            sregs.setReady(dst, completion);
+            break;
+          }
+          case UopKind::VMove: {
+            // vfmv.f.s: scalar destination, waits for full vreg.
+            uint64_t src_ready = 0;
+            if (src0 != isa::kNoReg && isa::Program::isVReg(src0))
+                src_ready = vregs.readyTime(src0);
+            start = std::max(start, src_ready);
+            completion =
+                start + static_cast<uint64_t>(cfg_.scalarMoveLat);
+            if (isa::Program::isVReg(dst)) {
+                vregs.setReady(dst, completion);
+                st.chainReady.setReady(dst, completion);
+            } else {
+                sregs.setReady(dst, completion);
+            }
+            break;
+          }
+          default:
+            rtoc_panic("saturn '%s': unsupported coprocessor uop %s",
+                       cfg_.name.c_str(), isa::uopName(kind));
+        }
+
+        st.inFlight.pushBack(completion);
+        ++st.vinstrs;
+        return {release, completion};
+    };
+
+    cpu::TimingResult result =
+        frontend.runStreamWithCoproc(view, coproc);
+    result.stats.set("vector_instrs", st.vinstrs);
+    result.stats.set("stall_vq_full", st.stallQueueFull);
+    return result;
+}
+
+std::string
+SaturnModel::cacheKey() const
+{
+    return csprintf("saturn:%s:v%d:d%d:vq%d:pl%d:cl%d:ml%d:sm%d|%s",
+                    cfg_.name.c_str(), cfg_.vlen, cfg_.dlen,
+                    cfg_.vqDepth, cfg_.pipeLat, cfg_.chainLat,
+                    cfg_.memLat, cfg_.scalarMoveLat,
+                    cpu::InOrderCore(cfg_.frontend).cacheKey().c_str());
+}
+
+cpu::TimingResult
+SaturnModel::runAos(const isa::Program &prog) const
 {
     using isa::Uop;
     using isa::UopKind;

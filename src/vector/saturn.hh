@@ -49,9 +49,14 @@ class SaturnModel : public cpu::CoreModel
   public:
     explicit SaturnModel(SaturnConfig cfg) : cfg_(std::move(cfg)) {}
 
-    cpu::TimingResult run(const isa::Program &prog) const override;
+    cpu::TimingResult
+    runStream(const isa::UopStreamView &view) const override;
+
+    cpu::TimingResult runAos(const isa::Program &prog) const override;
 
     std::string name() const override { return cfg_.name; }
+
+    std::string cacheKey() const override;
 
     const SaturnConfig &config() const { return cfg_; }
 

@@ -121,6 +121,30 @@ TEST(Uart, FasterBaudLowerLatency)
     EXPECT_GT(slow.uplinkS(), fast.uplinkS());
 }
 
+TEST(Uart, FramingIsShapeAware)
+{
+    UartModel u(460800.0, 6);
+    // Every registered plant's messages fit a small frame: the
+    // overhead is the historical fixed 6 bytes and the latency
+    // matches the historical formula bit-for-bit.
+    for (int payload : {8, 16, 28, 36, 60, UartModel::kMaxSmallPayload}) {
+        EXPECT_EQ(u.framingBytes(payload), 6) << payload;
+        EXPECT_EQ(u.transferS(payload),
+                  10.0 * (payload + 6) / 460800.0)
+            << payload;
+    }
+    // A wide custom shape (nx=100: (100+3)*4 = 412 B uplink) needs a
+    // 2-byte length field and CRC-32: 3 more framing bytes.
+    const int wide_uplink = (100 + 3) * 4;
+    EXPECT_EQ(u.framingBytes(wide_uplink), 9);
+    EXPECT_EQ(u.uplinkS(100), 10.0 * (wide_uplink + 9) / 460800.0);
+    // The boundary is exact.
+    EXPECT_EQ(u.framingBytes(UartModel::kMaxSmallPayload + 1), 9);
+    // The configuration accessor still reports the small-frame value
+    // (runCell memo keys embed it).
+    EXPECT_EQ(u.framingBytes(), 6);
+}
+
 TEST(Rtos, UtilizationMatchesAnalytic)
 {
     // 50 Hz task of 5.7 ms at 100 MHz -> 28.5% utilization (the
