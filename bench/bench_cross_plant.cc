@@ -17,7 +17,11 @@
  * per-spec episode counts), --smoke (2 episodes), --full (doubles the
  * per-spec counts), --plant=NAME (restrict the grid to one registered
  * plant), --freq=MHZ (default 100), --json=PATH (default
- * BENCH_plants.json; empty disables).
+ * BENCH_plants.json; empty disables), --relin-k=K (re-linearize the
+ * MPC model every K control ticks; default 0 = fixed trim). The
+ * relinearization column is printed — and the JSON gains relin
+ * fields — only when the policy is non-default, keeping the
+ * historical golden output byte-stable.
  */
 
 #include <chrono>
@@ -66,6 +70,10 @@ main(int argc, char **argv)
     const std::string json_path =
         cli.getString("json", "BENCH_plants.json");
     const std::string plant_filter = cli.getString("plant", "");
+    plant::RelinearizePolicy relin;
+    relin.everyK = static_cast<int>(cli.getInt("relin-k", 0));
+    relin.stateDeltaThreshold = cli.getDouble("relin-thresh", 0.0);
+    const bool relin_axis = !relin.fixedTrim();
 
     const char *const models[] = {"ideal", "scalar", "vector",
                                   "gemmini"};
@@ -107,26 +115,6 @@ main(int argc, char **argv)
             uniform_episodes = -1;
     }
 
-    // Calibrate each distinct problem shape once per model (memoized
-    // by (impl, nx, nu); plants sharing a shape share streams).
-    auto timing_for = [&](const plant::Plant &p,
-                          const std::string &model) {
-        if (model == "scalar")
-            return hil::scalarControllerTiming(p, 0.02, 10);
-        if (model == "vector")
-            return hil::vectorControllerTiming(p, 0.02, 10);
-        if (model == "gemmini")
-            return hil::gemminiControllerTiming(p, 0.02, 10);
-        return hil::vectorControllerTiming(p, 0.02, 10); // ideal: unused
-    };
-    auto power_for = [](const std::string &model) {
-        if (model == "scalar")
-            return soc::PowerParams::scalarCore();
-        if (model == "gemmini")
-            return soc::PowerParams::systolicCore();
-        return soc::PowerParams::vectorCore();
-    };
-
     auto run_grid = [&]() -> std::vector<GridCell> {
         // Grid point t = (spec t / n_models, model t % n_models);
         // cells fan across the pool, aggregation is index-ordered.
@@ -137,11 +125,19 @@ main(int argc, char **argv)
             GridCell g;
             g.spec = specs[t / n_models];
             g.model = models[t % n_models];
+            // Calibrations are memoized per (impl, nx, nu); plants
+            // sharing a shape share streams. The refresh cycle model
+            // is fitted only when the relinearization axis is active,
+            // keeping the default emission footprint — and output —
+            // historical.
             hil::HilConfig cfg;
             cfg.idealPolicy = g.model == std::string("ideal");
             cfg.socFreqHz = freq_hz;
-            cfg.timing = timing_for(*g.spec.prototype, g.model);
-            cfg.power = power_for(g.model);
+            cfg.relin = relin_axis ? relin : g.spec.relin;
+            cfg.timing = hil::namedControllerTiming(
+                g.model, *g.spec.prototype, 0.02, 10,
+                !cfg.relin.fixedTrim());
+            cfg.power = hil::namedPowerParams(g.model);
             g.cell = hil::runCell(*g.spec.prototype, g.spec.difficulty,
                                   episodes_for(g.spec), cfg,
                                   g.spec.disturbance);
@@ -159,6 +155,16 @@ main(int argc, char **argv)
     double second_pass_s = nowS() - t0;
     (void)again;
 
+    // The relinearization column appears only when the axis is
+    // non-default, keeping the historical golden table byte-stable.
+    std::vector<std::string> columns = {
+        "scenario",  "shape",       "model",       "success",
+        "solve ms (med)", "avg iters", "actuation W", "compute W"};
+    if (relin_axis) {
+        columns.insert(columns.begin() + 3, "relin");
+        columns.push_back("track err m");
+        columns.push_back("refresh/ep");
+    }
     Table t("Cross-plant HIL sweep (all registered scenarios x "
             "backend timing models, " +
                 Table::num(freq_hz / 1e6, 0) + " MHz, " +
@@ -167,22 +173,28 @@ main(int argc, char **argv)
                            static_cast<uint64_t>(uniform_episodes))
                      : std::string("registry")) +
                 " episodes/cell)",
-            {"scenario", "shape", "model", "success", "solve ms (med)",
-             "avg iters", "actuation W", "compute W"});
+            columns);
     for (const GridCell &g : grid) {
         const hil::SweepCell &c = g.cell;
         bool ideal = g.model == std::string("ideal");
-        t.addRow({g.spec.id,
-                  Table::num(static_cast<uint64_t>(
-                      g.spec.prototype->nx())) + "x" +
-                      Table::num(static_cast<uint64_t>(
-                          g.spec.prototype->nu())),
-                  g.model, Table::pct(c.successRate),
-                  ideal ? "-" : Table::num(c.solveTimeMs.median, 3),
-                  Table::num(c.avgIterations, 1),
-                  c.avgRotorPowerW > 0 ? Table::num(c.avgRotorPowerW, 2)
-                                       : "-",
-                  ideal ? "-" : Table::num(c.avgSocPowerW, 3)});
+        std::vector<std::string> row = {
+            g.spec.id,
+            Table::num(static_cast<uint64_t>(
+                g.spec.prototype->nx())) + "x" +
+                Table::num(static_cast<uint64_t>(
+                    g.spec.prototype->nu())),
+            g.model, Table::pct(c.successRate),
+            ideal ? "-" : Table::num(c.solveTimeMs.median, 3),
+            Table::num(c.avgIterations, 1),
+            c.avgRotorPowerW > 0 ? Table::num(c.avgRotorPowerW, 2)
+                                 : "-",
+            ideal ? "-" : Table::num(c.avgSocPowerW, 3)};
+        if (relin_axis) {
+            row.insert(row.begin() + 3, c.relin.label());
+            row.push_back(Table::num(c.avgTrackingErrM, 3));
+            row.push_back(Table::num(c.avgRefreshes, 1));
+        }
+        t.addRow(row);
     }
     t.print();
 
@@ -223,17 +235,32 @@ main(int argc, char **argv)
         for (size_t i = 0; i < grid.size(); ++i) {
             const GridCell &g = grid[i];
             const hil::SweepCell &c = g.cell;
+            // Relin fields only on a non-default axis: the default
+            // JSON artifact stays byte-identical to the historical
+            // golden output.
+            std::string relin_fields;
+            if (relin_axis) {
+                char buf[160];
+                std::snprintf(buf, sizeof(buf),
+                              "\"relin_k\": %d, "
+                              "\"tracking_err_m\": %.5f, "
+                              "\"refreshes_per_episode\": %.2f, ",
+                              c.relin.everyK, c.avgTrackingErrM,
+                              c.avgRefreshes);
+                relin_fields = buf;
+            }
             std::fprintf(
                 f,
                 "    {\"scenario\": \"%s\", \"plant\": \"%s\", "
                 "\"difficulty\": \"%s\", \"disturbance\": \"%s\", "
-                "\"model\": \"%s\", \"nx\": %d, \"nu\": %d, "
+                "\"model\": \"%s\", %s\"nx\": %d, \"nu\": %d, "
                 "\"episodes\": %d, \"success\": %.4f, "
                 "\"solve_ms_median\": %.6f, \"avg_iterations\": %.3f, "
                 "\"actuation_w\": %.4f, \"soc_w\": %.5f}%s\n",
                 g.spec.id.c_str(), g.spec.plantName.c_str(),
                 plant::difficultyName(g.spec.difficulty),
                 g.spec.disturbance.name, g.model.c_str(),
+                relin_fields.c_str(),
                 g.spec.prototype->nx(), g.spec.prototype->nu(),
                 c.episodes, c.successRate, c.solveTimeMs.median,
                 c.avgIterations, c.avgRotorPowerW, c.avgSocPowerW,

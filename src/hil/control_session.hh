@@ -1,0 +1,116 @@
+/**
+ * @file
+ * ControlSession: the per-episode control stack — Workspace/Solver
+ * pair plus a relinearization policy — factored out of the episode
+ * runner so every closed-loop driver (episodes, disturbance trials,
+ * benches) shares one warm-start-aware solve path.
+ *
+ * With the default policy (fixed trim, K=0) a session is exactly the
+ * historical per-tick path: build the plant's workspace once, warm-
+ * start every ADMM solve from the previous one against the fixed
+ * trim-linearized model — bit-identical to the pre-session runner.
+ *
+ * With a RelinearizePolicy the session becomes a real-time-iteration
+ * MPC pipeline (Verschueren et al., acados; applied to the TinyMPC
+ * ADMM stack): every K ticks — or when the model state drifts past
+ * stateDeltaThreshold — it re-linearizes the plant around the current
+ * state and last applied input (Plant::linearizeAt, carrying the
+ * affine residual), re-solves the Riccati cache warm-started from the
+ * previous Pinf (a handful of iterations instead of a cold solve),
+ * and swaps the model into the workspace in place
+ * (Workspace::refreshModel) WITHOUT discarding the ADMM duals or the
+ * warm-started trajectory. Refresh cost is charged through
+ * ControllerTiming::refreshCycles, calibrated from the emitted
+ * "riccati_sweep"/"model_refresh_commit" kernel regions.
+ */
+
+#ifndef RTOC_HIL_CONTROL_SESSION_HH
+#define RTOC_HIL_CONTROL_SESSION_HH
+
+#include "hil/episode.hh"
+#include "matlib/scalar_backend.hh"
+#include "tinympc/solver.hh"
+
+namespace rtoc::hil {
+
+/** Lifetime counters of one session (tests, bench telemetry). */
+struct SessionStats
+{
+    int solves = 0;
+    int refreshes = 0;        ///< model refreshes performed
+    int refreshFailures = 0;  ///< DARE did not converge; model kept
+    int riccatiIters = 0;     ///< total warm Riccati iterations
+};
+
+/** Per-episode control stack (see file comment). */
+class ControlSession
+{
+  public:
+    /** Outcome of one control tick. */
+    struct TickResult
+    {
+        tinympc::SolveResult solve;
+        bool refreshed = false; ///< model swapped this tick
+        /** A refresh ran this tick (even if the Riccati diverged and
+         *  the stale model was kept — the device still paid for the
+         *  attempted sweep, so episodes charge riccatiIters either
+         *  way). */
+        bool refreshAttempted = false;
+        int riccatiIters = 0; ///< Riccati iterations spent this tick
+    };
+
+    /**
+     * Build the session for @p plant under @p cfg: trim-linearized
+     * workspace (the plant's buildWorkspace, bit-identical to the
+     * historical construction) and cfg.relin as the policy.
+     */
+    ControlSession(plant::Plant &plant, const HilConfig &cfg);
+
+    /**
+     * One control tick: sample the plant state into the workspace,
+     * retarget the reference, refresh the model if the policy says
+     * so, and run one warm-started ADMM solve.
+     */
+    TickResult tick(const std::vector<float> &xref);
+
+    /** Actuator command from the last solve's first input. */
+    const std::vector<double> &command() const { return last_cmd_; }
+
+    const SessionStats &stats() const { return stats_; }
+    const plant::RelinearizePolicy &policy() const { return policy_; }
+    tinympc::Workspace &workspace() { return ws_; }
+    tinympc::Solver &solver() { return solver_; }
+
+  private:
+    /** Model-state drift (2-norm) since the last linearization. */
+    double drift() const;
+
+    /** Re-linearize around the current state and refresh the cache. */
+    bool refresh(TickResult &out);
+
+    plant::Plant &plant_;
+    double dt_;
+    plant::RelinearizePolicy policy_;
+
+    tinympc::Workspace ws_;
+    matlib::ScalarBackend backend_;
+    tinympc::Solver solver_;
+
+    // Relinearization state (untouched for the fixed-trim policy).
+    numerics::DMatrix qMat_, rMat_;
+    double rho_ = 5.0;
+    numerics::LqrCache cache_;       ///< warm-start seed (last Pinf)
+    bool cacheValid_ = false;        ///< first refresh solves cold
+    std::vector<double> linState_;   ///< model state at last relin
+    int sinceRefresh_ = 0;
+    int failCooldown_ = 0;           ///< ticks to back off after a
+                                     ///< diverged refresh attempt
+
+    std::vector<float> x0_;          ///< packed state scratch
+    std::vector<double> last_cmd_;   ///< command of the last solve
+    SessionStats stats_;
+};
+
+} // namespace rtoc::hil
+
+#endif // RTOC_HIL_CONTROL_SESSION_HH

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "hil/control_session.hh"
 #include "matlib/scalar_backend.hh"
+#include "plant/quad_plant.hh"
 #include "quad/linearize.hh"
 #include "tinympc/solver.hh"
 
@@ -54,35 +56,49 @@ DisturbResult
 runDisturbTrial(const quad::DroneParams &drone, const DisturbSpec &spec,
                 const HilConfig &cfg)
 {
+    // One protocol, the generic plant path: the QuadrotorPlant route
+    // is bit-identical to the historical QuadSim loop (same hover
+    // point, workspace construction, UART shape defaults, command
+    // clamping and the exact 5 cm recovery radius via the reach-
+    // radius scaling), pinned by the fig17 byte-identity check.
+    plant::QuadrotorPlant plant(drone);
+    return runDisturbTrial(plant, spec, cfg);
+}
+
+DisturbResult
+runDisturbTrial(const plant::Plant &proto, const DisturbSpec &spec,
+                const HilConfig &cfg)
+{
     DisturbResult res;
 
-    quad::QuadSim sim(drone);
-    const Vec3 hover_point = {0, 0, 1.0};
-    sim.resetHover(hover_point);
+    std::unique_ptr<plant::Plant> plant = proto.clone();
+    plant->reset();
+    if (!plant->supportsWrench()) {
+        rtoc_fatal("plant '%s' does not support external wrenches",
+                   proto.name().c_str());
+    }
 
-    tinympc::Workspace ws =
-        quad::buildQuadWorkspace(drone, cfg.controlPeriodS, cfg.horizon);
-    matlib::ScalarBackend backend(matlib::ScalarFlavor::Optimized);
-    tinympc::Solver solver(ws, backend, tinympc::MappingStyle::Library);
-    ws.setReferenceAll(quad::hoverReference(hover_point));
+    ControlSession session(*plant, cfg);
+    const plant::Vec3 hold = plant->home();
+    const std::vector<float> xref = plant->reference(hold);
 
-    double hover_cmd = sim.hoverCmd();
-    std::array<double, 4> current_cmd = {hover_cmd, hover_cmd,
-                                         hover_cmd, hover_cmd};
-    std::array<double, 4> pending_cmd = current_cmd;
+    std::vector<double> current_cmd = plant->trimCommand();
+    std::vector<double> pending_cmd = current_cmd;
     double pending_apply_at = -1.0;
     double controller_free_at = 0.0;
     double next_tick = 0.0;
 
-    const double uart_latency =
-        cfg.uart.uplinkS() + cfg.uart.downlinkS();
+    const double uart_latency = cfg.uart.uplinkS(plant->nx()) +
+                                cfg.uart.downlinkS(plant->nu());
     const double onset = 0.5;
     const double duration = isStep(spec.kind) ? 0.100 : 0.015;
     const double settle_window = 0.250;
-    const double recover_radius = 0.05;
+    // The quad's historical 5 cm recovery radius at its 12 cm reach.
+    const double recover_radius = plant->reachRadius() * (0.05 / 0.12);
     const double limit = onset + 4.0;
 
     double within_since = -1.0;
+    bool wrench_on = false;
     double t = 0.0;
     while (t < limit) {
         if (pending_apply_at >= 0.0 && t >= pending_apply_at) {
@@ -90,19 +106,15 @@ runDisturbTrial(const quad::DroneParams &drone, const DisturbSpec &spec,
             pending_apply_at = -1.0;
         }
         if (t >= next_tick && t >= controller_free_at) {
-            float x0[12];
-            quad::packMpcState(sim.state(), x0);
-            ws.setInitialState(x0);
-            tinympc::SolveResult sr = solver.solve();
+            ControlSession::TickResult tr = session.tick(xref);
             double solve_s =
-                cfg.timing.solveCycles(sr.iterations) / cfg.socFreqHz;
-            matlib::Mat u0 = solver.firstInput();
-            double tmax = drone.maxThrustPerMotorN();
-            for (int m = 0; m < 4; ++m) {
-                pending_cmd[m] =
-                    std::clamp(hover_cmd + static_cast<double>(u0[m]),
-                               0.0, tmax);
+                cfg.timing.solveCycles(tr.solve.iterations) /
+                cfg.socFreqHz;
+            if (tr.refreshAttempted) {
+                solve_s += cfg.timing.refreshCycles(tr.riccatiIters) /
+                           cfg.socFreqHz;
             }
+            pending_cmd = session.command();
             double done = t + uart_latency + solve_s;
             pending_apply_at = done;
             controller_free_at = done;
@@ -111,33 +123,32 @@ runDisturbTrial(const quad::DroneParams &drone, const DisturbSpec &spec,
                                  std::ceil(done / period) * period);
         }
 
-        quad::ExternalWrench wrench;
-        if (t >= onset && t < onset + duration) {
-            double mag = spec.magnitude;
-            if (isForce(spec.kind)) {
-                wrench.forceN[spec.axis] = mag;
-            } else if (isTorque(spec.kind)) {
-                wrench.torqueNm[spec.axis] = mag * 1e-3;
-            } else {
-                // Combined: force plus proportional torque.
-                wrench.forceN[spec.axis] = mag;
-                wrench.torqueNm[(spec.axis + 1) % 3] = mag * 0.3e-3;
+        bool active = t >= onset && t < onset + duration;
+        if (active != wrench_on) {
+            plant::Wrench w;
+            if (active) {
+                double mag = spec.magnitude;
+                if (isForce(spec.kind)) {
+                    w.forceN[spec.axis] = mag;
+                } else if (isTorque(spec.kind)) {
+                    w.torqueNm[spec.axis] = mag * 1e-3;
+                } else {
+                    w.forceN[spec.axis] = mag;
+                    w.torqueNm[(spec.axis + 1) % 3] = mag * 0.3e-3;
+                }
             }
+            plant->applyWrench(w);
+            wrench_on = active;
         }
 
-        sim.step(current_cmd, cfg.physicsDtS, wrench);
-        t = sim.timeS();
+        plant->step(current_cmd, cfg.physicsDtS);
+        t = plant->timeS();
 
-        double dev = 0.0;
-        for (int i = 0; i < 3; ++i) {
-            double d = sim.state().pos[i] - hover_point[i];
-            dev += d * d;
-        }
-        dev = std::sqrt(dev);
+        double dev = plant->distanceTo(hold);
         if (t > onset)
             res.maxDeviationM = std::max(res.maxDeviationM, dev);
 
-        if (sim.crashed()) {
+        if (plant->crashed()) {
             res.crashed = true;
             return res;
         }
@@ -160,33 +171,47 @@ runDisturbTrial(const quad::DroneParams &drone, const DisturbSpec &spec,
 }
 
 double
-maxRecoverableMagnitude(const quad::DroneParams &drone, DisturbKind kind,
-                        int axis, const HilConfig &cfg)
+maxRecoverableMagnitude(const plant::Plant &proto, DisturbKind kind,
+                        int axis, const HilConfig &cfg,
+                        bool *saturated)
 {
     DisturbSpec spec;
     spec.kind = kind;
     spec.axis = axis;
 
-    // Exponential search for an upper failure bound.
+    // Exponential search for an upper failure bound, then bisection
+    // (the quad path's protocol, generic over plants).
     double lo = 0.0;
-    double hi = isForce(kind) ? 0.05 : 0.05;
+    double hi = 0.05;
+    bool found_failure = false;
     for (int i = 0; i < 12; ++i) {
         spec.magnitude = hi;
-        if (!runDisturbTrial(drone, spec, cfg).recovered)
+        if (!runDisturbTrial(proto, spec, cfg).recovered) {
+            found_failure = true;
             break;
+        }
         lo = hi;
         hi *= 2.0;
     }
-    // Bisection.
+    if (saturated != nullptr)
+        *saturated = !found_failure;
     for (int i = 0; i < 8; ++i) {
         double mid = 0.5 * (lo + hi);
         spec.magnitude = mid;
-        if (runDisturbTrial(drone, spec, cfg).recovered)
+        if (runDisturbTrial(proto, spec, cfg).recovered)
             lo = mid;
         else
             hi = mid;
     }
     return lo;
+}
+
+double
+maxRecoverableMagnitude(const quad::DroneParams &drone, DisturbKind kind,
+                        int axis, const HilConfig &cfg)
+{
+    plant::QuadrotorPlant plant(drone);
+    return maxRecoverableMagnitude(plant, kind, axis, cfg);
 }
 
 DisturbCell

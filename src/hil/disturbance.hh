@@ -59,6 +59,37 @@ DisturbResult runDisturbTrial(const quad::DroneParams &drone,
                               const DisturbSpec &spec,
                               const HilConfig &cfg);
 
+/**
+ * Plant-generic disturbance trial: hold a clone of @p proto at its
+ * home waypoint under the closed-loop pipeline (a ControlSession, so
+ * cfg.relin relinearization applies) and inject the step/impulse
+ * wrench through Plant::applyWrench — the Fig. 17 protocol on any
+ * plant that supports wrenches, not just the quad. Recovery radius
+ * scales with the plant's reach radius (the quad's historical 5 cm
+ * at its 12 cm reach). The historical quad entry point above is
+ * untouched (bit-identical).
+ */
+DisturbResult runDisturbTrial(const plant::Plant &proto,
+                              const DisturbSpec &spec,
+                              const HilConfig &cfg);
+
+/**
+ * Bisect the largest recoverable magnitude on a generic plant. When
+ * the exponential search never finds a failing magnitude before its
+ * cap the returned value is only a lower bound — either the plant
+ * genuinely shrugs off the whole range, or the chosen (kind, axis)
+ * does not couple into this plant's dynamics at its current attitude
+ * (e.g. a lateral world force on the rover at zero heading: the
+ * wheels hold that axis). @p saturated (when non-null) reports that
+ * case so callers don't quote the bound as a measurement; the
+ * returned value itself keeps the historical quad-path semantics
+ * (fig17 is pinned byte-identical, saturation and all).
+ */
+double maxRecoverableMagnitude(const plant::Plant &proto,
+                               DisturbKind kind, int axis,
+                               const HilConfig &cfg,
+                               bool *saturated = nullptr);
+
 /** Bisect the largest recoverable magnitude for @p kind/@p axis. */
 double maxRecoverableMagnitude(const quad::DroneParams &drone,
                                DisturbKind kind, int axis,

@@ -8,10 +8,9 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "hil/control_session.hh"
 #include "hil/sweep.hh"
-#include "matlib/scalar_backend.hh"
 #include "plant/quad_plant.hh"
-#include "tinympc/solver.hh"
 
 namespace rtoc::hil {
 
@@ -23,11 +22,10 @@ runEpisode(plant::Plant &plant, const plant::Scenario &sc,
 
     plant.reset();
 
-    tinympc::Workspace ws =
-        plant.buildWorkspace(cfg.controlPeriodS, cfg.horizon);
-    // Functional-only backend: identical arithmetic, no emission.
-    matlib::ScalarBackend backend(matlib::ScalarFlavor::Optimized);
-    tinympc::Solver solver(ws, backend, tinympc::MappingStyle::Library);
+    // The session owns the Workspace/Solver pair (functional-only
+    // scalar backend: identical arithmetic, no emission) and the
+    // relinearization policy from cfg.relin.
+    ControlSession session(plant, cfg);
 
     std::vector<double> current_cmd = plant.trimCommand();
     std::vector<double> pending_cmd = current_cmd;
@@ -43,6 +41,8 @@ runEpisode(plant::Plant &plant, const plant::Scenario &sc,
 
     int revealed = 0;
     int reached = 0;
+    double track_err_sum = 0.0;
+    uint64_t track_err_n = 0;
     bool final_reached = false;
     double final_within_since = -1.0;
     const double reach_radius = plant.reachRadius();
@@ -58,30 +58,40 @@ runEpisode(plant::Plant &plant, const plant::Scenario &sc,
                   static_cast<uint64_t>(sc.seed) * 7727ull);
     std::vector<double> noisy_cmd(current_cmd.size());
 
-    std::vector<float> x0(static_cast<size_t>(plant.nx()), 0.0f);
-
     auto run_solve = [&](double now) -> double {
-        // Sample state, set reference to the newest revealed waypoint.
-        plant.packState(x0.data());
-        ws.setInitialState(x0.data());
+        // Sample state, set reference to the newest revealed waypoint;
+        // the session refreshes the model first when the policy fires.
         int target_idx = std::max(0, revealed - 1);
-        ws.setReferenceAll(plant.reference(sc.waypoints[target_idx]));
+        ControlSession::TickResult tr =
+            session.tick(plant.reference(sc.waypoints[target_idx]));
+        res.iterations.add(static_cast<double>(tr.solve.iterations));
 
-        tinympc::SolveResult sr = solver.solve();
-        res.iterations.add(static_cast<double>(sr.iterations));
-
-        double solve_s = cfg.idealPolicy
-                             ? 0.0
-                             : cfg.timing.solveCycles(sr.iterations) /
-                                   cfg.socFreqHz;
-        res.solveTimesS.add(cfg.timing.solveCycles(sr.iterations) /
+        double refresh_s = 0.0;
+        if (tr.refreshAttempted) {
+            // Charge the attempted sweep even when the Riccati
+            // diverged and the stale model was kept.
+            if (tr.refreshed)
+                ++res.modelRefreshes;
+            else
+                ++res.refreshFailures;
+            refresh_s = cfg.idealPolicy
+                            ? 0.0
+                            : cfg.timing.refreshCycles(tr.riccatiIters) /
+                                  cfg.socFreqHz;
+            res.refreshTimeS += refresh_s;
+        }
+        double solve_s =
+            cfg.idealPolicy
+                ? 0.0
+                : cfg.timing.solveCycles(tr.solve.iterations) /
+                      cfg.socFreqHz;
+        res.solveTimesS.add(cfg.timing.solveCycles(tr.solve.iterations) /
                             cfg.socFreqHz);
-        busy_time += solve_s;
+        busy_time += solve_s + refresh_s;
 
-        matlib::Mat u0 = solver.firstInput();
-        pending_cmd = plant.commandFromDelta(u0.data);
+        pending_cmd = session.command();
         (void)now;
-        return solve_s;
+        return solve_s + refresh_s;
     };
 
     double t = 0.0;
@@ -125,6 +135,13 @@ runEpisode(plant::Plant &plant, const plant::Scenario &sc,
         }
         t = plant.timeS();
 
+        // Tracking error against the active (newest revealed) target.
+        if (revealed > 0) {
+            track_err_sum +=
+                plant.distanceTo(sc.waypoints[revealed - 1]);
+            ++track_err_n;
+        }
+
         if (plant.crashed()) {
             res.crashed = true;
             break;
@@ -153,6 +170,9 @@ runEpisode(plant::Plant &plant, const plant::Scenario &sc,
     }
 
     res.waypointsReached = reached;
+    res.trackingErrM =
+        track_err_n ? track_err_sum / static_cast<double>(track_err_n)
+                    : 0.0;
     res.success = !res.crashed && final_reached;
     res.missionTimeS = plant.timeS();
     res.rotorEnergyJ = plant.actuationEnergyJ();
@@ -218,9 +238,13 @@ std::string
 cellKey(const plant::Plant &proto, plant::Difficulty d, int n,
         const HilConfig &cfg, const plant::DisturbanceProfile &dist)
 {
+    // The relinearization policy (and the refresh cycle model it
+    // prices) changes closed-loop behaviour, so the memo key carries
+    // both — distinct policies never alias a cell.
     return csprintf(
         "%s|d%d|n%d|noise%g|arch:%s:%s|b%.17g|i%.17g|f%.17g|ideal%d|"
-        "h%d|ctl%.17g|phys%.17g|uart%g/%d|pw:%s:%g:%g:%g:%g:%g",
+        "h%d|ctl%.17g|phys%.17g|uart%g/%d|pw:%s:%g:%g:%g:%g:%g|"
+        "%s|rb%.17g|ri%.17g",
         proto.cacheKey().c_str(), static_cast<int>(d), n,
         dist.cmdNoiseSigma, cfg.timing.archName.c_str(),
         cfg.timing.mappingName.c_str(), cfg.timing.baseCycles,
@@ -229,7 +253,8 @@ cellKey(const plant::Plant &proto, plant::Difficulty d, int n,
         cfg.physicsDtS, cfg.uart.baud(), cfg.uart.framingBytes(),
         cfg.power.name.c_str(), cfg.power.leakageW,
         cfg.power.idleCapNfV2, cfg.power.busyCapNfV2, cfg.power.v0,
-        cfg.power.vSlopePerGHz);
+        cfg.power.vSlopePerGHz, cfg.relin.cacheKey().c_str(),
+        cfg.timing.refreshBaseCycles, cfg.timing.refreshCyclesPerIter);
 }
 
 SweepCell
@@ -242,12 +267,17 @@ computeCell(const plant::Plant &proto, plant::Difficulty d,
     cell.plant = proto.name();
     cell.freqMhz = cfg.socFreqHz / 1e6;
     cell.difficulty = d;
+    cell.relin = cfg.relin;
 
     Distribution solve_ms;
     double iters_sum = 0.0;
     uint64_t iters_count = 0;
     double rotor_sum = 0.0;
     double soc_sum = 0.0;
+    double track_sum = 0.0;
+    double refreshes_sum = 0.0;
+    double refresh_fail_sum = 0.0;
+    double refresh_s_sum = 0.0;
     int successes = 0;
 
     // Episodes are independent and per-index seeded: fan them across
@@ -267,6 +297,10 @@ computeCell(const plant::Plant &proto, plant::Difficulty d,
             iters_sum += it;
             ++iters_count;
         }
+        track_sum += er.trackingErrM;
+        refreshes_sum += static_cast<double>(er.modelRefreshes);
+        refresh_fail_sum += static_cast<double>(er.refreshFailures);
+        refresh_s_sum += er.refreshTimeS;
         // The paper reports power only for successfully completed
         // tasks (Fig. 16c).
         if (er.success) {
@@ -284,6 +318,12 @@ computeCell(const plant::Plant &proto, plant::Difficulty d,
     cell.avgRotorPowerW = successes ? rotor_sum / successes : 0.0;
     cell.avgSocPowerW = successes ? soc_sum / successes : 0.0;
     cell.avgTotalPowerW = cell.avgRotorPowerW + cell.avgSocPowerW;
+    if (cell.episodes) {
+        cell.avgTrackingErrM = track_sum / cell.episodes;
+        cell.avgRefreshes = refreshes_sum / cell.episodes;
+        cell.avgRefreshFailures = refresh_fail_sum / cell.episodes;
+        cell.avgRefreshTimeS = refresh_s_sum / cell.episodes;
+    }
     return cell;
 }
 

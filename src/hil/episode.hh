@@ -43,6 +43,9 @@ struct HilConfig
     ControllerTiming timing;
     soc::UartModel uart;
     soc::PowerParams power = soc::PowerParams::scalarCore();
+    /** Incremental-relinearization policy (default: fixed trim, the
+     *  historical bit-identical path). */
+    plant::RelinearizePolicy relin;
 };
 
 /** Outcome of one episode. */
@@ -59,6 +62,14 @@ struct EpisodeResult
     double socEnergyJ = 0.0;
     double avgSocPowerW = 0.0;
     double computeUtilization = 0.0;
+    // Relinearization telemetry (zero on the fixed-trim path).
+    int modelRefreshes = 0;    ///< model refreshes performed
+    int refreshFailures = 0;   ///< diverged attempts (charged, model kept)
+    double refreshTimeS = 0.0; ///< modelled SoC time spent refreshing
+                               ///< (successful AND diverged attempts)
+    /** Mean task-space distance to the active waypoint over the
+     *  episode (the tracking-error metric bench_relin quantifies). */
+    double trackingErrM = 0.0;
 };
 
 /** Run scenario @p sc on @p plant under @p cfg (plant is reset). */
@@ -83,6 +94,12 @@ struct SweepCell
     double avgRotorPowerW = 0.0;
     double avgSocPowerW = 0.0;
     double avgTotalPowerW = 0.0;
+    // Relinearization telemetry (zeros under the fixed-trim policy).
+    plant::RelinearizePolicy relin;
+    double avgTrackingErrM = 0.0; ///< mean episode tracking error
+    double avgRefreshes = 0.0;    ///< model refreshes per episode
+    double avgRefreshFailures = 0.0; ///< diverged attempts per episode
+    double avgRefreshTimeS = 0.0; ///< modelled refresh s per episode
 };
 
 /**

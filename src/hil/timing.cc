@@ -55,11 +55,15 @@ std::string
 encodeTiming(const ControllerTiming &t)
 {
     std::string out;
-    isa::blob::putRaw<uint32_t>(out, 1); // payload version
+    // v2 adds the model-refresh cycle model; v1 payloads are
+    // rejected and recalibrated.
+    isa::blob::putRaw<uint32_t>(out, 2); // payload version
     isa::blob::putStr(out, t.archName);
     isa::blob::putStr(out, t.mappingName);
     isa::blob::putRaw<double>(out, t.baseCycles);
     isa::blob::putRaw<double>(out, t.cyclesPerIter);
+    isa::blob::putRaw<double>(out, t.refreshBaseCycles);
+    isa::blob::putRaw<double>(out, t.refreshCyclesPerIter);
     return out;
 }
 
@@ -67,13 +71,15 @@ std::optional<ControllerTiming>
 decodeTiming(const std::string &payload)
 {
     isa::blob::Reader r(payload);
-    if (r.raw<uint32_t>() != 1 || !r.ok)
+    if (r.raw<uint32_t>() != 2 || !r.ok)
         return std::nullopt;
     ControllerTiming t;
     t.archName = r.str();
     t.mappingName = r.str();
     t.baseCycles = r.raw<double>();
     t.cyclesPerIter = r.raw<double>();
+    t.refreshBaseCycles = r.raw<double>();
+    t.refreshCyclesPerIter = r.raw<double>();
     if (!r.ok || r.left != 0)
         return std::nullopt;
     return t;
@@ -82,16 +88,20 @@ decodeTiming(const std::string &payload)
 ControllerTiming
 calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
                 tinympc::MappingStyle style, const plant::Plant &plant,
-                double dt, int horizon, const isa::DiskCache *disk)
+                double dt, int horizon, const isa::DiskCache *disk,
+                bool with_refresh)
 {
     // The fitted linear cycle model is as deterministic as the stream
     // it replays, so it persists across processes under a key carrying
     // every timing-relevant knob: the full model configuration, the
-    // backend's emission key, the mapping style and the problem shape.
+    // backend's emission key, the mapping style, the problem shape
+    // and whether the refresh stream was fitted (relinearization-
+    // aware callers must never be served a refresh-less payload).
     const std::string calib_key = csprintf(
-        "%s|%s|style%d|nx%d|nu%d|dt%.17g|h%d",
+        "%s|%s|style%d|nx%d|nu%d|dt%.17g|h%d%s",
         model.cacheKey().c_str(), backend.cacheKey().c_str(),
-        static_cast<int>(style), plant.nx(), plant.nu(), dt, horizon);
+        static_cast<int>(style), plant.nx(), plant.nu(), dt, horizon,
+        with_refresh ? "|refresh" : "");
     if (disk) {
         if (auto payload = disk->get("calib", calib_key)) {
             if (auto t = decodeTiming(*payload)) {
@@ -153,6 +163,34 @@ calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
     t.baseCycles = c_lo - 5.0 * t.cyclesPerIter;
     if (t.baseCycles < 0.0)
         t.baseCycles = 0.0;
+
+    if (with_refresh) {
+        // Refresh stream: shape-dependent only (no horizon loops),
+        // fitted at two forced Riccati iteration counts like the
+        // solve model.
+        auto run_refresh = [&](int iters) -> double {
+            const std::string key = csprintf(
+                "refresh:%s:nx%d:nu%d:it%d",
+                backend.cacheKey().c_str(), plant.nx(), plant.nu(),
+                iters);
+            auto prog = isa::ProgramCache::global().getOrEmit(
+                key, [&](isa::Program &p) {
+                    tinympc::Workspace ws =
+                        plant.buildWorkspace(dt, horizon);
+                    backend.setProgram(&p);
+                    tinympc::emitModelRefresh(ws, backend, iters);
+                    backend.setProgram(nullptr);
+                });
+            return static_cast<double>(model.run(*prog).cycles);
+        };
+
+        double r_lo = run_refresh(2);
+        double r_hi = run_refresh(8);
+        t.refreshCyclesPerIter = (r_hi - r_lo) / 6.0;
+        t.refreshBaseCycles = r_lo - 2.0 * t.refreshCyclesPerIter;
+        if (t.refreshBaseCycles < 0.0)
+            t.refreshBaseCycles = 0.0;
+    }
     bumpCalib(&CalibCacheStats::computes);
     if (disk)
         disk->put("calib", calib_key, encodeTiming(t));
@@ -180,7 +218,8 @@ namespace {
 struct CalibMemo
 {
     std::mutex mu;
-    std::map<std::tuple<int, int, int, double, int>, ControllerTiming>
+    std::map<std::tuple<int, int, int, double, int, bool>,
+             ControllerTiming>
         memo;
 };
 
@@ -194,12 +233,12 @@ calibMemo()
 template <typename MakeFn>
 ControllerTiming
 memoizedCalibration(int which, const plant::Plant &plant, double dt,
-                    int horizon, MakeFn &&make)
+                    int horizon, bool with_refresh, MakeFn &&make)
 {
     CalibMemo &m = calibMemo();
     std::lock_guard<std::mutex> lk(m.mu);
-    auto key =
-        std::make_tuple(which, plant.nx(), plant.nu(), dt, horizon);
+    auto key = std::make_tuple(which, plant.nx(), plant.nu(), dt,
+                               horizon, with_refresh);
     auto it = m.memo.find(key);
     if (it != m.memo.end()) {
         bumpCalib(&CalibCacheStats::memoHits);
@@ -213,35 +252,40 @@ memoizedCalibration(int which, const plant::Plant &plant, double dt,
 } // namespace
 
 ControllerTiming
-scalarControllerTiming(const plant::Plant &plant, double dt, int horizon)
+scalarControllerTiming(const plant::Plant &plant, double dt, int horizon,
+                       bool with_refresh)
 {
-    return memoizedCalibration(0, plant, dt, horizon, [&] {
+    return memoizedCalibration(0, plant, dt, horizon, with_refresh, [&] {
         cpu::InOrderCore core(cpu::InOrderConfig::shuttle());
         matlib::ScalarBackend backend(matlib::ScalarFlavor::Optimized);
         return calibrateTiming(core, backend,
                                tinympc::MappingStyle::Library, plant,
-                               dt, horizon);
+                               dt, horizon, &isa::DiskCache::global(),
+                               with_refresh);
     });
 }
 
 ControllerTiming
-vectorControllerTiming(const plant::Plant &plant, double dt, int horizon)
+vectorControllerTiming(const plant::Plant &plant, double dt, int horizon,
+                       bool with_refresh)
 {
-    return memoizedCalibration(1, plant, dt, horizon, [&] {
+    return memoizedCalibration(1, plant, dt, horizon, with_refresh, [&] {
         vector::SaturnModel saturn(
             vector::SaturnConfig::make(512, 256, true));
         matlib::RvvBackend backend(512,
                                    matlib::RvvMapping::handOptimized());
         return calibrateTiming(saturn, backend,
                                tinympc::MappingStyle::Fused, plant, dt,
-                               horizon);
+                               horizon, &isa::DiskCache::global(),
+                               with_refresh);
     });
 }
 
 ControllerTiming
-gemminiControllerTiming(const plant::Plant &plant, double dt, int horizon)
+gemminiControllerTiming(const plant::Plant &plant, double dt, int horizon,
+                        bool with_refresh)
 {
-    return memoizedCalibration(2, plant, dt, horizon, [&] {
+    return memoizedCalibration(2, plant, dt, horizon, with_refresh, [&] {
         systolic::GemminiModel gemmini(systolic::GemminiConfig::os4x4());
         matlib::GemminiBackend backend(
             matlib::GemminiMapping::fullyOptimized());
@@ -249,8 +293,35 @@ gemminiControllerTiming(const plant::Plant &plant, double dt, int horizon)
         // (CISC tiled-matmul constraints).
         return calibrateTiming(gemmini, backend,
                                tinympc::MappingStyle::Library, plant,
-                               dt, horizon);
+                               dt, horizon, &isa::DiskCache::global(),
+                               with_refresh);
     });
+}
+
+ControllerTiming
+namedControllerTiming(const std::string &model,
+                      const plant::Plant &plant, double dt, int horizon,
+                      bool with_refresh)
+{
+    if (model == "scalar")
+        return scalarControllerTiming(plant, dt, horizon, with_refresh);
+    if (model == "gemmini")
+        return gemminiControllerTiming(plant, dt, horizon, with_refresh);
+    if (model == "vector" || model == "ideal")
+        return vectorControllerTiming(plant, dt, horizon, with_refresh);
+    rtoc_fatal("unknown timing model '%s'", model.c_str());
+}
+
+soc::PowerParams
+namedPowerParams(const std::string &model)
+{
+    if (model == "scalar")
+        return soc::PowerParams::scalarCore();
+    if (model == "gemmini")
+        return soc::PowerParams::systolicCore();
+    if (model == "vector" || model == "ideal")
+        return soc::PowerParams::vectorCore();
+    rtoc_fatal("unknown timing model '%s'", model.c_str());
 }
 
 ControllerTiming

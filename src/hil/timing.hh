@@ -24,6 +24,7 @@
 #include "matlib/backend.hh"
 #include "plant/plant.hh"
 #include "quad/linearize.hh"
+#include "soc/power_model.hh"
 #include "tinympc/solver.hh"
 
 namespace rtoc::hil {
@@ -36,11 +37,27 @@ struct ControllerTiming
     double baseCycles = 0.0;
     double cyclesPerIter = 0.0;
 
+    // Model-refresh cycle model (warm-start incremental
+    // relinearization): fitted from the emitted "riccati_sweep" /
+    // "model_refresh_commit" refresh stream exactly as the solve
+    // model is fitted from the solve stream.
+    double refreshBaseCycles = 0.0;
+    double refreshCyclesPerIter = 0.0;
+
     /** Cycles for a solve with @p iters ADMM iterations. */
     double
     solveCycles(int iters) const
     {
         return baseCycles + cyclesPerIter * static_cast<double>(iters);
+    }
+
+    /** Cycles for one model refresh taking @p riccati_iters warm
+     *  Riccati iterations. */
+    double
+    refreshCycles(int riccati_iters) const
+    {
+        return refreshBaseCycles +
+               refreshCyclesPerIter * static_cast<double>(riccati_iters);
     }
 };
 
@@ -48,15 +65,24 @@ struct ControllerTiming
  * Calibrate @p backend/@p style on @p model using a freshly-built
  * workspace of @p plant (emission cached per backend config, style
  * and problem shape). The fitted ControllerTiming is persisted to
- * @p disk keyed on (model cacheKey, backend cacheKey, style, shape),
- * so a warm process skips both the replay runs and the emission; pass
- * nullptr to force recomputation.
+ * @p disk keyed on (model cacheKey, backend cacheKey, style, shape,
+ * refresh-awareness), so a warm process skips both the replay runs
+ * and the emission; pass nullptr to force recomputation.
+ *
+ * @p with_refresh additionally emits and fits the model-refresh
+ * stream (refreshBaseCycles / refreshCyclesPerIter). Fixed-trim
+ * callers leave it off, keeping their emission footprint — and the
+ * historical bench outputs — untouched; relinearization-aware
+ * callers (bench_relin, sessions with a non-trivial policy) turn it
+ * on. The two variants persist under distinct keys so neither
+ * poisons the other's disk entry.
  */
 ControllerTiming
 calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
                 tinympc::MappingStyle style, const plant::Plant &plant,
                 double dt, int horizon,
-                const isa::DiskCache *disk = &isa::DiskCache::global());
+                const isa::DiskCache *disk = &isa::DiskCache::global(),
+                bool with_refresh = false);
 
 /** Historical quadrotor entry point (wraps a QuadrotorPlant). */
 ControllerTiming
@@ -74,11 +100,29 @@ calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
  * by the Gemmini backend). Memoized per (impl, nx, nu, dt, horizon).
  */
 ControllerTiming scalarControllerTiming(const plant::Plant &plant,
-                                        double dt, int horizon);
+                                        double dt, int horizon,
+                                        bool with_refresh = false);
 ControllerTiming vectorControllerTiming(const plant::Plant &plant,
-                                        double dt, int horizon);
+                                        double dt, int horizon,
+                                        bool with_refresh = false);
 ControllerTiming gemminiControllerTiming(const plant::Plant &plant,
-                                         double dt, int horizon);
+                                         double dt, int horizon,
+                                         bool with_refresh = false);
+
+/**
+ * Named-model dispatch shared by the sweep benches
+ * (bench_cross_plant, bench_relin): "scalar" / "vector" / "gemmini"
+ * select the convenience calibrations above; "ideal" returns the
+ * vector timing (unused by an ideal policy, kept for struct
+ * completeness).
+ */
+ControllerTiming namedControllerTiming(const std::string &model,
+                                       const plant::Plant &plant,
+                                       double dt, int horizon,
+                                       bool with_refresh = false);
+
+/** Power model matching namedControllerTiming's dispatch. */
+soc::PowerParams namedPowerParams(const std::string &model);
 
 /** Historical quadrotor entry points. */
 ControllerTiming scalarControllerTiming(const quad::DroneParams &drone,

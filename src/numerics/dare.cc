@@ -4,9 +4,10 @@
 
 namespace rtoc::numerics {
 
-LqrCache
-solveDare(const DMatrix &a, const DMatrix &b, const DMatrix &q,
-          const DMatrix &r, double rho, double tol, int max_iters)
+std::optional<LqrCache>
+trySolveDare(const DMatrix &a, const DMatrix &b, const DMatrix &q,
+             const DMatrix &r, double rho, const DMatrix *p_warm,
+             double tol, int max_iters)
 {
     int nx = a.rows();
     int nu = b.cols();
@@ -21,7 +22,8 @@ solveDare(const DMatrix &a, const DMatrix &b, const DMatrix &q,
     DMatrix at = a.transpose();
     DMatrix bt = b.transpose();
 
-    DMatrix p = q_rho;
+    DMatrix p = p_warm != nullptr ? *p_warm : q_rho;
+    rtoc_assert(p.rows() == nx && p.cols() == nx);
     DMatrix kinf(nu, nx);
     LqrCache cache;
 
@@ -47,8 +49,20 @@ solveDare(const DMatrix &a, const DMatrix &b, const DMatrix &q,
             return cache;
         }
     }
-    rtoc_fatal("solveDare: no convergence after %d iterations "
-               "(residual %g)", max_iters, cache.residual);
+    return std::nullopt;
+}
+
+LqrCache
+solveDare(const DMatrix &a, const DMatrix &b, const DMatrix &q,
+          const DMatrix &r, double rho, double tol, int max_iters)
+{
+    std::optional<LqrCache> cache =
+        trySolveDare(a, b, q, r, rho, nullptr, tol, max_iters);
+    if (!cache) {
+        rtoc_fatal("solveDare: no convergence after %d iterations",
+                   max_iters);
+    }
+    return *cache;
 }
 
 } // namespace rtoc::numerics

@@ -10,6 +10,8 @@
 #ifndef RTOC_NUMERICS_DARE_HH
 #define RTOC_NUMERICS_DARE_HH
 
+#include <optional>
+
 #include "numerics/dmatrix.hh"
 
 namespace rtoc::numerics {
@@ -44,6 +46,20 @@ struct LqrCache
 LqrCache solveDare(const DMatrix &a, const DMatrix &b, const DMatrix &q,
                    const DMatrix &r, double rho, double tol = 1e-10,
                    int max_iters = 10000);
+
+/**
+ * Non-fatal solveDare with an optional warm start: seed the fixed-
+ * point iteration from @p p_warm (the Pinf of a nearby model) instead
+ * of the rho-augmented Q. Incremental relinearization refreshes call
+ * this with the previous cache's Pinf, converging in a handful of
+ * iterations when (A, B) moved a little; a diverging off-trim model
+ * returns nullopt instead of aborting the process, letting the caller
+ * keep the stale cache.
+ */
+std::optional<LqrCache>
+trySolveDare(const DMatrix &a, const DMatrix &b, const DMatrix &q,
+             const DMatrix &r, double rho, const DMatrix *p_warm,
+             double tol = 1e-10, int max_iters = 10000);
 
 } // namespace rtoc::numerics
 

@@ -44,6 +44,7 @@ void
 CartPolePlant::reset()
 {
     state_ = {0, 0, 0, 0};
+    wrench_ = Wrench();
     time_s_ = 0.0;
     energy_j_ = 0.0;
 }
@@ -55,7 +56,8 @@ CartPolePlant::setState(double x, double xdot, double phi, double phidot)
 }
 
 std::array<double, 4>
-CartPolePlant::deriv(const std::array<double, 4> &s, double force) const
+CartPolePlant::deriv(const std::array<double, 4> &s, double force,
+                     const Wrench *w) const
 {
     // Coupled dynamics, phi measured from upright:
     //   (M+m) xdd + m l phidd cos(phi) = F - c_x xd + m l phid^2 sin(phi)
@@ -71,6 +73,12 @@ CartPolePlant::deriv(const std::array<double, 4> &s, double force) const
     double a21 = m * l * c, a22 = It;
     double b1 = force - params_.cartDamp * xd + m * l * pd * pd * sn;
     double b2 = m * kG * l * sn - params_.poleDamp * pd;
+    if (w != nullptr && !w->zero()) {
+        // x-axis force pushes the cart; pitch torque twists the pole
+        // about its pivot.
+        b1 += w->forceN[0];
+        b2 += w->torqueNm[1];
+    }
 
     double det = a11 * a22 - a12 * a21;
     rtoc_assert(std::fabs(det) > 1e-12);
@@ -86,7 +94,7 @@ CartPolePlant::step(const std::vector<double> &cmd, double dt)
     double f = std::clamp(cmd[0], -params_.maxForceN, params_.maxForceN);
 
     state_ = rk4Step(state_, dt, [&](const std::array<double, 4> &x) {
-        return deriv(x, f);
+        return deriv(x, f, &wrench_);
     });
 
     energy_j_ += (std::fabs(f * state_[1]) + params_.idleW) * dt;

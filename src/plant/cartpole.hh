@@ -59,6 +59,9 @@ class CartPolePlant : public Plant
     std::vector<double> commandMin() const override;
     std::vector<double> commandMax() const override;
 
+    bool supportsWrench() const override { return true; }
+    void applyWrench(const Wrench &w) override { wrench_ = w; }
+
     void modelDeriv(const double *x, const double *du,
                     double *dxdt) const override;
     LinearModel linearize(double dt) const override;
@@ -80,12 +83,16 @@ class CartPolePlant : public Plant
     void setState(double x, double xdot, double phi, double phidot);
 
   private:
-    /** Continuous derivative of [x, xdot, phi, phidot]. */
+    /** Continuous derivative of [x, xdot, phi, phidot]; @p w (when
+     *  non-null and nonzero) adds an x-axis cart force and a pole
+     *  pivot torque. */
     std::array<double, 4> deriv(const std::array<double, 4> &s,
-                                double force) const;
+                                double force,
+                                const Wrench *w = nullptr) const;
 
     CartPoleParams params_;
     std::array<double, 4> state_{}; ///< x, xdot, phi, phidot
+    Wrench wrench_;                 ///< held across step() calls
     double time_s_ = 0.0;
     double energy_j_ = 0.0;
 };

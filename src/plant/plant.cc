@@ -23,6 +23,21 @@ Plant::commandFromDelta(const float *du) const
     return cmd;
 }
 
+void
+Plant::inputBoundDeltas(std::vector<float> &flo,
+                        std::vector<float> &fhi) const
+{
+    std::vector<double> trim = trimCommand();
+    std::vector<double> lo = commandMin();
+    std::vector<double> hi = commandMax();
+    flo.resize(static_cast<size_t>(nu()));
+    fhi.resize(static_cast<size_t>(nu()));
+    for (int i = 0; i < nu(); ++i) {
+        flo[i] = static_cast<float>(lo[i] - trim[i]);
+        fhi[i] = static_cast<float>(hi[i] - trim[i]);
+    }
+}
+
 std::vector<double>
 Plant::trimState() const
 {
@@ -35,20 +50,51 @@ Plant::linearize(double dt) const
     return fdLinearize(*this, dt);
 }
 
+LinearModel
+Plant::linearizeAt(const double *x, const double *du, double dt) const
+{
+    return fdLinearizeAt(*this, x, du, dt);
+}
+
 void
 discretizeInPlace(LinearModel &m, double dt)
 {
     const int nx = m.ac.rows();
     const int nu = m.bc.cols();
     m.dt = dt;
-    DMatrix adbd = numerics::zohDiscretize(m.ac, m.bc, dt);
+    if (m.cc.empty()) {
+        // Equilibrium linearization: the historical path, bit-exact.
+        DMatrix adbd = numerics::zohDiscretize(m.ac, m.bc, dt);
+        m.ad = DMatrix(nx, nx);
+        m.bd = DMatrix(nx, nu);
+        for (int i = 0; i < nx; ++i) {
+            for (int j = 0; j < nx; ++j)
+                m.ad(i, j) = adbd(i, j);
+            for (int j = 0; j < nu; ++j)
+                m.bd(i, j) = adbd(i, nx + j);
+        }
+        m.cd.clear();
+        return;
+    }
+    // Affine residual: ZOH treats c as one extra constant input, so
+    // discretizing (Ac, [Bc | cc]) yields [Ad | Bd | cd] in one pass.
+    rtoc_assert(static_cast<int>(m.cc.size()) == nx);
+    DMatrix bc_aug(nx, nu + 1);
+    for (int i = 0; i < nx; ++i) {
+        for (int j = 0; j < nu; ++j)
+            bc_aug(i, j) = m.bc(i, j);
+        bc_aug(i, nu) = m.cc[static_cast<size_t>(i)];
+    }
+    DMatrix adbd = numerics::zohDiscretize(m.ac, bc_aug, dt);
     m.ad = DMatrix(nx, nx);
     m.bd = DMatrix(nx, nu);
+    m.cd.assign(static_cast<size_t>(nx), 0.0);
     for (int i = 0; i < nx; ++i) {
         for (int j = 0; j < nx; ++j)
             m.ad(i, j) = adbd(i, j);
         for (int j = 0; j < nu; ++j)
             m.bd(i, j) = adbd(i, nx + j);
+        m.cd[static_cast<size_t>(i)] = adbd(i, nx + nu);
     }
 }
 
@@ -91,6 +137,66 @@ fdLinearize(const Plant &plant, double dt)
     return m;
 }
 
+LinearModel
+fdLinearizeAt(const Plant &plant, const double *x, const double *du,
+              double dt)
+{
+    const int nx = plant.nx();
+    const int nu = plant.nu();
+    LinearModel m;
+    m.dt = dt;
+    m.ac = DMatrix(nx, nx);
+    m.bc = DMatrix(nx, nu);
+
+    std::vector<double> x0(x, x + nx);
+    std::vector<double> u0(du, du + nu);
+    std::vector<double> fp(static_cast<size_t>(nx));
+    std::vector<double> fm(static_cast<size_t>(nx));
+
+    const double h = 1e-6;
+    for (int j = 0; j < nx; ++j) {
+        std::vector<double> xp = x0, xm = x0;
+        xp[j] += h;
+        xm[j] -= h;
+        plant.modelDeriv(xp.data(), u0.data(), fp.data());
+        plant.modelDeriv(xm.data(), u0.data(), fm.data());
+        for (int i = 0; i < nx; ++i)
+            m.ac(i, j) = (fp[i] - fm[i]) / (2.0 * h);
+    }
+    for (int j = 0; j < nu; ++j) {
+        std::vector<double> up = u0, um = u0;
+        up[j] += h;
+        um[j] -= h;
+        plant.modelDeriv(x0.data(), up.data(), fp.data());
+        plant.modelDeriv(x0.data(), um.data(), fm.data());
+        for (int i = 0; i < nx; ++i)
+            m.bc(i, j) = (fp[i] - fm[i]) / (2.0 * h);
+    }
+
+    computeAffineResidual(m, plant, x, du);
+    discretizeInPlace(m, dt);
+    return m;
+}
+
+void
+computeAffineResidual(LinearModel &m, const Plant &plant,
+                      const double *x, const double *du)
+{
+    const int nx = plant.nx();
+    const int nu = plant.nu();
+    std::vector<double> f0(static_cast<size_t>(nx));
+    plant.modelDeriv(x, du, f0.data());
+    m.cc.assign(static_cast<size_t>(nx), 0.0);
+    for (int i = 0; i < nx; ++i) {
+        double c = f0[static_cast<size_t>(i)];
+        for (int j = 0; j < nx; ++j)
+            c -= m.ac(i, j) * x[j];
+        for (int j = 0; j < nu; ++j)
+            c -= m.bc(i, j) * du[j];
+        m.cc[static_cast<size_t>(i)] = c;
+    }
+}
+
 tinympc::Workspace
 Plant::buildWorkspace(double dt, int horizon) const
 {
@@ -109,15 +215,8 @@ Plant::buildWorkspace(double dt, int horizon) const
     ws.settings.rho = static_cast<float>(w.rho);
     ws.loadCache(model.ad, model.bd, cache, w.qDiag);
 
-    std::vector<double> trim = trimCommand();
-    std::vector<double> lo = commandMin();
-    std::vector<double> hi = commandMax();
-    std::vector<float> flo(static_cast<size_t>(nu()));
-    std::vector<float> fhi(static_cast<size_t>(nu()));
-    for (int i = 0; i < nu(); ++i) {
-        flo[i] = static_cast<float>(lo[i] - trim[i]);
-        fhi[i] = static_cast<float>(hi[i] - trim[i]);
-    }
+    std::vector<float> flo, fhi;
+    inputBoundDeltas(flo, fhi);
     ws.setInputBounds(flo, fhi);
     ws.setReferenceAll(reference(home()));
     return ws;

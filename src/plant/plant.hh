@@ -34,13 +34,22 @@
 
 namespace rtoc::plant {
 
-/** Continuous + ZOH-discretized model around the trim point. */
+/**
+ * Continuous + ZOH-discretized model around a linearization point.
+ * Trim linearizations expand around an equilibrium, so the affine
+ * residual is zero and cc/cd stay empty; linearizeAt() at an off-trim
+ * point carries the residual c = f(x0,u0) - Ac x0 - Bc u0 so that
+ * dx/dt = Ac x + Bc u + cc holds in absolute model coordinates (and
+ * x+ = Ad x + Bd u + cd after ZOH discretization).
+ */
 struct LinearModel
 {
     numerics::DMatrix ac; ///< nx x nx continuous
     numerics::DMatrix bc; ///< nx x nu continuous
     numerics::DMatrix ad; ///< nx x nx discrete (ZOH)
     numerics::DMatrix bd; ///< nx x nu discrete
+    std::vector<double> cc; ///< continuous affine residual (empty = 0)
+    std::vector<double> cd; ///< discrete affine residual (empty = 0)
     double dt = 0.02;
 };
 
@@ -78,7 +87,8 @@ rk4Step(const std::array<double, N> &s, double dt, DerivFn &&f)
     return out;
 }
 
-/** Fill @p m's ad/bd by ZOH-discretizing its ac/bc with @p dt. */
+/** Fill @p m's ad/bd (and cd when cc is set) by ZOH-discretizing its
+ *  ac/bc/cc with @p dt. */
 void discretizeInPlace(LinearModel &m, double dt);
 
 /** Abstract linearizable plant. */
@@ -127,6 +137,21 @@ class Plant
     /** Actuation energy consumed since reset (J). */
     virtual double actuationEnergyJ() const = 0;
 
+    // --- external disturbances ---
+
+    /** Whether applyWrench has any effect on this plant. */
+    virtual bool supportsWrench() const { return false; }
+
+    /**
+     * Hold external wrench @p w across subsequent step() calls (until
+     * replaced; pass a zero wrench to clear). Plants fold the force/
+     * torque into their derivative — the quadrotor via the historical
+     * quad::ExternalWrench path, ground/planar plants by projecting
+     * onto their actuated axes. The default ignores the wrench
+     * (supportsWrench() == false).
+     */
+    virtual void applyWrench(const Wrench &w) { (void)w; }
+
     // --- actuators ---
 
     /** Command that holds the trim/equilibrium condition (size nu). */
@@ -143,6 +168,14 @@ class Plant
      * deltas from trim), clamped to the actuator envelope.
      */
     virtual std::vector<double> commandFromDelta(const float *du) const;
+
+    /**
+     * Solver input box in delta-from-trim coordinates (the actuator
+     * envelope minus the current trim), shared by buildWorkspace and
+     * the session's post-refresh bound update so both always agree.
+     */
+    void inputBoundDeltas(std::vector<float> &lo,
+                          std::vector<float> &hi) const;
 
     // --- MPC model ---
 
@@ -166,6 +199,17 @@ class Plant
      * plants with analytic Jacobians override.
      */
     virtual LinearModel linearize(double dt) const;
+
+    /**
+     * Linearize around an arbitrary point (@p x, @p du) — the
+     * real-time-iteration refresh used by warm-start incremental
+     * relinearization — carrying the affine residual
+     * c = f(x, du) - Ac x - Bc du in LinearModel::cc/cd. Default:
+     * central finite differences of modelDeriv (fdLinearizeAt);
+     * plants whose Jacobians are cheap analytically override.
+     */
+    virtual LinearModel linearizeAt(const double *x, const double *du,
+                                    double dt) const;
 
     /** Tracking-cost weights. */
     virtual Weights mpcWeights() const = 0;
@@ -223,6 +267,28 @@ class Plant
  * validated against in the tests.
  */
 LinearModel fdLinearize(const Plant &plant, double dt);
+
+/**
+ * Central-difference linearization of @p plant's modelDeriv around an
+ * arbitrary (@p x, @p du), including the affine residual, ZOH-
+ * discretized with @p dt — the default behind Plant::linearizeAt and
+ * the reference the analytic off-trim Jacobians are validated
+ * against.
+ */
+LinearModel fdLinearizeAt(const Plant &plant, const double *x,
+                          const double *du, double dt);
+
+/**
+ * Fill @p m.cc with the affine residual c = f(x, du) - Ac x - Bc du
+ * (f from @p plant's modelDeriv), making the continuous model exact
+ * at the expansion point in absolute coordinates — call after
+ * filling ac/bc and before discretizeInPlace. Shared by
+ * fdLinearizeAt and the analytic linearizeAt overrides (including
+ * regularized Jacobians like the rover's coupling-speed floor, whose
+ * slope tweak the residual absorbs).
+ */
+void computeAffineResidual(LinearModel &m, const Plant &plant,
+                           const double *x, const double *du);
 
 } // namespace rtoc::plant
 

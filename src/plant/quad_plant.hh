@@ -38,6 +38,9 @@ class QuadrotorPlant : public Plant
         return sim_.rotorEnergyJ();
     }
 
+    bool supportsWrench() const override { return true; }
+    void applyWrench(const Wrench &w) override;
+
     std::vector<double> trimCommand() const override;
     std::vector<double> commandMin() const override;
     std::vector<double> commandMax() const override;
@@ -45,6 +48,8 @@ class QuadrotorPlant : public Plant
     void modelDeriv(const double *x, const double *du,
                     double *dxdt) const override;
     LinearModel linearize(double dt) const override;
+    LinearModel linearizeAt(const double *x, const double *du,
+                            double dt) const override;
     Weights mpcWeights() const override;
     tinympc::Workspace buildWorkspace(double dt,
                                       int horizon) const override;
@@ -63,6 +68,7 @@ class QuadrotorPlant : public Plant
   private:
     quad::DroneParams params_;
     quad::QuadSim sim_;
+    quad::ExternalWrench wrench_; ///< held across step() calls
 };
 
 } // namespace rtoc::plant

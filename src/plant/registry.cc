@@ -20,11 +20,14 @@ namespace {
 
 std::string
 specId(const Plant &proto, Difficulty d,
-       const DisturbanceProfile &profile)
+       const DisturbanceProfile &profile,
+       const RelinearizePolicy &relin = {})
 {
     std::string id = proto.name() + "/" + difficultyName(d);
     if (profile.cmdNoiseSigma > 0.0)
         id += std::string("+") + profile.name;
+    if (!relin.fixedTrim())
+        id += "+" + relin.label();
     return id;
 }
 
@@ -77,7 +80,7 @@ ScenarioRegistry::addSpec(ScenarioSpec spec)
     rtoc_assert(spec.prototype != nullptr);
     if (spec.id.empty())
         spec.id = specId(*spec.prototype, spec.difficulty,
-                         spec.disturbance);
+                         spec.disturbance, spec.relin);
     std::lock_guard<std::mutex> lk(mu_);
     for (const ScenarioSpec &s : specs_) {
         if (s.id == spec.id)

@@ -33,6 +33,10 @@ struct ScenarioSpec
     std::string plantName; ///< prototype Plant::name()
     Difficulty difficulty = Difficulty::Easy;
     DisturbanceProfile disturbance;
+    /** Relinearization axis: sweep drivers propagate this into
+     *  HilConfig::relin. Defaults to fixed trim, so the built-in
+     *  specs keep their historical ids and behaviour. */
+    RelinearizePolicy relin;
     std::shared_ptr<const Plant> prototype;
     /** Episodes per sweep cell (from Plant::defaultEpisodes unless a
      *  spec overrides it); sweep drivers read this instead of one

@@ -24,6 +24,20 @@ RocketParams::thrustToWeight() const
     return maxThrustN / hoverThrustN();
 }
 
+RocketParams
+RocketParams::fueled()
+{
+    RocketParams p;
+    p.name = "fueled";
+    // ~27% of the wet mass is propellant; a typical descent burns a
+    // third to a half of it, so trim thrust visibly drifts and a
+    // stale wet-mass model overthrusts late in the mission.
+    p.propellantKg = 0.4;
+    p.exhaustVelocityMps = 900.0;
+    p.maxTiltRatio = 0.35; // ~19 degree gimbal
+    return p;
+}
+
 RocketPlant::RocketPlant(RocketParams params) : params_(std::move(params))
 {
     if (params_.thrustToWeight() < 1.2) {
@@ -42,11 +56,14 @@ RocketPlant::name() const
 std::string
 RocketPlant::cacheKey() const
 {
-    return csprintf("rocket:%s:m%.17g:T%.17g:lat%.17g:cd%.17g:tau%.17g:ve%.17g:z%.17g",
+    return csprintf("rocket:%s:m%.17g:T%.17g:lat%.17g:cd%.17g:tau%.17g:ve%.17g:z%.17g:"
+                    "prop%.17g:vex%.17g:tilt%.17g",
                     params_.name.c_str(), params_.massKg,
                     params_.maxThrustN, params_.maxLateralN,
                     params_.dragCoeff, params_.engineTauS,
-                    params_.jetVelocity, params_.startAltitudeM);
+                    params_.jetVelocity, params_.startAltitudeM,
+                    params_.propellantKg, params_.exhaustVelocityMps,
+                    params_.maxTiltRatio);
 }
 
 std::unique_ptr<Plant>
@@ -61,15 +78,18 @@ RocketPlant::reset()
     pos_ = {0, 0, params_.startAltitudeM};
     vel_ = {0, 0, 0};
     thrust_ = {0, 0, params_.hoverThrustN()};
+    wrench_ = Wrench();
+    mass_ = params_.massKg;
+    propellant_ = params_.propellantKg;
     time_s_ = 0.0;
     energy_j_ = 0.0;
 }
 
 std::array<double, 6>
-RocketPlant::deriv(const std::array<double, 6> &s,
-                   const Vec3 &thrust) const
+RocketPlant::deriv(const std::array<double, 6> &s, const Vec3 &thrust,
+                   const Wrench *w) const
 {
-    double m = params_.massKg;
+    double m = mass_;
     double cd = params_.dragCoeff;
     std::array<double, 6> d;
     for (int i = 0; i < 3; ++i)
@@ -79,6 +99,10 @@ RocketPlant::deriv(const std::array<double, 6> &s,
         d[3 + i] = (thrust[i] - cd * std::fabs(v) * v) / m;
     }
     d[5] -= kG;
+    if (w != nullptr && !w->zero()) {
+        for (int i = 0; i < 3; ++i)
+            d[3 + i] += w->forceN[i] / m; // point mass: force only
+    }
     return d;
 }
 
@@ -92,13 +116,27 @@ RocketPlant::step(const std::vector<double> &cmd, double dt)
     Vec3 target = {std::clamp(cmd[0], -lat, lat),
                    std::clamp(cmd[1], -lat, lat),
                    std::clamp(cmd[2], 0.0, params_.maxThrustN)};
+    if (params_.maxTiltRatio > 0.0) {
+        // Thrust-vector gimbal: lateral thrust rides on the vertical
+        // jet, so its magnitude is capped at tan(max tilt) x Tz.
+        double allowed = params_.maxTiltRatio * target[2];
+        double lat_mag = std::sqrt(target[0] * target[0] +
+                                   target[1] * target[1]);
+        if (lat_mag > allowed) {
+            double scale = lat_mag > 0.0 ? allowed / lat_mag : 0.0;
+            target[0] *= scale;
+            target[1] *= scale;
+        }
+    }
+    if (params_.propellantKg > 0.0 && propellant_ <= 0.0)
+        target = {0.0, 0.0, 0.0}; // dry tank starves the engine
     for (int i = 0; i < 3; ++i)
         thrust_[i] += alpha * (target[i] - thrust_[i]);
 
     std::array<double, 6> s = {pos_[0], pos_[1], pos_[2],
                                vel_[0], vel_[1], vel_[2]};
     s = rk4Step(s, dt, [&](const std::array<double, 6> &x) {
-        return deriv(x, thrust_);
+        return deriv(x, thrust_, &wrench_);
     });
 
     pos_ = {s[0], s[1], s[2]};
@@ -107,6 +145,13 @@ RocketPlant::step(const std::vector<double> &cmd, double dt)
     double tmag = std::sqrt(thrust_[0] * thrust_[0] +
                             thrust_[1] * thrust_[1] +
                             thrust_[2] * thrust_[2]);
+    if (params_.propellantKg > 0.0) {
+        // Burn proportional to thrust impulse: mdot = |T| / ve.
+        double burn = tmag / params_.exhaustVelocityMps * dt;
+        propellant_ = std::max(0.0, propellant_ - burn);
+        mass_ = params_.massKg -
+                (params_.propellantKg - propellant_);
+    }
     energy_j_ += tmag * params_.jetVelocity * dt;
     time_s_ += dt;
 }
@@ -127,20 +172,28 @@ RocketPlant::crashed() const
 std::vector<double>
 RocketPlant::trimCommand() const
 {
-    return {0.0, 0.0, params_.hoverThrustN()};
+    // Hover thrust at the *current* mass: a depleting lander's trim
+    // drifts down as propellant burns (equal to the wet-mass hover
+    // while depletion is off).
+    return {0.0, 0.0, mass_ * kG};
 }
 
 std::vector<double>
 RocketPlant::commandMin() const
 {
-    return {-params_.maxLateralN, -params_.maxLateralN, 0.0};
+    double lat = params_.maxLateralN;
+    if (params_.maxTiltRatio > 0.0)
+        lat = std::min(lat, params_.maxTiltRatio * mass_ * kG);
+    return {-lat, -lat, 0.0};
 }
 
 std::vector<double>
 RocketPlant::commandMax() const
 {
-    return {params_.maxLateralN, params_.maxLateralN,
-            params_.maxThrustN};
+    double lat = params_.maxLateralN;
+    if (params_.maxTiltRatio > 0.0)
+        lat = std::min(lat, params_.maxTiltRatio * mass_ * kG);
+    return {lat, lat, params_.maxThrustN};
 }
 
 void
@@ -148,13 +201,14 @@ RocketPlant::modelDeriv(const double *x, const double *du,
                         double *dxdt) const
 {
     // MPC model state [pos, vel]; thrust = trim + du, quadratic drag.
-    double m = params_.massKg;
+    // Mass and trim track the depleting vehicle.
+    double m = mass_;
     double cd = params_.dragCoeff;
     for (int i = 0; i < 3; ++i)
         dxdt[i] = x[3 + i];
     for (int i = 0; i < 3; ++i) {
         double v = x[3 + i];
-        double trim = i == 2 ? params_.hoverThrustN() : 0.0;
+        double trim = i == 2 ? mass_ * kG : 0.0;
         dxdt[3 + i] = (trim + du[i] - cd * std::fabs(v) * v) / m;
     }
     dxdt[5] -= kG;
@@ -169,8 +223,31 @@ RocketPlant::linearize(double dt) const
     m.bc = numerics::DMatrix(6, 3);
     for (int i = 0; i < 3; ++i) {
         m.ac(i, 3 + i) = 1.0;
-        m.bc(3 + i, i) = 1.0 / params_.massKg;
+        m.bc(3 + i, i) = 1.0 / mass_;
     }
+    discretizeInPlace(m, dt);
+    return m;
+}
+
+LinearModel
+RocketPlant::linearizeAt(const double *x, const double *du,
+                         double dt) const
+{
+    // Analytic off-trim Jacobian: quadratic drag has slope
+    // -2 cd |v| / m away from rest, and the input gain tracks the
+    // current (depleted) mass.
+    LinearModel m;
+    m.ac = numerics::DMatrix(6, 6);
+    m.bc = numerics::DMatrix(6, 3);
+    for (int i = 0; i < 3; ++i) {
+        double v = x[3 + i];
+        m.ac(i, 3 + i) = 1.0;
+        m.ac(3 + i, 3 + i) =
+            -2.0 * params_.dragCoeff * std::fabs(v) / mass_;
+        m.bc(3 + i, i) = 1.0 / mass_;
+    }
+
+    computeAffineResidual(m, *this, x, du);
     discretizeInPlace(m, dt);
     return m;
 }

@@ -22,7 +22,7 @@ namespace rtoc::plant {
 struct RocketParams
 {
     std::string name = "lander";
-    double massKg = 1.5;
+    double massKg = 1.5;        ///< wet mass at reset
     double maxThrustN = 30.0;   ///< main engine (vertical) limit
     double maxLateralN = 8.0;   ///< thrust-vectoring lateral authority
     double dragCoeff = 0.08;    ///< quadratic drag, N per (m/s)^2
@@ -30,11 +30,28 @@ struct RocketParams
     double jetVelocity = 40.0;  ///< effective exhaust-power scale (m/s)
     double startAltitudeM = 12.0;
 
-    /** Hover (trim) thrust: weight. */
+    // Fidelity knobs, both disabled by default so the default lander
+    // keeps the historical (massless-propellant, box-limited) flight
+    // envelope bit-identically.
+    /** Propellant budget; 0 disables mass depletion. Burn rate is
+     *  proportional to thrust impulse: mdot = |T| / exhaustVelocity,
+     *  and an exhausted tank starves the engine. */
+    double propellantKg = 0.0;
+    /** Effective exhaust velocity for the burn rate (m/s). */
+    double exhaustVelocityMps = 900.0;
+    /** Thrust-vector tilt limit: lateral thrust magnitude is capped
+     *  at maxTiltRatio x (vertical thrust), i.e. tan(max gimbal
+     *  angle). 0 disables (legacy independent box limits). */
+    double maxTiltRatio = 0.0;
+
+    /** Hover (trim) thrust at wet mass: weight. */
     double hoverThrustN() const;
 
     /** Thrust-to-weight sanity metric. */
     double thrustToWeight() const;
+
+    /** A depleting, gimbal-limited variant of the default lander. */
+    static RocketParams fueled();
 };
 
 /** Rocket soft-landing plant (nx=6, nu=3). */
@@ -55,6 +72,9 @@ class RocketPlant : public Plant
     bool crashed() const override;
     double actuationEnergyJ() const override { return energy_j_; }
 
+    bool supportsWrench() const override { return true; }
+    void applyWrench(const Wrench &w) override { wrench_ = w; }
+
     std::vector<double> trimCommand() const override;
     std::vector<double> commandMin() const override;
     std::vector<double> commandMax() const override;
@@ -62,6 +82,8 @@ class RocketPlant : public Plant
     void modelDeriv(const double *x, const double *du,
                     double *dxdt) const override;
     LinearModel linearize(double dt) const override;
+    LinearModel linearizeAt(const double *x, const double *du,
+                            double dt) const override;
     Weights mpcWeights() const override;
     void packState(float *x) const override;
     std::vector<float> reference(const Vec3 &wp) const override;
@@ -77,16 +99,25 @@ class RocketPlant : public Plant
     const RocketParams &params() const { return params_; }
     const Vec3 &position() const { return pos_; }
     const Vec3 &velocity() const { return vel_; }
+    /** Current (depleting) vehicle mass. */
+    double massKg() const { return mass_; }
+    /** Propellant remaining (== budget while depletion is off). */
+    double propellantKg() const { return propellant_; }
 
   private:
-    /** Continuous derivative of [pos, vel] with thrust held. */
+    /** Continuous derivative of [pos, vel] with thrust held; @p w
+     *  (when non-null and nonzero) adds an external world force. */
     std::array<double, 6> deriv(const std::array<double, 6> &s,
-                                const Vec3 &thrust) const;
+                                const Vec3 &thrust,
+                                const Wrench *w = nullptr) const;
 
     RocketParams params_;
     Vec3 pos_{0, 0, 0};
     Vec3 vel_{0, 0, 0};
     Vec3 thrust_{0, 0, 0}; ///< actual engine output (lagged)
+    Wrench wrench_;        ///< held across step() calls
+    double mass_ = 0.0;    ///< current mass; set from params by reset()
+    double propellant_ = 0.0; ///< propellant remaining; set by reset()
     double time_s_ = 0.0;
     double energy_j_ = 0.0;
 };

@@ -53,6 +53,7 @@ void
 RoverPlant::reset()
 {
     state_ = {0, 0, 0, params_.cruiseMps, 0};
+    wrench_ = Wrench();
     time_s_ = 0.0;
     energy_j_ = 0.0;
 }
@@ -66,11 +67,11 @@ RoverPlant::setPose(double x, double y, double theta)
 }
 
 std::array<double, 5>
-RoverPlant::deriv(const std::array<double, 5> &s, double ul,
-                  double ur) const
+RoverPlant::deriv(const std::array<double, 5> &s, double ul, double ur,
+                  const Wrench *w) const
 {
     double theta = s[2], v = s[3], omega = s[4];
-    return {
+    std::array<double, 5> d = {
         v * std::cos(theta),
         v * std::sin(theta),
         omega,
@@ -78,6 +79,15 @@ RoverPlant::deriv(const std::array<double, 5> &s, double ul,
         ((ur - ul) * params_.halfTrackM - params_.yawDamp * omega) /
             params_.inertiaZ,
     };
+    if (w != nullptr && !w->zero()) {
+        // World force projected onto the drive axis (the wheels hold
+        // the lateral direction) plus yaw torque about z.
+        d[3] += (w->forceN[0] * std::cos(theta) +
+                 w->forceN[1] * std::sin(theta)) /
+                params_.massKg;
+        d[4] += w->torqueNm[2] / params_.inertiaZ;
+    }
+    return d;
 }
 
 void
@@ -89,7 +99,7 @@ RoverPlant::step(const std::vector<double> &cmd, double dt)
     double ur = std::clamp(cmd[1], -fmax, fmax);
 
     state_ = rk4Step(state_, dt, [&](const std::array<double, 5> &x) {
-        return deriv(x, ul, ur);
+        return deriv(x, ul, ur, &wrench_);
     });
 
     // Traction power per wheel plus electronics idle.
@@ -172,6 +182,51 @@ RoverPlant::linearize(double dt) const
     m.bc(4, 0) = -params_.halfTrackM / params_.inertiaZ;
     m.bc(4, 1) = params_.halfTrackM / params_.inertiaZ;
 
+    discretizeInPlace(m, dt);
+    return m;
+}
+
+LinearModel
+RoverPlant::linearizeAt(const double *x, const double *du,
+                        double dt) const
+{
+    // Analytic Jacobian at an arbitrary (theta, v, omega): the
+    // kinematic rows rotate with heading — exactly the terms the
+    // fixed cruise-trim model gets wrong on aggressive weaves.
+    //
+    // The heading->lateral coupling dy/dt ~ v dtheta vanishes as the
+    // rover slows, and a diff-drive linearized at v = 0 loses lateral
+    // controllability entirely (the nonholonomic degeneracy): the
+    // Riccati gains for y collapse and station-keeping falls apart.
+    // Clamp the *coupling* speed to half cruise — the affine residual
+    // is computed against the clamped Jacobian, so the model stays
+    // exact at the expansion point; only the local slope is
+    // regularized toward a controllable pair.
+    double theta = x[2], v = x[3];
+    double v_floor = 0.5 * params_.cruiseMps;
+    double v_eff = std::fabs(v) < v_floor
+                       ? (v < 0.0 ? -v_floor : v_floor)
+                       : v;
+    double c = std::cos(theta), sn = std::sin(theta);
+
+    LinearModel m;
+    m.ac = numerics::DMatrix(5, 5);
+    m.bc = numerics::DMatrix(5, 2);
+    m.ac(0, 2) = -v_eff * sn;                        // dx/dt = v cos th
+    m.ac(0, 3) = c;
+    m.ac(1, 2) = v_eff * c;                          // dy/dt = v sin th
+    m.ac(1, 3) = sn;
+    m.ac(2, 4) = 1.0;
+    m.ac(3, 3) = -params_.dragPerMps / params_.massKg;
+    m.ac(4, 4) = -params_.yawDamp / params_.inertiaZ;
+    m.bc(3, 0) = 1.0 / params_.massKg;
+    m.bc(3, 1) = 1.0 / params_.massKg;
+    m.bc(4, 0) = -params_.halfTrackM / params_.inertiaZ;
+    m.bc(4, 1) = params_.halfTrackM / params_.inertiaZ;
+
+    // Affine residual keeps the model exact at the expansion point
+    // (absorbing the v_eff slope regularization above).
+    computeAffineResidual(m, *this, x, du);
     discretizeInPlace(m, dt);
     return m;
 }

@@ -69,9 +69,14 @@ class RoverPlant : public Plant
     std::vector<double> commandMin() const override;
     std::vector<double> commandMax() const override;
 
+    bool supportsWrench() const override { return true; }
+    void applyWrench(const Wrench &w) override { wrench_ = w; }
+
     void modelDeriv(const double *x, const double *du,
                     double *dxdt) const override;
     LinearModel linearize(double dt) const override;
+    LinearModel linearizeAt(const double *x, const double *du,
+                            double dt) const override;
     Weights mpcWeights() const override;
     std::vector<double> trimState() const override;
     void packState(float *x) const override;
@@ -92,13 +97,17 @@ class RoverPlant : public Plant
     void setPose(double x, double y, double theta);
 
   private:
-    /** Continuous derivative of [x, y, theta, v, omega]. */
+    /** Continuous derivative of [x, y, theta, v, omega]; @p w (when
+     *  non-null and nonzero) folds an external wrench in — world
+     *  force projected on the body axis plus yaw torque. */
     std::array<double, 5> deriv(const std::array<double, 5> &s,
-                                double ul, double ur) const;
+                                double ul, double ur,
+                                const Wrench *w = nullptr) const;
 
     RoverParams params_;
     std::vector<Obstacle> obstacles_;
     std::array<double, 5> state_{}; ///< x, y, theta, v, omega
+    Wrench wrench_;                 ///< held across step() calls
     double time_s_ = 0.0;
     double energy_j_ = 0.0;
 };

@@ -4,6 +4,24 @@
 
 namespace rtoc::plant {
 
+std::string
+RelinearizePolicy::cacheKey() const
+{
+    return csprintf("relinK%d|relinTh%.17g", everyK,
+                    stateDeltaThreshold);
+}
+
+std::string
+RelinearizePolicy::label() const
+{
+    if (fixedTrim())
+        return "trim";
+    std::string s = everyK > 0 ? csprintf("K%d", everyK) : "K-";
+    if (stateDeltaThreshold > 0.0)
+        s += csprintf("/d%g", stateDeltaThreshold);
+    return s;
+}
+
 const char *
 difficultyName(Difficulty d)
 {

@@ -18,6 +18,7 @@
 #define RTOC_PLANT_SCENARIO_HH
 
 #include <array>
+#include <string>
 #include <vector>
 
 namespace rtoc::plant {
@@ -60,6 +61,60 @@ struct DisturbanceProfile
 
     /** Gusty actuation: 5% multiplicative command noise. */
     static DisturbanceProfile gusty() { return {"gusty", 0.05}; }
+};
+
+/**
+ * External force/torque disturbance, the plant-generic analogue of
+ * quad::ExternalWrench: a world-frame force plus a body-frame torque
+ * held constant across step() calls until changed. Plants that
+ * support it (Plant::supportsWrench) fold the wrench into their
+ * derivative; the Fig. 17 step/impulse profiles drive it.
+ */
+struct Wrench
+{
+    Vec3 forceN{0, 0, 0};   ///< world-frame force
+    Vec3 torqueNm{0, 0, 0}; ///< body-frame torque
+
+    bool zero() const
+    {
+        for (int i = 0; i < 3; ++i) {
+            if (forceN[i] != 0.0 || torqueNm[i] != 0.0)
+                return false;
+        }
+        return true;
+    }
+};
+
+/**
+ * When and how the control session re-linearizes its MPC model
+ * around the current state (real-time-iteration style, Verschueren et
+ * al.) instead of flying the fixed trim model for the whole episode.
+ * The default (K=0, no threshold) is the historical fixed-trim path,
+ * bit-identical to the pre-session episode runner.
+ */
+struct RelinearizePolicy
+{
+    /** Re-linearize every K control ticks; 0 = never (fixed trim). */
+    int everyK = 0;
+
+    /**
+     * Additionally refresh whenever the model state drifts further
+     * than this (2-norm, model coordinates) from the last
+     * linearization point; 0 disables the trigger.
+     */
+    double stateDeltaThreshold = 0.0;
+
+    /** True for the historical fixed-trim configuration. */
+    bool fixedTrim() const
+    {
+        return everyK == 0 && stateDeltaThreshold <= 0.0;
+    }
+
+    /** Memo/cache key fragment (every knob that changes behaviour). */
+    std::string cacheKey() const;
+
+    /** Short printable form ("trim", "K5", "K5/d0.4"). */
+    std::string label() const;
 };
 
 /** One waypoint-tracking scenario, plant-agnostic. */

@@ -39,6 +39,10 @@ struct KernelIds
     isa::KernelId dualResidualInput =
         isa::internKernel("dual_residual_input");
     isa::KernelId slackCopy = isa::internKernel("slack_copy");
+    isa::KernelId affineShift = isa::internKernel("affine_shift");
+    isa::KernelId riccatiSweep = isa::internKernel("riccati_sweep");
+    isa::KernelId modelRefreshCommit =
+        isa::internKernel("model_refresh_commit");
 };
 
 const KernelIds &
@@ -116,9 +120,11 @@ Solver::forwardPass()
         }
         {
             KernelScope k(backend_, kid().forwardPass2);
-            // x[i+1] = Adyn x[i] + Bdyn u[i]
+            // x[i+1] = Adyn x[i] + Bdyn u[i] (+ cd off-trim)
             backend_.gemv(xn, ws_.adyn.view(), xi, 1.0f, 0.0f);
             backend_.gemv(xn, ws_.bdyn.view(), ui, 1.0f, 1.0f);
+            if (ws_.hasAffine)
+                backend_.saxpby(xn, 1.0f, xn, 1.0f, ws_.affine.view());
         }
         if (style_ == MappingStyle::Fused)
             backend_.endFuse();
@@ -258,6 +264,15 @@ Solver::backwardPass()
 
         if (style_ == MappingStyle::Fused)
             backend_.beginFuse();
+        if (ws_.hasAffine) {
+            // Affine dynamics shift every cost-to-go gradient by
+            // Pinf·cd: use p_eff[i+1] = p[i+1] + Pinf·cd in both the
+            // feedforward and the recursion (exact affine-LQR terms).
+            KernelScope k(backend_, kid().affineShift);
+            backend_.saxpby(ws_.tmpNx.view(), 1.0f, pn, 1.0f,
+                            ws_.pAffine.view());
+            pn = ws_.tmpNx.view();
+        }
         {
             KernelScope k(backend_, kid().backwardPass1);
             // d[i] = Quu_inv (Bdyn^T p[i+1] + r[i])
@@ -339,6 +354,69 @@ Solver::solve()
     // Export the solution to the CPU/actuators (Gemmini: mvout+fence).
     backend_.sync();
     return res;
+}
+
+void
+emitModelRefresh(Workspace &ws, matlib::Backend &backend,
+                 int riccati_iters)
+{
+    rtoc_assert(riccati_iters >= 1);
+    const int nx = ws.nx;
+    const int nu = ws.nu;
+
+    // Scratch results: the sweep computes real float32 values (the
+    // flop/traffic proxy of the on-device refresh) without touching
+    // the workspace, whose cache stays the authoritative double-
+    // precision solution committed by Workspace::refreshModel.
+    Buffer btp(nu, nx), quu(nu, nu), quuW(nu, nu), ka(nu, nx);
+    Buffer knew(nu, nx), bk(nx, nx), ambk(nx, nx), pa(nx, nx);
+    Buffer pnew(nx, nx), pc(1, nx);
+
+    // Gemmini refresh sessions restage the cache matrices (residency
+    // and config-elision state reset, so the stream depends only on
+    // mapping and shape — never on emission history).
+    if (auto *gem = dynamic_cast<matlib::GemminiBackend *>(&backend)) {
+        Mat mats[] = {ws.kinf.view(),   ws.kinfT.view(),
+                      ws.pinf.view(),   ws.quuInv.view(),
+                      ws.amBKt.view(),  ws.adyn.view(),
+                      ws.bdyn.view(),   ws.bdynT.view()};
+        gem->initResident({&mats[0], &mats[1], &mats[2], &mats[3],
+                           &mats[4], &mats[5], &mats[6], &mats[7]});
+    }
+
+    for (int it = 0; it < riccati_iters; ++it) {
+        // One fixed-point sweep of P <- Q + A'P(A - BK), K = Quu^-1
+        // B'PA, in float32 over scratch operands (matching shapes and
+        // operation mix; the nu x nu inverse is modelled by one extra
+        // nu^3 gemm).
+        KernelScope k(backend, kid().riccatiSweep);
+        backend.gemm(btp.view(), ws.bdynT.view(), ws.pinf.view());
+        backend.gemm(quu.view(), btp.view(), ws.bdyn.view());
+        backend.gemm(quuW.view(), quu.view(), ws.quuInv.view());
+        backend.gemm(ka.view(), btp.view(), ws.adyn.view());
+        backend.gemm(knew.view(), quuW.view(), ka.view());
+        backend.gemm(bk.view(), ws.bdyn.view(), knew.view());
+        backend.saxpby(ambk.view(), 1.0f, ws.adyn.view(), -1.0f,
+                       bk.view());
+        backend.gemm(pa.view(), ws.pinf.view(), ambk.view());
+        backend.gemm(pnew.view(), ws.amBKt.view(), pa.view());
+        backend.saxpby(pnew.view(), 1.0f, pnew.view(), 1.0f,
+                       ws.pinf.view());
+    }
+    {
+        // Cache commit: write back the refreshed terms (modelled as
+        // one pass over each cache matrix) and precompute the affine
+        // shift Pinf·cd into scratch.
+        KernelScope k(backend, kid().modelRefreshCommit);
+        for (Buffer *b : {&ws.adyn, &ws.bdyn, &ws.bdynT, &ws.kinf,
+                          &ws.kinfT, &ws.pinf, &ws.quuInv, &ws.amBKt,
+                          &ws.affine}) {
+            backend.copy(b->view(), b->view());
+        }
+        backend.gemvT(pc.view(), ws.pinf.view(), ws.affine.view(),
+                      1.0f, 0.0f);
+    }
+    backend.sync();
 }
 
 } // namespace rtoc::tinympc

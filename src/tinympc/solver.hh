@@ -90,6 +90,22 @@ class Solver
     MappingStyle style_;
 };
 
+/**
+ * Emit the on-SoC model-refresh stream for warm-start incremental
+ * relinearization into @p backend's attached program, under its own
+ * kernel regions so refresh cost shows up in timing attribution
+ * separately from the solve: @p riccati_iters "riccati_sweep"
+ * regions (the float32 fixed-point sweep the device would run — a
+ * flop/traffic-faithful proxy computed on scratch buffers; the
+ * authoritative double-precision cache is committed by
+ * Workspace::refreshModel) followed by one "model_refresh_commit"
+ * region (cache write-back, Gemmini re-staging, affine Pinf·cd prep).
+ * Emission depends only on (backend config, nx, nu, iters), so
+ * refresh programs cache exactly like solve programs.
+ */
+void emitModelRefresh(Workspace &ws, matlib::Backend &backend,
+                      int riccati_iters);
+
 /** RAII kernel-region marker (no-op without an attached program). */
 class KernelScope
 {

@@ -43,6 +43,8 @@ Workspace::allocate(int nx, int nu, int horizon)
     w.adyn = Buffer(nx, nx);
     w.bdyn = Buffer(nx, nu);
     w.bdynT = Buffer(nu, nx);
+    w.affine = Buffer(1, nx);
+    w.pAffine = Buffer(1, nx);
     w.tmpNu = Buffer(1, nu);
     w.tmpNx = Buffer(1, nx);
 
@@ -65,6 +67,23 @@ copyToF32(Buffer &dst, const numerics::DMatrix &src)
             dst.view().at(i, j) = static_cast<float>(src(i, j));
 }
 
+/** Copy a discrete model + Riccati cache into the float32 buffers
+ *  (shared by the initial loadCache and in-place refreshModel). */
+void
+copyModelCache(Workspace &w, const numerics::DMatrix &a,
+               const numerics::DMatrix &b,
+               const numerics::LqrCache &cache)
+{
+    copyToF32(w.adyn, a);
+    copyToF32(w.bdyn, b);
+    copyToF32(w.bdynT, b.transpose());
+    copyToF32(w.kinf, cache.kinf);
+    copyToF32(w.kinfT, cache.kinf.transpose());
+    copyToF32(w.pinf, cache.pinf);
+    copyToF32(w.quuInv, cache.quuInv);
+    copyToF32(w.amBKt, cache.amBKt);
+}
+
 } // namespace
 
 void
@@ -75,16 +94,40 @@ Workspace::loadCache(const numerics::DMatrix &a, const numerics::DMatrix &b,
     rtoc_assert(a.rows() == nx && b.cols() == nu);
     rtoc_assert(static_cast<int>(q_diag.size()) == nx);
 
-    copyToF32(adyn, a);
-    copyToF32(bdyn, b);
-    copyToF32(bdynT, b.transpose());
-    copyToF32(kinf, cache.kinf);
-    copyToF32(kinfT, cache.kinf.transpose());
-    copyToF32(pinf, cache.pinf);
-    copyToF32(quuInv, cache.quuInv);
-    copyToF32(amBKt, cache.amBKt);
+    copyModelCache(*this, a, b, cache);
     for (int j = 0; j < nx; ++j)
         qDiag.view()[j] = static_cast<float>(q_diag[j]);
+}
+
+void
+Workspace::refreshModel(const numerics::DMatrix &a,
+                        const numerics::DMatrix &b,
+                        const numerics::LqrCache &cache,
+                        const std::vector<double> &cd)
+{
+    rtoc_assert(a.rows() == nx && a.cols() == nx);
+    rtoc_assert(b.rows() == nx && b.cols() == nu);
+
+    copyModelCache(*this, a, b, cache);
+
+    hasAffine = false;
+    for (int j = 0; j < nx; ++j) {
+        double c = cd.empty() ? 0.0 : cd[static_cast<size_t>(j)];
+        affine.view()[j] = static_cast<float>(c);
+        if (c != 0.0)
+            hasAffine = true;
+    }
+    // pAffine = Pinf·cd, the constant shift the affine backward pass
+    // applies to every cost-to-go gradient (computed in double, the
+    // same precision the cache itself came from).
+    for (int i = 0; i < nx; ++i) {
+        double acc = 0.0;
+        if (hasAffine) {
+            for (int j = 0; j < nx; ++j)
+                acc += cache.pinf(i, j) * cd[static_cast<size_t>(j)];
+        }
+        pAffine.view()[i] = static_cast<float>(acc);
+    }
 }
 
 void

@@ -91,6 +91,13 @@ struct Workspace
     Buffer bdyn;   ///< nx x nu
     Buffer bdynT;  ///< nu x nx
 
+    // Affine dynamics residual of an off-trim relinearized model:
+    // x+ = Adyn x + Bdyn u + cd. Zero (and hasAffine false) for trim
+    // models, so the historical solve streams are untouched.
+    Buffer affine;  ///< 1 x nx discrete residual cd
+    Buffer pAffine; ///< 1 x nx cached Pinf·cd (backward-pass shift)
+    bool hasAffine = false;
+
     // Scratch.
     Buffer tmpNu;  ///< 1 x nu backward-pass temporary
     Buffer tmpNx;  ///< 1 x nx temporary
@@ -106,6 +113,19 @@ struct Workspace
     void loadCache(const numerics::DMatrix &a, const numerics::DMatrix &b,
                    const numerics::LqrCache &cache,
                    const std::vector<double> &q_diag);
+
+    /**
+     * In-place model refresh for warm-start incremental
+     * relinearization: swap in a new discrete model (@p a, @p b), its
+     * Riccati cache and the affine residual @p cd (empty = none)
+     * WITHOUT touching the ADMM duals, slacks or trajectories — the
+     * warm-started solver state survives the model change. Cost
+     * diagonal, references and bounds are left as loaded.
+     */
+    void refreshModel(const numerics::DMatrix &a,
+                      const numerics::DMatrix &b,
+                      const numerics::LqrCache &cache,
+                      const std::vector<double> &cd = {});
 
     /** Set every row of the input bounds to [lo, hi]. */
     void setInputBounds(const std::vector<float> &lo,
