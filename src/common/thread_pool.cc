@@ -1,5 +1,6 @@
 #include "thread_pool.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace rtoc {
@@ -25,8 +26,10 @@ defaultThreadCount()
 
 ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads)
 {
+    // Worker i owns participant slot i+1; the submitting caller is
+    // always slot 0.
     for (int i = 1; i < threads_; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -41,12 +44,14 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::drain(Job &job)
+ThreadPool::runTask(Job &job, size_t t)
 {
-    while (true) {
-        size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= job.limit)
-            break;
+    const size_t begin = t * job.grain;
+    const size_t end = std::min(job.limit, begin + job.grain);
+    // Per-index error guard: a throwing fn(i) must not skip the rest
+    // of its grain chunk — the whole range drains regardless of the
+    // grain, and the first exception is rethrown afterwards.
+    for (size_t i = begin; i < end; ++i) {
         try {
             (*job.fn)(i);
         } catch (...) {
@@ -54,12 +59,35 @@ ThreadPool::drain(Job &job)
             if (!job.error)
                 job.error = std::current_exception();
         }
-        job.done.fetch_add(1, std::memory_order_release);
+    }
+    job.done.fetch_add(1, std::memory_order_release);
+}
+
+void
+ThreadPool::drainAs(Job &job, int slot)
+{
+    const int nd = static_cast<int>(job.deques.size());
+    while (true) {
+        size_t t;
+        if (job.deques[slot].popFront(t)) {
+            runTask(job, t);
+            continue;
+        }
+        // Own block drained: steal from the back of a victim's block,
+        // scanning round-robin from our own slot. Deques only shrink
+        // while a job runs (nested submits execute inline, pushing
+        // nothing), so one full all-empty scan is conclusive.
+        bool stole = false;
+        for (int k = 1; k < nd && !stole; ++k)
+            stole = job.deques[(slot + k) % nd].stealBack(t);
+        if (!stole)
+            return;
+        runTask(job, t);
     }
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(int slot)
 {
     in_pool_worker = true;
     uint64_t seen = 0;
@@ -75,9 +103,9 @@ ThreadPool::workerLoop()
             job = job_;
             seen = generation_;
         }
-        drain(*job);
+        drainAs(*job, slot);
         // Take the job lock before notifying so the completion of the
-        // final index cannot slip between the caller's predicate check
+        // final task cannot slip between the caller's predicate check
         // and its wait (the classic lost-wakeup interleaving).
         {
             std::lock_guard<std::mutex> lk(mu_);
@@ -87,32 +115,59 @@ ThreadPool::workerLoop()
 }
 
 void
-ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn,
+                        size_t grain)
 {
     if (n == 0)
         return;
+    if (grain < 1)
+        grain = 1;
+    const size_t tasks = (n + grain - 1) / grain;
+
     // Inline paths: trivial ranges, single-threaded pools, and nested
     // calls from inside a worker (the outer fan-out owns the pool).
-    // Routed through drain() so error semantics match the pooled
-    // path: the whole range executes and the first exception is
-    // rethrown afterwards.
-    if (n == 1 || threads_ <= 1 || in_pool_worker) {
+    // Error semantics match the pooled path: the whole range executes
+    // and the first exception is rethrown afterwards.
+    if (tasks == 1 || threads_ <= 1 || in_pool_worker) {
         Job job;
         job.fn = &fn;
         job.limit = n;
-        drain(job);
+        job.grain = grain;
+        job.tasks = tasks;
+        for (size_t t = 0; t < tasks; ++t)
+            runTask(job, t);
         if (job.error)
             std::rethrow_exception(job.error);
+        return;
+    }
+
+    // Task ids must fit the 32-bit deque ends; recurse over windows in
+    // the (theoretical) overflow case.
+    constexpr size_t kMaxTasks = 0xffffffffull;
+    if (tasks > kMaxTasks) {
+        const size_t window = kMaxTasks * grain;
+        for (size_t base = 0; base < n; base += window) {
+            const size_t len = std::min(window, n - base);
+            parallelFor(len, [&](size_t i) { fn(base + i); }, grain);
+        }
         return;
     }
 
     std::lock_guard<std::mutex> submit(submitMu_);
     // Shared ownership: a worker that wakes late may still hold the
     // job after this call returns; it only observes the exhausted
-    // index counter, never the (by then dead) fn.
+    // deques, never the (by then dead) fn.
     auto job = std::make_shared<Job>();
     job->fn = &fn;
     job->limit = n;
+    job->grain = grain;
+    job->tasks = tasks;
+    // Contiguous block partition: participant p starts on block p and
+    // migrates by stealing once its block drains.
+    const size_t np = static_cast<size_t>(threads_);
+    job->deques = std::vector<WorkDeque>(np);
+    for (size_t p = 0; p < np; ++p)
+        job->deques[p].init(tasks * p / np, tasks * (p + 1) / np);
     {
         std::lock_guard<std::mutex> lk(mu_);
         job_ = job;
@@ -124,13 +179,14 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
     // worker while draining so a nested parallelFor from one of its
     // own tasks runs inline instead of re-locking submitMu_.
     in_pool_worker = true;
-    drain(*job);
+    drainAs(*job, 0);
     in_pool_worker = false;
 
     {
         std::unique_lock<std::mutex> lk(mu_);
         doneCv_.wait(lk, [&] {
-            return job->done.load(std::memory_order_acquire) >= n;
+            return job->done.load(std::memory_order_acquire) >=
+                   job->tasks;
         });
         job_ = nullptr;
     }

@@ -68,6 +68,19 @@ class RegReadyFile
         std::fill(ready_.begin(), ready_.end(), 0);
     }
 
+    /**
+     * Pre-size for register ids < @p n (entries stay zero). Batched
+     * replay lanes size their files from the program's register
+     * counts up front so the per-uop loop never pays the
+     * growth-doubling copy a fresh file would.
+     */
+    void
+    ensure(uint32_t n)
+    {
+        if (n > ready_.size())
+            ready_.resize(n, 0);
+    }
+
   private:
     std::vector<uint64_t> ready_;
 };
@@ -131,6 +144,24 @@ class TimingModel
     {
         return runStream(prog.stream());
     }
+
+    /**
+     * Batched replay (one pass, N scoreboards): simulate the stream
+     * once while advancing an independent scoreboard per model in
+     * @p models, amortizing column loads and class decode across a
+     * design sweep. Every model in @p models must belong to this
+     * model's family (same dynamic type); families override this with
+     * a fused lane loop whose results are REQUIRED to be bit-identical
+     * to calling models[i]->runStream(view) sequentially (pinned by
+     * tests). The base implementation — also the fallback overrides
+     * take when a foreign model appears in the group — is exactly that
+     * sequential loop. Results are returned in @p models order;
+     * `this` only dispatches and is not simulated unless it appears in
+     * @p models itself.
+     */
+    virtual std::vector<TimingResult>
+    runStreamBatch(const isa::UopStreamView &view,
+                   const std::vector<const TimingModel *> &models) const;
 };
 
 /** Historical name of the timing-model interface. */
@@ -184,16 +215,17 @@ class RegionAttributor
     void
     closeUpTo(size_t i)
     {
+        const std::vector<isa::KernelRegion> &regions = *regions_;
         while (true) {
             if (open_) {
-                if (regions_[next_].end > i)
+                if (regions[next_].end > i)
                     return;
                 out_.push_back(running_max_ - open_before_);
                 open_ = false;
                 ++next_;
             } else {
-                if (next_ >= regions_.size() ||
-                    regions_[next_].begin > i) {
+                if (next_ >= regions.size() ||
+                    regions[next_].begin > i) {
                     return;
                 }
                 open_before_ = running_max_;
@@ -202,7 +234,8 @@ class RegionAttributor
         }
     }
 
-    const std::vector<isa::KernelRegion> &regions_;
+    /** Pointer (not reference) so batch-lane state stays copyable. */
+    const std::vector<isa::KernelRegion> *regions_;
     std::vector<uint64_t> out_;
     size_t next_ = 0;            ///< first region not yet closed
     uint64_t running_max_ = 0;   ///< max completion over uops [0, i)

@@ -52,6 +52,28 @@ InOrderCore::runAos(const isa::Program &prog) const
         });
 }
 
+std::vector<TimingResult>
+InOrderCore::runStreamBatch(
+    const isa::UopStreamView &view,
+    const std::vector<const TimingModel *> &models) const
+{
+    std::vector<InOrderConfig> cfgs;
+    cfgs.reserve(models.size());
+    for (const TimingModel *m : models) {
+        const auto *core = dynamic_cast<const InOrderCore *>(m);
+        if (!core)
+            return TimingModel::runStreamBatch(view, models);
+        cfgs.push_back(core->config());
+    }
+    return runInOrderStreamBatchWithCoproc(
+        view, cfgs,
+        [&](size_t, const isa::UopStreamView &v, size_t i, uint64_t,
+            auto &, auto &) -> std::pair<uint64_t, uint64_t> {
+            rtoc_panic("scalar batch given coprocessor uop %s",
+                       isa::uopName(v.kind[i]));
+        });
+}
+
 std::string
 InOrderCore::cacheKey() const
 {

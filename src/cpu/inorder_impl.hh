@@ -183,6 +183,329 @@ InOrderCore::runStreamWithCoproc(const isa::UopStreamView &v,
     return result;
 }
 
+/**
+ * Lane view over the batch engine's lane-interleaved register ready
+ * store: entry (reg, lane) lives at base[reg * lanes + lane], so the
+ * ready times of one register across all lanes share a cache line.
+ * Semantics mirror RegReadyFile exactly (mask, kNoReg, out-of-range
+ * reads return 0); the store is pre-sized from the program's register
+ * counts, so every allocated register is in range.
+ */
+class LaneRegView
+{
+  public:
+    LaneRegView(uint64_t *base, uint32_t nregs, uint32_t lanes,
+                uint32_t lane)
+        : base_(base), nregs_(nregs), lanes_(lanes), lane_(lane)
+    {}
+
+    uint64_t
+    readyTime(uint32_t reg) const
+    {
+        uint32_t idx = reg & 0x7fffffffu;
+        if (reg == isa::kNoReg || idx >= nregs_)
+            return 0;
+        return base_[static_cast<size_t>(idx) * lanes_ + lane_];
+    }
+
+    void
+    setReady(uint32_t reg, uint64_t t)
+    {
+        if (reg == isa::kNoReg)
+            return;
+        uint32_t idx = reg & 0x7fffffffu;
+        rtoc_assert(idx < nregs_); // store sized from Program counters
+        if (idx >= nregs_)
+            return;
+        base_[static_cast<size_t>(idx) * lanes_ + lane_] = t;
+    }
+
+  private:
+    uint64_t *base_;
+    uint32_t nregs_;
+    uint32_t lanes_;
+    uint32_t lane_;
+};
+
+/**
+ * Batched counterpart of runStreamWithCoproc: ONE pass over the
+ * columns advances an independent scoreboard per config in @p cfgs
+ * (lanes may differ in every knob, including issue width and the
+ * frontend choice). Per-lane results are bit-identical to sequential
+ * runStreamWithCoproc calls (pinned by tests); the batch is faster
+ * because the lane-invariant work is hoisted out of the lane loop:
+ *
+ *  - columns are loaded and decoded once per uop, not once per
+ *    (config, uop);
+ *  - operand/destination register rows are resolved once per uop
+ *    (kNoReg and bounds checks are shared), and the lane-interleaved
+ *    ready store puts all lanes of a register on one cache line;
+ *  - kernel-region attribution is driven by a shared boundary-event
+ *    list (region structure is lane-invariant), so the per-lane,
+ *    per-uop attribution work collapses to a running max.
+ *
+ * @p coproc receives (lane, view, i, present, sregs, vregs) — the reg
+ * files as LaneRegView — and returns the single-lane {release, done}
+ * pair; it owns any per-lane coprocessor state.
+ */
+template <typename CoprocFn>
+std::vector<TimingResult>
+runInOrderStreamBatchWithCoproc(const isa::UopStreamView &v,
+                                const std::vector<InOrderConfig> &cfgs,
+                                CoprocFn &&coproc)
+{
+    using isa::LatClass;
+
+    if (!v.program) {
+        rtoc_panic("in-order batch: view has no owning program "
+                   "(region attribution needs Program::stream())");
+    }
+    if (v.program->kernelOpen()) {
+        rtoc_panic("in-order batch: kernel region '%s' still open — "
+                   "close it (endKernel) before timing the program",
+                   v.program->kernels().back().name().c_str());
+    }
+
+    const size_t L = cfgs.size();
+    const uint32_t nsreg = v.program->scalarRegCount();
+    const uint32_t nvreg = v.program->vectorRegCount();
+
+    // Per-lane scoreboard state, SoA so the lane loop streams it.
+    //
+    // The three issue counters (slots, fp_used, mem_used) live in one
+    // packed word per lane — 16-bit fields at bits 0/16/32 — so the
+    // structural-hazard test of the single-lane loop
+    //   slots >= issueWidth || (fp && fp_used >= fpuCount) ||
+    //   (mem && mem_used >= memPorts)
+    // becomes one add+mask against a per-lane packed complement
+    // (field f trips bit 15 of its lane exactly when counter_f >=
+    // limit_f; counters stay tiny, so fields never carry into each
+    // other), and the counter increments collapse to one shared
+    // packed add. Bit-for-bit the same stall decisions, one compare.
+    std::vector<uint64_t> cycle(L, 0), stall_data(L, 0),
+        stall_struct(L, 0), running_max(L, 0), open_before(L, 0),
+        branch_bubble(L), lat(isa::kNumLatClasses * L, 0);
+    std::vector<uint64_t> occ(L, 0);      ///< packed slots/fp/mem
+    std::vector<uint64_t> occ_comp(4 * L); ///< packed limit complements
+    std::vector<int> issue_width(L);
+    constexpr uint64_t kOccHi = 0x0000800080008000ull;
+    for (size_t l = 0; l < L; ++l) {
+        const InOrderConfig &cfg = cfgs[l];
+        issue_width[l] = cfg.issueWidth;
+        branch_bubble[l] = static_cast<uint64_t>(cfg.branchBubble);
+        const uint64_t cs =
+            0x8000ull - static_cast<uint64_t>(cfg.issueWidth);
+        const uint64_t cf =
+            0x8000ull - static_cast<uint64_t>(cfg.fpuCount);
+        const uint64_t cm =
+            0x8000ull - static_cast<uint64_t>(cfg.memPorts);
+        // Gate selector: bit0 = fp port used by this uop, bit1 = mem
+        // port used; disabled gates contribute 0 (never trip).
+        occ_comp[0 * L + l] = cs;
+        occ_comp[1 * L + l] = cs | (cf << 16);
+        occ_comp[2 * L + l] = cs | (cm << 32);
+        occ_comp[3 * L + l] = cs | (cf << 16) | (cm << 32);
+        // Class-major layout: the lane loop reads one contiguous row
+        // per uop (lat[lc * L + l]) without a per-lane multiply.
+        auto lt = [&](LatClass c) -> uint64_t & {
+            return lat[static_cast<size_t>(c) * L + l];
+        };
+        lt(LatClass::IntAlu) = 1;
+        lt(LatClass::IntMul) =
+            static_cast<uint64_t>(cfg.intMulLatency);
+        lt(LatClass::Fp) = static_cast<uint64_t>(cfg.fpLatency);
+        lt(LatClass::FpDiv) =
+            static_cast<uint64_t>(cfg.fpDivLatency);
+        lt(LatClass::FpCmp) = 2;
+        lt(LatClass::FpMove) = 2;
+        lt(LatClass::Load) = static_cast<uint64_t>(cfg.loadLatency);
+        lt(LatClass::Store) = 1;
+        lt(LatClass::Branch) = 1;
+    }
+
+    // Lane-interleaved ready stores (zero == never written, exactly
+    // RegReadyFile's unwritten/out-of-range semantics). Two extra
+    // rows keep the lane loop branchless: kNoReg/out-of-range
+    // operands read the always-zero row, kNoReg destinations write
+    // the sink row.
+    std::vector<uint64_t> sready(static_cast<size_t>(nsreg) * L, 0);
+    std::vector<uint64_t> vready(static_cast<size_t>(nvreg) * L, 0);
+    std::vector<uint64_t> zero_row(L, 0), sink_row(L, 0);
+
+    // Shared region-boundary events, replayed in exactly the order
+    // RegionAttributor::closeUpTo visits them (open at begin, close
+    // at end, region order).
+    struct REvent
+    {
+        size_t pos;
+        bool open;
+    };
+    const std::vector<isa::KernelRegion> &regions =
+        v.program->kernels();
+    std::vector<REvent> events;
+    events.reserve(regions.size() * 2);
+    for (const isa::KernelRegion &r : regions) {
+        events.push_back({r.begin, true});
+        events.push_back({r.end, false});
+    }
+    std::vector<std::vector<uint64_t>> region_out(L);
+    for (auto &o : region_out)
+        o.reserve(regions.size());
+    size_t next_event = 0;
+    auto apply_events_up_to = [&](size_t i) {
+        while (next_event < events.size() &&
+               events[next_event].pos <= i) {
+            if (events[next_event].open) {
+                for (size_t l = 0; l < L; ++l)
+                    open_before[l] = running_max[l];
+            } else {
+                for (size_t l = 0; l < L; ++l)
+                    region_out[l].push_back(running_max[l] -
+                                            open_before[l]);
+            }
+            ++next_event;
+        }
+    };
+
+    constexpr uint8_t kBranchCls =
+        static_cast<uint8_t>(LatClass::Branch);
+
+    const uint8_t *const cls_col = v.cls;
+    const uint32_t *const dst_col = v.dst;
+    const uint32_t *const src0_col = v.src0;
+    const uint32_t *const src1_col = v.src1;
+    const uint32_t *const src2_col = v.src2;
+    const uint8_t *const taken_col = v.taken;
+    uint64_t *const sbase = sready.data();
+
+    // Resolve a scalar-file operand row once for every lane. The
+    // single-lane loop masks and bounds-checks per (lane, operand);
+    // those checks depend only on the uop, so they hoist here.
+    // kNoReg/out-of-range resolve to the zero row (readyTime 0).
+    auto srow = [&](uint32_t reg) -> const uint64_t * {
+        uint32_t idx = reg & 0x7fffffffu;
+        if (reg == isa::kNoReg || idx >= nsreg)
+            return zero_row.data();
+        return sbase + static_cast<size_t>(idx) * L;
+    };
+
+    for (size_t i = 0; i < v.n; ++i) {
+        apply_events_up_to(i);
+        const uint8_t cls = cls_col[i];
+
+        if (!(cls & isa::kClsScalar)) {
+            // Coprocessor op: mask vector-register operands to kNoReg
+            // for the frontend interlock, exactly as the single-lane
+            // loop does (shared — operands are lane-invariant).
+            const uint32_t s0 = src0_col[i];
+            const uint32_t s1 = src1_col[i];
+            const uint32_t s2 = src2_col[i];
+            const uint64_t *p0 =
+                srow(isa::Program::isVReg(s0) ? isa::kNoReg : s0);
+            const uint64_t *p1 =
+                srow(isa::Program::isVReg(s1) ? isa::kNoReg : s1);
+            const uint64_t *p2 =
+                srow(isa::Program::isVReg(s2) ? isa::kNoReg : s2);
+            for (size_t l = 0; l < L; ++l) {
+                while (static_cast<int>(occ[l] & 0xffffu) >=
+                       issue_width[l]) {
+                    cycle[l] += 1;
+                    occ[l] = 0;
+                }
+                uint64_t ready =
+                    std::max(std::max(p0[l], p1[l]), p2[l]);
+                if (ready > cycle[l]) {
+                    stall_data[l] += ready - cycle[l];
+                    cycle[l] = ready;
+                    occ[l] = 0;
+                }
+                occ[l] += 1;
+                LaneRegView sview(sbase, nsreg,
+                                  static_cast<uint32_t>(L),
+                                  static_cast<uint32_t>(l));
+                LaneRegView vview(vready.data(), nvreg,
+                                  static_cast<uint32_t>(L),
+                                  static_cast<uint32_t>(l));
+                auto [release, done] =
+                    coproc(l, v, i, cycle[l], sview, vview);
+                if (done > running_max[l])
+                    running_max[l] = done;
+                if (release > cycle[l]) {
+                    cycle[l] = release;
+                    occ[l] = 0;
+                }
+            }
+            continue;
+        }
+
+        // Scalar op: operand rows, latency class, port flags and the
+        // taken-branch predicate are all lane-invariant.
+        const uint64_t *p0 = srow(src0_col[i]);
+        const uint64_t *p1 = srow(src1_col[i]);
+        const uint64_t *p2 = srow(src2_col[i]);
+        const uint32_t dst = dst_col[i];
+        const uint32_t dst_idx = dst & 0x7fffffffu;
+        uint64_t *pd = (dst == isa::kNoReg || dst_idx >= nsreg)
+                           ? sink_row.data()
+                           : sbase + static_cast<size_t>(dst_idx) * L;
+        const size_t lc = cls & isa::kClsLatMask;
+        const uint64_t *const lat_row = lat.data() + lc * L;
+        const bool is_fp = (cls & isa::kClsFp) != 0;
+        const bool is_mem = (cls & isa::kClsMem) != 0;
+        const bool br_taken = lc == kBranchCls && taken_col[i];
+        // Shared packed-counter increment and limit-complement row.
+        const uint64_t occ_inc = 1ull |
+                                 (is_fp ? 1ull << 16 : 0) |
+                                 (is_mem ? 1ull << 32 : 0);
+        const uint64_t *const comp_row =
+            occ_comp.data() +
+            (static_cast<size_t>(is_fp) | (is_mem ? 2u : 0u)) * L;
+
+        for (size_t l = 0; l < L; ++l) {
+            uint64_t ready =
+                std::max(std::max(p0[l], p1[l]), p2[l]);
+            uint64_t c = cycle[l];
+            uint64_t oc = occ[l];
+            if (ready > c) {
+                stall_data[l] += ready - c;
+                c = ready;
+                oc = 0;
+            }
+            const uint64_t comp = comp_row[l];
+            while ((oc + comp) & kOccHi) {
+                ++stall_struct[l];
+                c += 1;
+                oc = 0;
+            }
+            oc += occ_inc;
+
+            uint64_t done = c + lat_row[l];
+            if (done > running_max[l])
+                running_max[l] = done;
+            pd[l] = done;
+
+            if (br_taken) {
+                c += 1 + branch_bubble[l];
+                oc = 0;
+            }
+            cycle[l] = c;
+            occ[l] = oc;
+        }
+    }
+    apply_events_up_to(v.n);
+
+    std::vector<TimingResult> out(L);
+    for (size_t l = 0; l < L; ++l) {
+        rtoc_assert(region_out[l].size() == regions.size());
+        out[l].regionCycles = std::move(region_out[l]);
+        out[l].cycles = std::max(cycle[l], running_max[l]);
+        out[l].stats.set("uops", v.n);
+        out[l].stats.set("stall_data", stall_data[l]);
+        out[l].stats.set("stall_struct", stall_struct[l]);
+    }
+    return out;
+}
+
 template <typename CoprocFn>
 TimingResult
 InOrderCore::runWithCoproc(const isa::Program &prog,

@@ -216,6 +216,161 @@ OooCore::runStream(const isa::UopStreamView &v) const
     return result;
 }
 
+namespace {
+
+/** One greedy-dataflow scoreboard of a batched OoO replay. */
+struct OooBatchLane
+{
+    uint64_t lat[isa::kNumLatClasses] = {};
+    SlotMap *pipe[isa::kNumLatClasses] = {};
+    RegReadyFile regs;
+    std::vector<uint64_t> commit;
+    SlotMap intSlots, memSlots, fpSlots;
+    RegionAttributor attr;
+    uint64_t lastCommit = 0;
+    uint64_t frontWidth = 1;
+    size_t robSize = 1;
+
+    OooBatchLane(const isa::Program &prog, const OooConfig &cfg)
+        : attr(prog),
+          frontWidth(static_cast<uint64_t>(cfg.frontWidth)),
+          robSize(static_cast<size_t>(cfg.robSize))
+    {
+        using isa::LatClass;
+        commit.assign(robSize, 0);
+        intSlots.reset(cfg.intIssue);
+        memSlots.reset(cfg.memIssue);
+        fpSlots.reset(cfg.fpIssue);
+
+        lat[static_cast<size_t>(LatClass::IntAlu)] = 1;
+        lat[static_cast<size_t>(LatClass::IntMul)] =
+            static_cast<uint64_t>(cfg.intMulLatency);
+        lat[static_cast<size_t>(LatClass::Fp)] =
+            static_cast<uint64_t>(cfg.fpLatency);
+        lat[static_cast<size_t>(LatClass::FpDiv)] =
+            static_cast<uint64_t>(cfg.fpDivLatency);
+        lat[static_cast<size_t>(LatClass::FpCmp)] = 2;
+        lat[static_cast<size_t>(LatClass::FpMove)] = 2;
+        lat[static_cast<size_t>(LatClass::Load)] =
+            static_cast<uint64_t>(cfg.loadLatency);
+        lat[static_cast<size_t>(LatClass::Store)] = 1;
+        lat[static_cast<size_t>(LatClass::Branch)] = 1;
+
+        pipe[static_cast<size_t>(LatClass::IntAlu)] = &intSlots;
+        pipe[static_cast<size_t>(LatClass::IntMul)] = &intSlots;
+        pipe[static_cast<size_t>(LatClass::Fp)] = &fpSlots;
+        pipe[static_cast<size_t>(LatClass::FpDiv)] = &fpSlots;
+        pipe[static_cast<size_t>(LatClass::FpCmp)] = &fpSlots;
+        pipe[static_cast<size_t>(LatClass::FpMove)] = &fpSlots;
+        pipe[static_cast<size_t>(LatClass::Load)] = &memSlots;
+        pipe[static_cast<size_t>(LatClass::Store)] = &memSlots;
+        pipe[static_cast<size_t>(LatClass::Branch)] = &intSlots;
+    }
+
+    // The SlotMap pointers alias this object's members: rebuild them
+    // on copy/move so lanes stay safely relocatable in a vector.
+    OooBatchLane(const OooBatchLane &o)
+        : lat(), regs(o.regs), commit(o.commit), intSlots(o.intSlots),
+          memSlots(o.memSlots), fpSlots(o.fpSlots), attr(o.attr),
+          lastCommit(o.lastCommit), frontWidth(o.frontWidth),
+          robSize(o.robSize)
+    {
+        for (size_t c = 0; c < isa::kNumLatClasses; ++c) {
+            lat[c] = o.lat[c];
+            pipe[c] = o.pipe[c] == &o.intSlots   ? &intSlots
+                      : o.pipe[c] == &o.memSlots ? &memSlots
+                      : o.pipe[c] == &o.fpSlots  ? &fpSlots
+                                                 : nullptr;
+        }
+    }
+    OooBatchLane &operator=(const OooBatchLane &) = delete;
+};
+
+} // namespace
+
+std::vector<TimingResult>
+OooCore::runStreamBatch(
+    const isa::UopStreamView &v,
+    const std::vector<const TimingModel *> &models) const
+{
+    if (!v.program) {
+        rtoc_panic("OoO core '%s': batch view has no owning program",
+                   cfg_.name.c_str());
+    }
+
+    std::vector<OooBatchLane> lanes;
+    lanes.reserve(models.size());
+    for (const TimingModel *m : models) {
+        const auto *core = dynamic_cast<const OooCore *>(m);
+        if (!core)
+            return TimingModel::runStreamBatch(v, models);
+        lanes.emplace_back(*v.program, core->config());
+        lanes.back().regs.ensure(v.program->scalarRegCount());
+    }
+
+    // Blocked lane-major walk: the block's columns are loaded once
+    // and every lane's scoreboard advances over them (statement
+    // sequence per lane identical to runStream — results bit-exact).
+    const uint8_t *const cls_col = v.cls;
+    const uint32_t *const dst_col = v.dst;
+    const uint32_t *const src0_col = v.src0;
+    const uint32_t *const src1_col = v.src1;
+    const uint32_t *const src2_col = v.src2;
+
+    constexpr size_t kBlock = 2048;
+    for (size_t b0 = 0; b0 < v.n; b0 += kBlock) {
+        const size_t b1 = std::min(v.n, b0 + kBlock);
+        for (OooBatchLane &ln : lanes) {
+            // Mirror the single-lane loop's register-resident locals;
+            // the lane struct only carries state between blocks.
+            const uint64_t *const lat = ln.lat;
+            SlotMap *const *const pipe = ln.pipe;
+            RegReadyFile &regs = ln.regs;
+            RegionAttributor &attr = ln.attr;
+            uint64_t *const commit = ln.commit.data();
+            const uint64_t front_width = ln.frontWidth;
+            const size_t rob_size = ln.robSize;
+            uint64_t last_commit = ln.lastCommit;
+
+            for (size_t i = b0; i < b1; ++i) {
+                const uint8_t cls = cls_col[i];
+                if (!(cls & isa::kClsScalar)) {
+                    rtoc_panic("OoO batch given coprocessor uop %s "
+                               "(BOOM cores are evaluated scalar-only)",
+                               isa::uopName(v.kind[i]));
+                }
+
+                uint64_t fetch = static_cast<uint64_t>(i) / front_width;
+                uint64_t rob_free = commit[i % rob_size];
+                uint64_t operands =
+                    std::max({regs.readyTime(src0_col[i]),
+                              regs.readyTime(src1_col[i]),
+                              regs.readyTime(src2_col[i])});
+                uint64_t t = std::max({fetch, rob_free, operands});
+
+                uint64_t issue =
+                    pipe[cls & isa::kClsLatMask]->claimFrom(t);
+                uint64_t done = issue + lat[cls & isa::kClsLatMask];
+                attr.step(i, done);
+                regs.setReady(dst_col[i], done);
+
+                last_commit = std::max(last_commit, done);
+                commit[i % rob_size] = last_commit;
+            }
+
+            ln.lastCommit = last_commit;
+        }
+    }
+
+    std::vector<TimingResult> out(lanes.size());
+    for (size_t L = 0; L < lanes.size(); ++L) {
+        out[L].regionCycles = lanes[L].attr.finish(v.n);
+        out[L].cycles = lanes[L].attr.maxCompletion();
+        out[L].stats.set("uops", v.n);
+    }
+    return out;
+}
+
 std::string
 OooCore::cacheKey() const
 {

@@ -52,6 +52,17 @@ class OooCore : public CoreModel
 
     TimingResult runAos(const isa::Program &prog) const override;
 
+    /**
+     * Fused OoO lane loop: one column pass advances one greedy-
+     * dataflow state (regs, ROB ring, issue slots) per OooCore in
+     * @p models, bit-identical to sequential runStream. Falls back to
+     * the sequential base when a foreign model appears in the group.
+     */
+    std::vector<TimingResult>
+    runStreamBatch(const isa::UopStreamView &view,
+                   const std::vector<const TimingModel *> &models)
+        const override;
+
     std::string name() const override { return cfg_.name; }
 
     std::string cacheKey() const override;

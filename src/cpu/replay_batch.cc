@@ -1,0 +1,41 @@
+#include "replay_batch.hh"
+
+#include <typeindex>
+
+namespace rtoc::cpu {
+
+std::vector<TimingResult>
+ReplayBatch::run(const isa::UopStreamView &view) const
+{
+    // Group result slots by dynamic model type, preserving first-seen
+    // group order and within-group add order.
+    std::vector<std::type_index> group_types;
+    std::vector<std::vector<size_t>> groups;
+    for (size_t slot = 0; slot < models_.size(); ++slot) {
+        std::type_index ty(typeid(*models_[slot]));
+        size_t g = 0;
+        for (; g < group_types.size(); ++g)
+            if (group_types[g] == ty)
+                break;
+        if (g == group_types.size()) {
+            group_types.push_back(ty);
+            groups.emplace_back();
+        }
+        groups[g].push_back(slot);
+    }
+
+    std::vector<TimingResult> out(models_.size());
+    for (const std::vector<size_t> &slots : groups) {
+        std::vector<const TimingModel *> group;
+        group.reserve(slots.size());
+        for (size_t slot : slots)
+            group.push_back(models_[slot]);
+        std::vector<TimingResult> res =
+            group.front()->runStreamBatch(view, group);
+        for (size_t k = 0; k < slots.size(); ++k)
+            out[slots[k]] = std::move(res[k]);
+    }
+    return out;
+}
+
+} // namespace rtoc::cpu

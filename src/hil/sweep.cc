@@ -1,8 +1,52 @@
 #include "sweep.hh"
 
+#include <cstdlib>
+
 #include "plant/quad_plant.hh"
 
 namespace rtoc::hil {
+
+namespace {
+
+/** RTOC_GRAIN: force the chunk size of every SweepRunner fan-out. */
+int
+envGrain()
+{
+    static const int grain = [] {
+        if (const char *env = std::getenv("RTOC_GRAIN")) {
+            int n = std::atoi(env);
+            if (n >= 1)
+                return n;
+        }
+        return 0;
+    }();
+    return grain;
+}
+
+} // namespace
+
+size_t
+SweepRunner::defaultGrain(size_t n, int threads)
+{
+    if (threads <= 1)
+        return n == 0 ? 1 : n; // serial: one inline chunk, zero overhead
+    // ~4 claimable chunks per participant: coarse enough that the
+    // per-task claim cost amortizes over several episodes, fine
+    // enough that stealing can still rebalance skewed chunks.
+    size_t chunks = static_cast<size_t>(threads) * 4;
+    size_t grain = n / chunks;
+    return grain < 1 ? 1 : grain;
+}
+
+size_t
+SweepRunner::effectiveGrain(size_t n) const
+{
+    if (int forced = envGrain(); forced >= 1)
+        return static_cast<size_t>(forced);
+    if (grain_ >= 1)
+        return static_cast<size_t>(grain_);
+    return defaultGrain(n, pool_.threads());
+}
 
 std::vector<EpisodeResult>
 SweepRunner::runEpisodes(const plant::Plant &proto, plant::Difficulty d,

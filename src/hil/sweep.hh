@@ -5,7 +5,9 @@
  * Every figure regeneration is a fan-out over independent tasks:
  * seeded HIL episodes, disturbance trials, frequency/difficulty grid
  * cells, Pareto design points. SweepRunner distributes those tasks
- * over the process thread pool with two determinism guarantees:
+ * over the process thread pool (work-stealing: a worker that drains
+ * its block migrates to the slowest peer's remaining work) with two
+ * determinism guarantees:
  *
  *  1. per-task seeding — a task's randomness derives only from its
  *     index (makeScenario(d, i), disturbance axis, ...), never from
@@ -13,6 +15,13 @@
  *  2. index-ordered aggregation — results land in a slot array and
  *     every reduction walks it in index order, so parallel runs are
  *     bit-identical to serial runs.
+ *
+ * Tiny per-episode tasks (1-tick smoke runs) are chunked: the grain
+ * knob groups consecutive episodes into one pool task so claim/wake
+ * overhead does not dominate. grain 0 (default) picks a heuristic
+ * from the task count and pool width; RTOC_GRAIN forces a value for
+ * every SweepRunner. The grain never changes results, only
+ * scheduling.
  *
  * Set RTOC_THREADS=1 to force the serial path (used by the equality
  * tests and by the microbench's serial baseline).
@@ -41,6 +50,28 @@ class SweepRunner
     int threads() const { return pool_.threads(); }
 
     /**
+     * Episodes grouped per pool task. 0 = auto (defaultGrain);
+     * RTOC_GRAIN overrides both. Scheduling-only: results are
+     * independent of the grain.
+     */
+    SweepRunner &
+    setGrain(int grain)
+    {
+        grain_ = grain < 0 ? 0 : grain;
+        return *this;
+    }
+
+    /** Grain actually used for an @p n-task fan-out. */
+    size_t effectiveGrain(size_t n) const;
+
+    /**
+     * Auto heuristic: enough tasks to keep every participant busy
+     * with slack for stealing (~4 chunks per thread), capped so one
+     * chunk never serializes a large fraction of the range.
+     */
+    static size_t defaultGrain(size_t n, int threads);
+
+    /**
      * Evaluate fn(0..n-1) across the pool and return results in index
      * order. R must be default-constructible and movable.
      */
@@ -49,7 +80,8 @@ class SweepRunner
     map(size_t n, const std::function<R(size_t)> &fn) const
     {
         std::vector<R> out(n);
-        pool_.parallelFor(n, [&](size_t i) { out[i] = fn(i); });
+        pool_.parallelFor(
+            n, [&](size_t i) { out[i] = fn(i); }, effectiveGrain(n));
         return out;
     }
 
@@ -70,6 +102,7 @@ class SweepRunner
 
   private:
     ThreadPool &pool_;
+    int grain_ = 0; ///< 0 = auto
 };
 
 } // namespace rtoc::hil

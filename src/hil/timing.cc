@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "cpu/inorder.hh"
+#include "cpu/replay_batch.hh"
 #include "isa/program_cache.hh"
 #include "matlib/gemmini_backend.hh"
 #include "matlib/rvv_backend.hh"
@@ -85,11 +86,13 @@ decodeTiming(const std::string &payload)
     return t;
 }
 
-ControllerTiming
-calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
-                tinympc::MappingStyle style, const plant::Plant &plant,
-                double dt, int horizon, const isa::DiskCache *disk,
-                bool with_refresh)
+namespace {
+
+/** On-disk key of one (model, backend, style, shape) calibration. */
+std::string
+calibDiskKey(const cpu::CoreModel &model, const matlib::Backend &backend,
+             tinympc::MappingStyle style, const plant::Plant &plant,
+             double dt, int horizon, bool with_refresh)
 {
     // The fitted linear cycle model is as deterministic as the stream
     // it replays, so it persists across processes under a key carrying
@@ -97,11 +100,108 @@ calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
     // backend's emission key, the mapping style, the problem shape
     // and whether the refresh stream was fitted (relinearization-
     // aware callers must never be served a refresh-less payload).
-    const std::string calib_key = csprintf(
-        "%s|%s|style%d|nx%d|nu%d|dt%.17g|h%d%s",
-        model.cacheKey().c_str(), backend.cacheKey().c_str(),
-        static_cast<int>(style), plant.nx(), plant.nu(), dt, horizon,
-        with_refresh ? "|refresh" : "");
+    return csprintf("%s|%s|style%d|nx%d|nu%d|dt%.17g|h%d%s",
+                    model.cacheKey().c_str(), backend.cacheKey().c_str(),
+                    static_cast<int>(style), plant.nx(), plant.nu(), dt,
+                    horizon, with_refresh ? "|refresh" : "");
+}
+
+/**
+ * Cached instrumented solve stream at a forced iteration count.
+ * Emission is data-independent: given the backend configuration,
+ * mapping style, problem shape and a forced iteration count the
+ * solver emits bit-identical streams regardless of plant masses or
+ * states. The stream is therefore cached process-wide and the (cheap)
+ * timing replay is the only per-calibration work. The key carries the
+ * problem shape (nx, nu, dt, horizon) but deliberately omits the
+ * plant parameters (values never change the stream — pinned by
+ * ProgramCache.EmissionIsDroneIndependent and the cross-plant shape
+ * tests).
+ */
+std::shared_ptr<const isa::Program>
+calibSolveStream(matlib::Backend &backend, tinympc::MappingStyle style,
+                 const plant::Plant &plant, double dt, int horizon,
+                 int iters)
+{
+    const std::string key = csprintf(
+        "calib:%s:style%d:nx%d:nu%d:dt%g:h%d:it%d",
+        backend.cacheKey().c_str(), static_cast<int>(style), plant.nx(),
+        plant.nu(), dt, horizon, iters);
+    return isa::ProgramCache::global().getOrEmit(
+        key, [&](isa::Program &p) {
+            tinympc::Workspace ws = plant.buildWorkspace(dt, horizon);
+            ws.settings.maxIters = iters;
+            ws.settings.checkTermination = 5;
+            ws.settings.priTol = 0.0f; // force exactly maxIters
+            ws.settings.duaTol = 0.0f;
+            ws.coldStart();
+            const float seed_x0[3] = {0.3f, -0.2f, 0.8f};
+            std::vector<float> x0(static_cast<size_t>(plant.nx()),
+                                  0.0f);
+            for (int i = 0; i < plant.nx() && i < 3; ++i)
+                x0[i] = seed_x0[i];
+            ws.setInitialState(x0.data());
+
+            backend.setProgram(&p);
+            tinympc::Solver solver(ws, backend, style);
+            solver.setup();
+            tinympc::SolveResult res = solver.solve();
+            backend.setProgram(nullptr);
+            if (res.iterations != iters) {
+                rtoc_panic("calibration expected %d iters, got %d",
+                           iters, res.iterations);
+            }
+        });
+}
+
+/** Cached model-refresh stream at a forced Riccati iteration count
+ *  (shape-dependent only — no horizon loops). */
+std::shared_ptr<const isa::Program>
+calibRefreshStream(matlib::Backend &backend, const plant::Plant &plant,
+                   double dt, int horizon, int iters)
+{
+    const std::string key =
+        csprintf("refresh:%s:nx%d:nu%d:it%d", backend.cacheKey().c_str(),
+                 plant.nx(), plant.nu(), iters);
+    return isa::ProgramCache::global().getOrEmit(
+        key, [&](isa::Program &p) {
+            tinympc::Workspace ws = plant.buildWorkspace(dt, horizon);
+            backend.setProgram(&p);
+            tinympc::emitModelRefresh(ws, backend, iters);
+            backend.setProgram(nullptr);
+        });
+}
+
+/** Fit the linear solve model from the two replay points. */
+void
+fitSolveCycles(ControllerTiming &t, double c_lo, double c_hi)
+{
+    t.cyclesPerIter = (c_hi - c_lo) / 20.0;
+    t.baseCycles = c_lo - 5.0 * t.cyclesPerIter;
+    if (t.baseCycles < 0.0)
+        t.baseCycles = 0.0;
+}
+
+/** Fit the refresh model from the two replay points. */
+void
+fitRefreshCycles(ControllerTiming &t, double r_lo, double r_hi)
+{
+    t.refreshCyclesPerIter = (r_hi - r_lo) / 6.0;
+    t.refreshBaseCycles = r_lo - 2.0 * t.refreshCyclesPerIter;
+    if (t.refreshBaseCycles < 0.0)
+        t.refreshBaseCycles = 0.0;
+}
+
+} // namespace
+
+ControllerTiming
+calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
+                tinympc::MappingStyle style, const plant::Plant &plant,
+                double dt, int horizon, const isa::DiskCache *disk,
+                bool with_refresh)
+{
+    const std::string calib_key = calibDiskKey(
+        model, backend, style, plant, dt, horizon, with_refresh);
     if (disk) {
         if (auto payload = disk->get("calib", calib_key)) {
             if (auto t = decodeTiming(*payload)) {
@@ -110,46 +210,9 @@ calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
             }
         }
     }
-    // Emission is data-independent: given the backend configuration,
-    // mapping style, problem shape and a forced iteration count the
-    // solver emits bit-identical streams regardless of plant masses
-    // or states. The stream is therefore cached process-wide and the
-    // (cheap) timing replay is the only per-calibration work.
-    // The key carries the problem shape (nx, nu, dt, horizon) but
-    // deliberately omits the plant parameters (values never change
-    // the stream — pinned by ProgramCache.EmissionIsDroneIndependent
-    // and the cross-plant shape tests).
     auto run_iters = [&](int iters) -> double {
-        const std::string key = csprintf(
-            "calib:%s:style%d:nx%d:nu%d:dt%g:h%d:it%d",
-            backend.cacheKey().c_str(), static_cast<int>(style),
-            plant.nx(), plant.nu(), dt, horizon, iters);
-        auto prog = isa::ProgramCache::global().getOrEmit(
-            key, [&](isa::Program &p) {
-                tinympc::Workspace ws =
-                    plant.buildWorkspace(dt, horizon);
-                ws.settings.maxIters = iters;
-                ws.settings.checkTermination = 5;
-                ws.settings.priTol = 0.0f; // force exactly maxIters
-                ws.settings.duaTol = 0.0f;
-                ws.coldStart();
-                const float seed_x0[3] = {0.3f, -0.2f, 0.8f};
-                std::vector<float> x0(
-                    static_cast<size_t>(plant.nx()), 0.0f);
-                for (int i = 0; i < plant.nx() && i < 3; ++i)
-                    x0[i] = seed_x0[i];
-                ws.setInitialState(x0.data());
-
-                backend.setProgram(&p);
-                tinympc::Solver solver(ws, backend, style);
-                solver.setup();
-                tinympc::SolveResult res = solver.solve();
-                backend.setProgram(nullptr);
-                if (res.iterations != iters) {
-                    rtoc_panic("calibration expected %d iters, got %d",
-                               iters, res.iterations);
-                }
-            });
+        auto prog = calibSolveStream(backend, style, plant, dt, horizon,
+                                     iters);
         return static_cast<double>(model.run(*prog).cycles);
     };
 
@@ -159,42 +222,87 @@ calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
     ControllerTiming t;
     t.archName = model.name();
     t.mappingName = backend.name();
-    t.cyclesPerIter = (c_hi - c_lo) / 20.0;
-    t.baseCycles = c_lo - 5.0 * t.cyclesPerIter;
-    if (t.baseCycles < 0.0)
-        t.baseCycles = 0.0;
+    fitSolveCycles(t, c_lo, c_hi);
 
     if (with_refresh) {
-        // Refresh stream: shape-dependent only (no horizon loops),
-        // fitted at two forced Riccati iteration counts like the
-        // solve model.
         auto run_refresh = [&](int iters) -> double {
-            const std::string key = csprintf(
-                "refresh:%s:nx%d:nu%d:it%d",
-                backend.cacheKey().c_str(), plant.nx(), plant.nu(),
-                iters);
-            auto prog = isa::ProgramCache::global().getOrEmit(
-                key, [&](isa::Program &p) {
-                    tinympc::Workspace ws =
-                        plant.buildWorkspace(dt, horizon);
-                    backend.setProgram(&p);
-                    tinympc::emitModelRefresh(ws, backend, iters);
-                    backend.setProgram(nullptr);
-                });
+            auto prog =
+                calibRefreshStream(backend, plant, dt, horizon, iters);
             return static_cast<double>(model.run(*prog).cycles);
         };
-
-        double r_lo = run_refresh(2);
-        double r_hi = run_refresh(8);
-        t.refreshCyclesPerIter = (r_hi - r_lo) / 6.0;
-        t.refreshBaseCycles = r_lo - 2.0 * t.refreshCyclesPerIter;
-        if (t.refreshBaseCycles < 0.0)
-            t.refreshBaseCycles = 0.0;
+        fitRefreshCycles(t, run_refresh(2), run_refresh(8));
     }
     bumpCalib(&CalibCacheStats::computes);
     if (disk)
         disk->put("calib", calib_key, encodeTiming(t));
     return t;
+}
+
+std::vector<ControllerTiming>
+calibrateTimingBatch(const std::vector<const cpu::CoreModel *> &models,
+                     matlib::Backend &backend, tinympc::MappingStyle style,
+                     const plant::Plant &plant, double dt, int horizon,
+                     const isa::DiskCache *disk, bool with_refresh)
+{
+    std::vector<ControllerTiming> out(models.size());
+    std::vector<std::string> keys(models.size());
+    std::vector<size_t> pending;
+    for (size_t i = 0; i < models.size(); ++i) {
+        keys[i] = calibDiskKey(*models[i], backend, style, plant, dt,
+                               horizon, with_refresh);
+        if (disk) {
+            if (auto payload = disk->get("calib", keys[i])) {
+                if (auto t = decodeTiming(*payload)) {
+                    bumpCalib(&CalibCacheStats::diskHits);
+                    out[i] = *t;
+                    continue;
+                }
+            }
+        }
+        pending.push_back(i);
+    }
+    if (pending.empty())
+        return out;
+
+    // One emission per fit point serves every pending model; the
+    // family-batched replay advances all of their scoreboards in one
+    // column pass. Cycle counts — and therefore the fits and the
+    // persisted payloads — are bit-identical to per-model
+    // calibrateTiming (pinned by tests).
+    cpu::ReplayBatch batch;
+    for (size_t i : pending)
+        batch.add(*models[i]);
+
+    auto lo = calibSolveStream(backend, style, plant, dt, horizon, 5);
+    auto hi = calibSolveStream(backend, style, plant, dt, horizon, 25);
+    std::vector<cpu::TimingResult> c_lo = batch.run(*lo);
+    std::vector<cpu::TimingResult> c_hi = batch.run(*hi);
+
+    std::vector<cpu::TimingResult> r_lo, r_hi;
+    if (with_refresh) {
+        auto rlo = calibRefreshStream(backend, plant, dt, horizon, 2);
+        auto rhi = calibRefreshStream(backend, plant, dt, horizon, 8);
+        r_lo = batch.run(*rlo);
+        r_hi = batch.run(*rhi);
+    }
+
+    for (size_t k = 0; k < pending.size(); ++k) {
+        const size_t i = pending[k];
+        ControllerTiming t;
+        t.archName = models[i]->name();
+        t.mappingName = backend.name();
+        fitSolveCycles(t, static_cast<double>(c_lo[k].cycles),
+                       static_cast<double>(c_hi[k].cycles));
+        if (with_refresh) {
+            fitRefreshCycles(t, static_cast<double>(r_lo[k].cycles),
+                             static_cast<double>(r_hi[k].cycles));
+        }
+        bumpCalib(&CalibCacheStats::computes);
+        if (disk)
+            disk->put("calib", keys[i], encodeTiming(t));
+        out[i] = t;
+    }
+    return out;
 }
 
 ControllerTiming

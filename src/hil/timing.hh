@@ -91,6 +91,23 @@ calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
                 const quad::DroneParams &drone, double dt, int horizon);
 
 /**
+ * Multi-model batch calibration: fit every model in @p models against
+ * ONE emission of the @p backend/@p style stream, replaying the two
+ * fit points through a family-batched ReplayBatch (one column pass
+ * advances all scoreboards of a family — the design-sweep analogue of
+ * calibrateTiming). Per-model results, disk keys and fitted values
+ * are bit-identical to calling calibrateTiming per model (pinned by
+ * tests); models already persisted on @p disk are served from it and
+ * skipped in the replay batch.
+ */
+std::vector<ControllerTiming>
+calibrateTimingBatch(const std::vector<const cpu::CoreModel *> &models,
+                     matlib::Backend &backend, tinympc::MappingStyle style,
+                     const plant::Plant &plant, double dt, int horizon,
+                     const isa::DiskCache *disk = &isa::DiskCache::global(),
+                     bool with_refresh = false);
+
+/**
  * Convenience calibrations of the three on-chip implementations the
  * cross-plant sweeps compare (§5.2 flies the first two): optimized
  * scalar (Eigen-style on the Shuttle scalar pipeline), hand-optimized

@@ -79,6 +79,27 @@ class Backend
     }
 
     /**
+     * Fused gemv→saxpby pair (y = sa·(alpha·A x + beta·y) + sb·b),
+     * the shape of the solver's forward/backward passes. While
+     * emitting, this is EXACTLY the historical two-call sequence —
+     * the micro-op stream (and every cache key derived from it) is
+     * unchanged. On the non-emitting per-tick hot path it runs the
+     * one-pass fused reference kernel, which is bit-identical to the
+     * pair (see ref::gemvSaxpby).
+     */
+    void
+    gemvSaxpby(Mat y, const Mat &a, Mat x, float alpha, float beta,
+               float sa, float sb, const Mat &b)
+    {
+        if (emitting()) {
+            gemv(y, a, x, alpha, beta);
+            saxpby(y, sa, y, sb, b);
+        } else {
+            ref::gemvSaxpby(y, a, x, alpha, beta, sa, sb, b);
+        }
+    }
+
+    /**
      * Whether the backend can *emit* the hand-optimized Fused mapping
      * structure (§4.1.2). Backends whose ISA cannot realize
      * register-resident per-step fusion (Gemmini's CISC/RoCC

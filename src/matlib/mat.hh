@@ -73,6 +73,17 @@ void gemv(Mat y, const Mat &a, Mat x, float alpha, float beta);
 /** y = alpha * Aᵀ x + beta * y; A is m x n, x len m, y len n. */
 void gemvT(Mat y, const Mat &a, Mat x, float alpha, float beta);
 
+/**
+ * Fused forward/backward-pass pair: y = sa·(alpha·A x + beta·y) +
+ * sb·b in one pass over the rows. Bit-identical to gemv(y, a, x,
+ * alpha, beta) followed by saxpby(y, sa, y, sb, b) — the per-element
+ * operation sequence is unchanged, only the memory round trip of the
+ * intermediate y is removed. Falls back to the exact two-call
+ * sequence when operands alias.
+ */
+void gemvSaxpby(Mat y, const Mat &a, Mat x, float alpha, float beta,
+                float sa, float sb, const Mat &b);
+
 /** C = A B. */
 void gemm(Mat c, const Mat &a, const Mat &b);
 

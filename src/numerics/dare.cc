@@ -27,12 +27,27 @@ trySolveDare(const DMatrix &a, const DMatrix &b, const DMatrix &q,
     DMatrix kinf(nu, nx);
     LqrCache cache;
 
+    // Per-iteration scratch hoisted out of the loop: after the first
+    // iteration every gemmInto/addInPlace/subInPlace reuses the same
+    // storage, so the session-refresh hot path (warm starts converge
+    // in a handful of iterations) allocates only inside luSolve. Each
+    // expression keeps the operator-chain evaluation order of the
+    // historical allocating form (the in-place adds commute bitwise),
+    // so Pinf/Kinf are bit-identical (pinned by tests).
+    DMatrix btp, quu, ba, bk, abk, atp, p_new;
     for (int it = 0; it < max_iters; ++it) {
-        DMatrix btp = bt * p;               // nu x nx
-        DMatrix quu = r_rho + btp * b;      // nu x nu
-        DMatrix k_new = luSolve(quu, btp * a);
-        DMatrix p_new =
-            q_rho + at * p * (a - b * k_new); // Joseph-free update
+        btp.gemmInto(bt, p);   // nu x nx
+        quu.gemmInto(btp, b);  // nu x nu
+        quu.addInPlace(r_rho); // == r_rho + btp·b
+        ba.gemmInto(btp, a);
+        DMatrix k_new = luSolve(quu, ba);
+        // Joseph-free update p_new = q_rho + at·p·(a - b·k_new).
+        bk.gemmInto(b, k_new);
+        abk = a;
+        abk.subInPlace(bk);
+        atp.gemmInto(at, p);
+        p_new.gemmInto(atp, abk);
+        p_new.addInPlace(q_rho);
 
         double dk = k_new.maxAbsDiff(kinf);
         kinf = k_new;

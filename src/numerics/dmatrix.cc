@@ -147,6 +147,40 @@ DMatrix::operator*=(double s)
     return *this;
 }
 
+DMatrix &
+DMatrix::addInPlace(const DMatrix &o)
+{
+    return *this += o;
+}
+
+DMatrix &
+DMatrix::subInPlace(const DMatrix &o)
+{
+    return *this -= o;
+}
+
+DMatrix &
+DMatrix::gemmInto(const DMatrix &a, const DMatrix &b)
+{
+    rtoc_assert(a.cols_ == b.rows_);
+    rtoc_assert(this != &a && this != &b);
+    rows_ = a.rows_;
+    cols_ = b.cols_;
+    // assign() zeroes while keeping capacity: no allocation once the
+    // loop's shapes have stabilized.
+    data_.assign(static_cast<size_t>(rows_) * cols_, 0.0);
+    for (int i = 0; i < rows_; ++i) {
+        for (int k = 0; k < a.cols_; ++k) {
+            double v = a(i, k);
+            if (v == 0.0)
+                continue;
+            for (int j = 0; j < cols_; ++j)
+                (*this)(i, j) += v * b(k, j);
+        }
+    }
+    return *this;
+}
+
 DMatrix
 DMatrix::transpose() const
 {

@@ -65,6 +65,25 @@ class DMatrix
     DMatrix &operator-=(const DMatrix &o);
     DMatrix &operator*=(double s);
 
+    /**
+     * Allocation-free elementwise update: this += o / this -= o.
+     * Identical arithmetic to `x = x + o` (FP addition is
+     * commutative), so hot loops can drop the temporary without
+     * moving a bit — the warm-DARE iteration relies on this (pinned
+     * by tests).
+     */
+    DMatrix &addInPlace(const DMatrix &o);
+    DMatrix &subInPlace(const DMatrix &o);
+
+    /**
+     * this = a·b, reusing this matrix's storage when the shape
+     * already matches (no allocation after the first iteration of a
+     * fixed-shape loop). Accumulation order is identical to
+     * operator* — including its zero-row skip — so results are
+     * bit-identical. this must not alias a or b.
+     */
+    DMatrix &gemmInto(const DMatrix &a, const DMatrix &b);
+
     /** Transpose copy. */
     DMatrix transpose() const;
 

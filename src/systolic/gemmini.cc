@@ -189,6 +189,138 @@ GemminiModel::runStream(const isa::UopStreamView &view) const
     return result;
 }
 
+std::vector<cpu::TimingResult>
+GemminiModel::runStreamBatch(
+    const isa::UopStreamView &view,
+    const std::vector<const cpu::TimingModel *> &models) const
+{
+    using isa::UopKind;
+
+    std::vector<cpu::InOrderConfig> frontends;
+    std::vector<const GemminiConfig *> cfgs;
+    frontends.reserve(models.size());
+    cfgs.reserve(models.size());
+    for (const cpu::TimingModel *m : models) {
+        const auto *gem = dynamic_cast<const GemminiModel *>(m);
+        if (!gem)
+            return TimingModel::runStreamBatch(view, models);
+        frontends.push_back(gem->config().frontend);
+        cfgs.push_back(&gem->config());
+    }
+
+    // Per-lane accelerator state plus the shift-folded bus constants
+    // (exactly as the single-lane loop computes them).
+    struct LaneConsts
+    {
+        uint64_t bus = 1;
+        int busShift = 0;
+        bool busPow2 = false;
+    };
+    std::vector<AccelState> sts(models.size());
+    std::vector<LaneConsts> consts(models.size());
+    for (size_t L = 0; L < cfgs.size(); ++L) {
+        LaneConsts &k = consts[L];
+        k.bus = static_cast<uint64_t>(cfgs[L]->busBytes);
+        k.busPow2 = k.bus != 0 && (k.bus & (k.bus - 1)) == 0;
+        k.busShift = k.busPow2 ? __builtin_ctzll(k.bus) : 0;
+    }
+
+    const UopKind *const kind_col = view.kind;
+    const uint16_t *const rows_col = view.rows;
+    const uint16_t *const cols_col = view.cols;
+    const uint32_t *const bytes_col = view.bytes;
+    const uint8_t *const taken_col = view.taken;
+
+    auto coproc = [&](size_t L, const isa::UopStreamView &, size_t i,
+                      uint64_t present, auto &sregs,
+                      auto &vregs) -> std::pair<uint64_t, uint64_t> {
+        (void)sregs;
+        (void)vregs;
+        const GemminiConfig &cfg = *cfgs[L];
+        const LaneConsts &k = consts[L];
+        AccelState &st = sts[L];
+
+        auto div_bus = [&](uint64_t x) -> uint64_t {
+            return k.busPow2 ? x >> k.busShift : x / k.bus;
+        };
+        auto exec_latency = [&](size_t j) -> uint64_t {
+            switch (kind_col[j]) {
+              case UopKind::RoccConfig:
+                return static_cast<uint64_t>(cfg.configLat);
+              case UopKind::RoccMvin:
+              case UopKind::RoccMvout: {
+                const uint16_t rows = rows_col[j];
+                uint64_t move;
+                if (cols_col[j] == 1 && rows > 1 && !cfg.hardwareGemv) {
+                    move = rows;
+                } else {
+                    move = div_bus(
+                        static_cast<uint64_t>(bytes_col[j]) + k.bus -
+                        1);
+                }
+                if (kind_col[j] == UopKind::RoccMvout && taken_col[j])
+                    move += rows;
+                return static_cast<uint64_t>(cfg.dmaFixed) + move;
+              }
+              case UopKind::RoccPreload:
+                return static_cast<uint64_t>(cfg.meshDim);
+              case UopKind::RoccCompute:
+                return static_cast<uint64_t>(rows_col[j]) +
+                       2 * static_cast<uint64_t>(cfg.meshDim);
+              default:
+                rtoc_panic("gemmini '%s': unsupported uop %s",
+                           cfg.name.c_str(),
+                           isa::uopName(kind_col[j]));
+            }
+        };
+
+        uint64_t release = present;
+
+        if (kind_col[i] == UopKind::RoccFence) {
+            uint64_t done = std::max(present, st.lastCompletion) +
+                            static_cast<uint64_t>(cfg.fenceBase);
+            if (st.mvoutSinceFence)
+                done += static_cast<uint64_t>(cfg.fenceMemPenalty);
+            st.mvoutSinceFence = false;
+            st.inFlight.clear();
+            ++st.fences;
+            st.fenceStall += done - present;
+            return {done, done};
+        }
+
+        while (!st.inFlight.empty() && st.inFlight.front() <= present)
+            st.inFlight.popFront();
+        if (static_cast<int>(st.inFlight.size()) >= cfg.robDepth) {
+            uint64_t drain = st.inFlight.front();
+            st.stallQueueFull += drain - present;
+            release = drain;
+            st.inFlight.popFront();
+        }
+
+        uint64_t start =
+            std::max(std::max(present, release) +
+                         static_cast<uint64_t>(cfg.issueLat),
+                     st.lastCompletion);
+        uint64_t completion = start + exec_latency(i);
+        st.lastCompletion = completion;
+        st.inFlight.pushBack(completion);
+        ++st.cmds;
+        if (kind_col[i] == UopKind::RoccMvout)
+            st.mvoutSinceFence = true;
+        return {release, completion};
+    };
+
+    std::vector<cpu::TimingResult> out =
+        cpu::runInOrderStreamBatchWithCoproc(view, frontends, coproc);
+    for (size_t L = 0; L < out.size(); ++L) {
+        out[L].stats.set("rocc_cmds", sts[L].cmds);
+        out[L].stats.set("rocc_fences", sts[L].fences);
+        out[L].stats.set("fence_stall_cycles", sts[L].fenceStall);
+        out[L].stats.set("stall_rob_full", sts[L].stallQueueFull);
+    }
+    return out;
+}
+
 std::string
 GemminiModel::cacheKey() const
 {

@@ -74,6 +74,19 @@ class GemminiModel : public cpu::CoreModel
 
     cpu::TimingResult runAos(const isa::Program &prog) const override;
 
+    /**
+     * Fused accelerator lane loop: one column pass advances one
+     * (frontend scoreboard + RoCC command queue) pair per
+     * GemminiModel in @p models — lanes may differ in mesh/DMA/fence
+     * knobs AND frontend. Bit-identical to sequential runStream;
+     * falls back to the sequential base when a foreign model appears
+     * in the group.
+     */
+    std::vector<cpu::TimingResult>
+    runStreamBatch(const isa::UopStreamView &view,
+                   const std::vector<const cpu::TimingModel *> &models)
+        const override;
+
     std::string name() const override { return cfg_.name; }
 
     std::string cacheKey() const override;

@@ -115,16 +115,20 @@ Solver::forwardPass()
         {
             KernelScope k(backend_, kid().forwardPass1);
             // u[i] = -Kinf x[i] - d[i]
-            backend_.gemv(ui, ws_.kinf.view(), xi, -1.0f, 0.0f);
-            backend_.saxpby(ui, 1.0f, ui, -1.0f, di);
+            backend_.gemvSaxpby(ui, ws_.kinf.view(), xi, -1.0f, 0.0f,
+                                1.0f, -1.0f, di);
         }
         {
             KernelScope k(backend_, kid().forwardPass2);
             // x[i+1] = Adyn x[i] + Bdyn u[i] (+ cd off-trim)
             backend_.gemv(xn, ws_.adyn.view(), xi, 1.0f, 0.0f);
-            backend_.gemv(xn, ws_.bdyn.view(), ui, 1.0f, 1.0f);
-            if (ws_.hasAffine)
-                backend_.saxpby(xn, 1.0f, xn, 1.0f, ws_.affine.view());
+            if (ws_.hasAffine) {
+                backend_.gemvSaxpby(xn, ws_.bdyn.view(), ui, 1.0f,
+                                    1.0f, 1.0f, 1.0f,
+                                    ws_.affine.view());
+            } else {
+                backend_.gemv(xn, ws_.bdyn.view(), ui, 1.0f, 1.0f);
+            }
         }
         if (style_ == MappingStyle::Fused)
             backend_.endFuse();
@@ -276,15 +280,15 @@ Solver::backwardPass()
         {
             KernelScope k(backend_, kid().backwardPass1);
             // d[i] = Quu_inv (Bdyn^T p[i+1] + r[i])
-            backend_.gemv(tmp, ws_.bdynT.view(), pn, 1.0f, 0.0f);
-            backend_.saxpby(tmp, 1.0f, tmp, 1.0f, ri);
+            backend_.gemvSaxpby(tmp, ws_.bdynT.view(), pn, 1.0f, 0.0f,
+                                1.0f, 1.0f, ri);
             backend_.gemv(di, ws_.quuInv.view(), tmp, 1.0f, 0.0f);
         }
         {
             KernelScope k(backend_, kid().backwardPass2);
             // p[i] = q[i] + AmBKt p[i+1] - Kinf^T r[i]
-            backend_.gemv(pi, ws_.amBKt.view(), pn, 1.0f, 0.0f);
-            backend_.saxpby(pi, 1.0f, pi, 1.0f, ws_.q.row(i));
+            backend_.gemvSaxpby(pi, ws_.amBKt.view(), pn, 1.0f, 0.0f,
+                                1.0f, 1.0f, ws_.q.row(i));
             backend_.gemv(pi, ws_.kinfT.view(), ri, -1.0f, 1.0f);
         }
         if (style_ == MappingStyle::Fused)

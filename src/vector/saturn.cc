@@ -218,6 +218,191 @@ SaturnModel::runStream(const isa::UopStreamView &view) const
     return result;
 }
 
+std::vector<cpu::TimingResult>
+SaturnModel::runStreamBatch(
+    const isa::UopStreamView &view,
+    const std::vector<const cpu::TimingModel *> &models) const
+{
+    using isa::UopKind;
+
+    std::vector<cpu::InOrderConfig> frontends;
+    std::vector<const SaturnConfig *> cfgs;
+    frontends.reserve(models.size());
+    cfgs.reserve(models.size());
+    for (const cpu::TimingModel *m : models) {
+        const auto *sat = dynamic_cast<const SaturnModel *>(m);
+        if (!sat)
+            return TimingModel::runStreamBatch(view, models);
+        frontends.push_back(sat->config().frontend);
+        cfgs.push_back(&sat->config());
+    }
+
+    // Per-lane vector-unit state plus the hoisted datapath constants
+    // (shift-folded power-of-two divides, exactly as the single-lane
+    // loop computes them).
+    struct LaneConsts
+    {
+        uint64_t dlen = 1;
+        int dlenShift = 0;
+        bool dlenPow2 = false;
+        uint64_t vlen = 0;
+    };
+    std::vector<VectorUnitState> sts(models.size());
+    std::vector<LaneConsts> consts(models.size());
+    for (size_t L = 0; L < cfgs.size(); ++L) {
+        const SaturnConfig &c = *cfgs[L];
+        LaneConsts &k = consts[L];
+        k.dlen = static_cast<uint64_t>(c.dlen);
+        k.dlenPow2 = k.dlen != 0 && (k.dlen & (k.dlen - 1)) == 0;
+        k.dlenShift = k.dlenPow2 ? __builtin_ctzll(k.dlen) : 0;
+        k.vlen = static_cast<uint64_t>(c.vlen);
+    }
+
+    const UopKind *const kind_col = view.kind;
+    const uint32_t *const dst_col = view.dst;
+    const uint32_t *const src0_col = view.src0;
+    const uint32_t *const src1_col = view.src1;
+    const uint32_t *const src2_col = view.src2;
+    const uint32_t *const vl_col = view.vl;
+    const uint16_t *const sew_col = view.sew;
+    const uint16_t *const lmul8_col = view.lmul8;
+
+    auto coproc = [&](size_t L, const isa::UopStreamView &, size_t i,
+                      uint64_t present, auto &sregs,
+                      auto &vregs) -> std::pair<uint64_t, uint64_t> {
+        const SaturnConfig &cfg = *cfgs[L];
+        const LaneConsts &k = consts[L];
+        VectorUnitState &st = sts[L];
+
+        auto div_dlen = [&](uint64_t x) -> uint64_t {
+            return k.dlenPow2 ? x >> k.dlenShift : x / k.dlen;
+        };
+        auto beats_of = [&](size_t j) -> uint64_t {
+            if (lmul8_col[j] > 8) {
+                uint64_t group_bits =
+                    static_cast<uint64_t>(lmul8_col[j]) * k.vlen / 8;
+                return std::max<uint64_t>(
+                    1, div_dlen(group_bits + k.dlen - 1));
+            }
+            uint64_t live_bits = static_cast<uint64_t>(vl_col[j]) *
+                                 static_cast<uint64_t>(sew_col[j]);
+            return std::max<uint64_t>(
+                1, div_dlen(live_bits + k.dlen - 1));
+        };
+
+        const UopKind kind = kind_col[i];
+        const uint32_t dst = dst_col[i];
+        uint64_t release = present;
+
+        if (kind == UopKind::VSetVl) {
+            sregs.setReady(dst, present + 2);
+            return {present + 1, present + 2};
+        }
+
+        const uint32_t src0 = src0_col[i];
+        const uint32_t src1 = src1_col[i];
+        const uint32_t src2 = src2_col[i];
+
+        while (!st.inFlight.empty() && st.inFlight.front() <= present)
+            st.inFlight.popFront();
+        if (static_cast<int>(st.inFlight.size()) >= cfg.vqDepth) {
+            uint64_t drain = st.inFlight.front();
+            st.stallQueueFull += drain - present;
+            release = drain;
+            st.inFlight.popFront();
+        }
+
+        uint64_t start = std::max(present, release);
+        for (uint32_t src : {src0, src1, src2}) {
+            if (src != isa::kNoReg && isa::Program::isVReg(src))
+                start = std::max(start, st.chainReady.readyTime(src));
+        }
+
+        uint64_t beats = beats_of(i);
+        uint64_t completion = 0;
+
+        switch (kind) {
+          case UopKind::VLoad:
+          case UopKind::VLoadStrided: {
+            start = std::max(start, st.vluFree);
+            uint64_t lat = static_cast<uint64_t>(cfg.memLat);
+            uint64_t occ = kind == UopKind::VLoadStrided
+                               ? std::max<uint64_t>(vl_col[i], 1)
+                               : beats;
+            st.vluFree = start + occ;
+            completion = start + lat + occ;
+            st.chainReady.setReady(dst, start + lat + 1);
+            vregs.setReady(dst, completion);
+            break;
+          }
+          case UopKind::VStore: {
+            start = std::max(start, st.vsuFree);
+            for (uint32_t src : {src0, src1}) {
+                if (src != isa::kNoReg && isa::Program::isVReg(src))
+                    start = std::max(start, vregs.readyTime(src));
+            }
+            st.vsuFree = start + beats;
+            completion = start + beats + 1;
+            break;
+          }
+          case UopKind::VArith:
+          case UopKind::VFma: {
+            start = std::max(start, st.vxuFree);
+            st.vxuFree = start + beats;
+            completion =
+                start + static_cast<uint64_t>(cfg.pipeLat) + beats;
+            st.chainReady.setReady(dst,
+                                   start + cfg.pipeLat + cfg.chainLat);
+            vregs.setReady(dst, completion);
+            break;
+          }
+          case UopKind::VRed: {
+            start = std::max(start, st.vxuFree);
+            for (uint32_t src : {src0, src1}) {
+                if (src != isa::kNoReg && isa::Program::isVReg(src))
+                    start = std::max(start, vregs.readyTime(src));
+            }
+            uint64_t tree = 12;
+            st.vxuFree = start + beats + tree;
+            completion = start + cfg.pipeLat + beats + tree +
+                         static_cast<uint64_t>(cfg.scalarMoveLat);
+            sregs.setReady(dst, completion);
+            break;
+          }
+          case UopKind::VMove: {
+            uint64_t src_ready = 0;
+            if (src0 != isa::kNoReg && isa::Program::isVReg(src0))
+                src_ready = vregs.readyTime(src0);
+            start = std::max(start, src_ready);
+            completion =
+                start + static_cast<uint64_t>(cfg.scalarMoveLat);
+            if (isa::Program::isVReg(dst)) {
+                vregs.setReady(dst, completion);
+                st.chainReady.setReady(dst, completion);
+            } else {
+                sregs.setReady(dst, completion);
+            }
+            break;
+          }
+          default:
+            rtoc_panic("saturn '%s': unsupported coprocessor uop %s",
+                       cfg.name.c_str(), isa::uopName(kind));
+        }
+
+        st.inFlight.pushBack(completion);
+        ++st.vinstrs;
+        return {release, completion};
+    };
+
+    std::vector<cpu::TimingResult> out =
+        cpu::runInOrderStreamBatchWithCoproc(view, frontends, coproc);
+    for (size_t L = 0; L < out.size(); ++L) {
+        out[L].stats.set("vector_instrs", sts[L].vinstrs);
+        out[L].stats.set("stall_vq_full", sts[L].stallQueueFull);
+    }
+    return out;
+}
+
 std::string
 SaturnModel::cacheKey() const
 {

@@ -54,6 +54,18 @@ class SaturnModel : public cpu::CoreModel
 
     cpu::TimingResult runAos(const isa::Program &prog) const override;
 
+    /**
+     * Fused vector-machine lane loop: one column pass advances one
+     * (frontend scoreboard + vector-unit state) pair per SaturnModel
+     * in @p models — lanes may differ in VLEN/DLEN/queue depth AND
+     * frontend. Bit-identical to sequential runStream; falls back to
+     * the sequential base when a foreign model appears in the group.
+     */
+    std::vector<cpu::TimingResult>
+    runStreamBatch(const isa::UopStreamView &view,
+                   const std::vector<const cpu::TimingModel *> &models)
+        const override;
+
     std::string name() const override { return cfg_.name; }
 
     std::string cacheKey() const override;

@@ -1,0 +1,497 @@
+/**
+ * @file
+ * Tests for the batched design-point replay path and the
+ * work-stealing thread pool.
+ *
+ * Batched replay: runStreamBatch must be bit-identical to sequential
+ * per-config runStream for every timing family, across emission
+ * styles and >=8-config design sweeps (the batched loops are separate
+ * transliterations of the single-lane loops, so equality is pinned
+ * here rather than assumed). ReplayBatch grouping must preserve add()
+ * order and fall back to the sequential base on mixed-family groups.
+ *
+ * Pool: work stealing makes execution order nondeterministic; these
+ * tests pin what must NOT change — every index runs exactly once,
+ * results are independent of thread count (1/4/7), grain, and
+ * adversarial task-length skew, nested submits run inline, and
+ * exceptions propagate while the range still drains.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/thread_pool.hh"
+#include "cpu/inorder.hh"
+#include "cpu/ooo.hh"
+#include "cpu/replay_batch.hh"
+#include "hil/sweep.hh"
+#include "hil/timing.hh"
+#include "matlib/gemmini_backend.hh"
+#include "matlib/rvv_backend.hh"
+#include "matlib/scalar_backend.hh"
+#include "systolic/gemmini.hh"
+#include "vector/saturn.hh"
+
+namespace rtoc {
+namespace {
+
+using cpu::TimingModel;
+using cpu::TimingResult;
+
+/** Batched results must match sequential runStream bit-for-bit. */
+void
+expectBatchMatchesSequential(const isa::Program &prog,
+                             const std::vector<const TimingModel *> &models,
+                             const char *label)
+{
+    ASSERT_FALSE(models.empty());
+    std::vector<TimingResult> batch =
+        models.front()->runStreamBatch(prog.stream(), models);
+    ASSERT_EQ(batch.size(), models.size()) << label;
+    for (size_t i = 0; i < models.size(); ++i) {
+        TimingResult seq = models[i]->runStream(prog.stream());
+        EXPECT_EQ(batch[i].cycles, seq.cycles)
+            << label << " config " << i << " ("
+            << models[i]->name() << ")";
+        ASSERT_EQ(batch[i].regionCycles.size(), seq.regionCycles.size())
+            << label << " config " << i;
+        for (size_t r = 0; r < seq.regionCycles.size(); ++r) {
+            EXPECT_EQ(batch[i].regionCycles[r], seq.regionCycles[r])
+                << label << " config " << i << " region " << r;
+        }
+        // The stat counters (stall breakdowns, fence/queue telemetry)
+        // are part of the bit-exactness contract too.
+        EXPECT_EQ(batch[i].stats.counters(), seq.stats.counters())
+            << label << " config " << i << " stats";
+    }
+}
+
+std::vector<cpu::InOrderConfig>
+inOrderSweep()
+{
+    using cpu::InOrderConfig;
+    std::vector<InOrderConfig> cfgs = {InOrderConfig::rocket(),
+                                       InOrderConfig::shuttle()};
+    // Design axes: issue width, FPU/mem ports, latency tables.
+    InOrderConfig c = InOrderConfig::shuttle();
+    c.name = "shuttle-2fpu";
+    c.fpuCount = 2;
+    cfgs.push_back(c);
+    c = InOrderConfig::shuttle();
+    c.name = "shuttle-2mem";
+    c.memPorts = 2;
+    cfgs.push_back(c);
+    c = InOrderConfig::rocket();
+    c.name = "rocket-slowld";
+    c.loadLatency = 6;
+    cfgs.push_back(c);
+    c = InOrderConfig::rocket();
+    c.name = "rocket-fastfp";
+    c.fpLatency = 2;
+    cfgs.push_back(c);
+    c = InOrderConfig::shuttle();
+    c.name = "shuttle-wide";
+    c.issueWidth = 4;
+    c.fpuCount = 2;
+    c.memPorts = 2;
+    cfgs.push_back(c);
+    c = InOrderConfig::rocket();
+    c.name = "rocket-bb5";
+    c.branchBubble = 5;
+    c.fpDivLatency = 24;
+    cfgs.push_back(c);
+    return cfgs;
+}
+
+TEST(BatchedReplay, InOrderFamilyAcrossStylesAndConfigs)
+{
+    for (auto style : {tinympc::MappingStyle::Library,
+                       tinympc::MappingStyle::LibraryPerStep,
+                       tinympc::MappingStyle::Fused}) {
+        matlib::ScalarBackend b(matlib::ScalarFlavor::Optimized);
+        auto prog = bench::emitQuadSolveCached(b, style);
+
+        std::vector<std::unique_ptr<cpu::InOrderCore>> cores;
+        std::vector<const TimingModel *> models;
+        for (const auto &cfg : inOrderSweep()) {
+            cores.push_back(std::make_unique<cpu::InOrderCore>(cfg));
+            models.push_back(cores.back().get());
+        }
+        ASSERT_GE(models.size(), 8u);
+        expectBatchMatchesSequential(*prog, models, "inorder");
+    }
+}
+
+TEST(BatchedReplay, OooFamilyAcrossStylesAndConfigs)
+{
+    using cpu::OooConfig;
+    for (auto style : {tinympc::MappingStyle::Library,
+                       tinympc::MappingStyle::Fused}) {
+        matlib::ScalarBackend b(matlib::ScalarFlavor::Optimized);
+        auto prog = bench::emitQuadSolveCached(b, style);
+
+        std::vector<OooConfig> cfgs = {
+            OooConfig::boomSmall(), OooConfig::boomMedium(),
+            OooConfig::boomLarge(), OooConfig::boomMega()};
+        OooConfig c = OooConfig::boomSmall();
+        c.name = "boom-tiny-rob";
+        c.robSize = 8;
+        cfgs.push_back(c);
+        c = OooConfig::boomMedium();
+        c.name = "boom-slow-ld";
+        c.loadLatency = 7;
+        cfgs.push_back(c);
+        c = OooConfig::boomLarge();
+        c.name = "boom-slow-fp";
+        c.fpLatency = 8;
+        cfgs.push_back(c);
+        c = OooConfig::boomMega();
+        c.name = "boom-narrow-int";
+        c.intIssue = 1;
+        cfgs.push_back(c);
+
+        std::vector<std::unique_ptr<cpu::OooCore>> cores;
+        std::vector<const TimingModel *> models;
+        for (const auto &cfg : cfgs) {
+            cores.push_back(std::make_unique<cpu::OooCore>(cfg));
+            models.push_back(cores.back().get());
+        }
+        ASSERT_GE(models.size(), 8u);
+        expectBatchMatchesSequential(*prog, models, "ooo");
+    }
+}
+
+TEST(BatchedReplay, SaturnFamilyAcrossStylesAndConfigs)
+{
+    using vector::SaturnConfig;
+    for (auto style : {tinympc::MappingStyle::Library,
+                       tinympc::MappingStyle::Fused}) {
+        matlib::RvvBackend b(512, matlib::RvvMapping::handOptimized());
+        auto prog = bench::emitQuadSolveCached(b, style);
+
+        std::vector<SaturnConfig> cfgs = {
+            SaturnConfig::make(256, 128, false),
+            SaturnConfig::make(512, 128, false),
+            SaturnConfig::make(256, 128, true),
+            SaturnConfig::make(512, 256, false),
+            SaturnConfig::make(512, 128, true),
+            SaturnConfig::make(512, 256, true)};
+        SaturnConfig c = SaturnConfig::make(512, 256, true);
+        c.name += "-vq2";
+        c.vqDepth = 2;
+        cfgs.push_back(c);
+        c = SaturnConfig::make(512, 256, false);
+        c.name += "-slowmem";
+        c.memLat = 14;
+        c.chainLat = 4;
+        cfgs.push_back(c);
+        // Non-power-of-two datapath exercises the division fallback.
+        c = SaturnConfig::make(512, 192, true);
+        cfgs.push_back(c);
+
+        std::vector<std::unique_ptr<vector::SaturnModel>> ms;
+        std::vector<const TimingModel *> models;
+        for (const auto &cfg : cfgs) {
+            ms.push_back(std::make_unique<vector::SaturnModel>(cfg));
+            models.push_back(ms.back().get());
+        }
+        ASSERT_GE(models.size(), 8u);
+        expectBatchMatchesSequential(*prog, models, "saturn");
+    }
+}
+
+TEST(BatchedReplay, GemminiFamilyAcrossStylesAndConfigs)
+{
+    using systolic::GemminiConfig;
+    for (auto style : {tinympc::MappingStyle::Library,
+                       tinympc::MappingStyle::LibraryPerStep}) {
+        matlib::GemminiBackend b(
+            matlib::GemminiMapping::fullyOptimized());
+        auto prog = bench::emitQuadSolveCached(b, style);
+
+        std::vector<GemminiConfig> cfgs = {
+            GemminiConfig::os4x4(64), GemminiConfig::os4x4(32),
+            GemminiConfig::ws4x4(64), GemminiConfig::os4x4HwGemv(64)};
+        GemminiConfig c = GemminiConfig::os4x4(64);
+        c.name += "-rob4";
+        c.robDepth = 4;
+        cfgs.push_back(c);
+        c = GemminiConfig::os4x4(64);
+        c.name += "-slowdma";
+        c.dmaFixed = 90;
+        c.fenceMemPenalty = 1200;
+        cfgs.push_back(c);
+        c = GemminiConfig::os4x4(64);
+        c.name += "-bus8";
+        c.busBytes = 8;
+        cfgs.push_back(c);
+        // Non-power-of-two bus exercises the division fallback.
+        c = GemminiConfig::os4x4(64);
+        c.name += "-bus12";
+        c.busBytes = 12;
+        cfgs.push_back(c);
+
+        std::vector<std::unique_ptr<systolic::GemminiModel>> ms;
+        std::vector<const TimingModel *> models;
+        for (const auto &cfg : cfgs) {
+            ms.push_back(std::make_unique<systolic::GemminiModel>(cfg));
+            models.push_back(ms.back().get());
+        }
+        ASSERT_GE(models.size(), 8u);
+        expectBatchMatchesSequential(*prog, models, "gemmini");
+    }
+}
+
+TEST(BatchedReplay, ReplayBatchGroupsMixedFamiliesInAddOrder)
+{
+    matlib::ScalarBackend b(matlib::ScalarFlavor::Optimized);
+    auto prog =
+        bench::emitQuadSolveCached(b, tinympc::MappingStyle::Library);
+
+    cpu::InOrderCore rocket(cpu::InOrderConfig::rocket());
+    cpu::OooCore boom(cpu::OooConfig::boomMedium());
+    cpu::InOrderCore shuttle(cpu::InOrderConfig::shuttle());
+    cpu::OooCore mega(cpu::OooConfig::boomMega());
+
+    // Interleaved add order: grouping must scatter results back.
+    cpu::ReplayBatch batch;
+    batch.add(rocket);
+    batch.add(boom);
+    batch.add(shuttle);
+    batch.add(mega);
+    std::vector<TimingResult> got = batch.run(*prog);
+
+    ASSERT_EQ(got.size(), 4u);
+    EXPECT_EQ(got[0].cycles, rocket.run(*prog).cycles);
+    EXPECT_EQ(got[1].cycles, boom.run(*prog).cycles);
+    EXPECT_EQ(got[2].cycles, shuttle.run(*prog).cycles);
+    EXPECT_EQ(got[3].cycles, mega.run(*prog).cycles);
+}
+
+TEST(BatchedReplay, MixedFamilyGroupFallsBackToSequential)
+{
+    matlib::ScalarBackend b(matlib::ScalarFlavor::Optimized);
+    auto prog =
+        bench::emitQuadSolveCached(b, tinympc::MappingStyle::Library);
+
+    cpu::InOrderCore rocket(cpu::InOrderConfig::rocket());
+    cpu::OooCore boom(cpu::OooConfig::boomSmall());
+    // Dispatch a deliberately mixed group at an InOrderCore: the
+    // family driver must reject it and fall back, not crash or
+    // misattribute lanes.
+    std::vector<const TimingModel *> group = {&rocket, &boom};
+    std::vector<TimingResult> got =
+        rocket.runStreamBatch(prog->stream(), group);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].cycles, rocket.run(*prog).cycles);
+    EXPECT_EQ(got[1].cycles, boom.run(*prog).cycles);
+}
+
+TEST(BatchedReplay, BatchCalibrationMatchesSequential)
+{
+    plant::QuadrotorPlant plant(quad::DroneParams::crazyflie());
+    std::vector<cpu::InOrderConfig> cfgs = inOrderSweep();
+    std::vector<std::unique_ptr<cpu::InOrderCore>> cores;
+    std::vector<const TimingModel *> models;
+    for (const auto &cfg : cfgs) {
+        cores.push_back(std::make_unique<cpu::InOrderCore>(cfg));
+        models.push_back(cores.back().get());
+    }
+
+    // Disk bypassed on both paths: this pins the batched fit itself.
+    matlib::ScalarBackend backend(matlib::ScalarFlavor::Optimized);
+    std::vector<hil::ControllerTiming> batch = hil::calibrateTimingBatch(
+        models, backend, tinympc::MappingStyle::Library, plant, 0.02,
+        10, nullptr);
+    ASSERT_EQ(batch.size(), models.size());
+    for (size_t i = 0; i < models.size(); ++i) {
+        matlib::ScalarBackend sb(matlib::ScalarFlavor::Optimized);
+        hil::ControllerTiming seq = hil::calibrateTiming(
+            *models[i], sb, tinympc::MappingStyle::Library, plant, 0.02,
+            10, nullptr);
+        EXPECT_EQ(batch[i].baseCycles, seq.baseCycles) << i;
+        EXPECT_EQ(batch[i].cyclesPerIter, seq.cyclesPerIter) << i;
+        EXPECT_EQ(batch[i].archName, seq.archName) << i;
+    }
+}
+
+// --- work-stealing pool ---
+
+/** Deterministic per-index work with adversarial length skew. */
+uint64_t
+skewedTask(size_t i)
+{
+    // A few long poles (sleep) between many short tasks: the shape
+    // that starves a single-queue pool's tail and that stealing must
+    // absorb.
+    if (i % 11 == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    uint64_t h = 0x9e3779b97f4a7c15ull ^ (i * 0x2545f4914f6cdd1dull);
+    h ^= h >> 29;
+    return h;
+}
+
+TEST(WorkStealingPool, SkewedTasksDeterministicAcrossThreadCounts)
+{
+    const size_t n = 67;
+    std::vector<uint64_t> expect(n);
+    for (size_t i = 0; i < n; ++i)
+        expect[i] = skewedTask(i);
+
+    for (int threads : {1, 4, 7}) {
+        ThreadPool pool(threads);
+        std::vector<uint64_t> got(n, 0);
+        std::vector<std::atomic<int>> hits(n);
+        for (auto &h : hits)
+            h = 0;
+        pool.parallelFor(n, [&](size_t i) {
+            got[i] = skewedTask(i);
+            ++hits[i];
+        });
+        for (size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(hits[i].load(), 1)
+                << "threads=" << threads << " index " << i;
+            EXPECT_EQ(got[i], expect[i])
+                << "threads=" << threads << " index " << i;
+        }
+    }
+}
+
+TEST(WorkStealingPool, GrainDoesNotChangeResults)
+{
+    const size_t n = 53;
+    std::vector<uint64_t> expect(n);
+    for (size_t i = 0; i < n; ++i)
+        expect[i] = skewedTask(i);
+
+    ThreadPool pool(4);
+    for (size_t grain : {size_t(1), size_t(3), size_t(16), size_t(100)}) {
+        std::vector<uint64_t> got(n, 0);
+        std::vector<std::atomic<int>> hits(n);
+        for (auto &h : hits)
+            h = 0;
+        pool.parallelFor(
+            n,
+            [&](size_t i) {
+                got[i] = skewedTask(i);
+                ++hits[i];
+            },
+            grain);
+        for (size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(hits[i].load(), 1) << "grain=" << grain;
+            EXPECT_EQ(got[i], expect[i]) << "grain=" << grain;
+        }
+    }
+}
+
+TEST(WorkStealingPool, NestedSubmitUnderSkewRunsInline)
+{
+    for (int threads : {1, 4, 7}) {
+        ThreadPool pool(threads);
+        std::atomic<int> total{0};
+        pool.parallelFor(13, [&](size_t i) {
+            if (i % 5 == 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            pool.parallelFor(7, [&](size_t) { ++total; });
+        });
+        EXPECT_EQ(total.load(), 13 * 7) << "threads=" << threads;
+    }
+}
+
+TEST(WorkStealingPool, ExceptionPropagatesAndRangeDrains)
+{
+    ThreadPool pool(4);
+    // Grain > 1 matters: the throwing index must not abort the rest
+    // of its grain chunk (the sweep's auto grain batches episodes).
+    for (size_t grain : {size_t(1), size_t(4), size_t(31)}) {
+        std::vector<std::atomic<int>> hits(31);
+        for (auto &h : hits)
+            h = 0;
+        EXPECT_THROW(pool.parallelFor(
+                         hits.size(),
+                         [&](size_t i) {
+                             ++hits[i];
+                             if (i == 7)
+                                 throw std::runtime_error("boom");
+                         },
+                         grain),
+                     std::runtime_error);
+        // The whole range still drained exactly once each.
+        for (auto &h : hits)
+            EXPECT_EQ(h.load(), 1) << "grain=" << grain;
+    }
+    // The pool survives and stays usable.
+    std::atomic<int> n{0};
+    pool.parallelFor(9, [&](size_t) { ++n; });
+    EXPECT_EQ(n.load(), 9);
+}
+
+TEST(WorkStealingPool, StealingActuallyMigratesWork)
+{
+    // One pole task 100x longer than the rest: with stealing, total
+    // wall time approaches the pole, not pole + rest. Verify the
+    // mechanism (not wall time, which is flaky on CI): record which
+    // thread ran each index and require at least two distinct threads
+    // to have executed tasks from the pole-owner's initial block.
+    ThreadPool pool(4);
+    const size_t n = 64;
+    std::vector<std::thread::id> ran(n);
+    pool.parallelFor(n, [&](size_t i) {
+        if (i == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        ran[i] = std::this_thread::get_id();
+    });
+    // Participant 0 (the caller) owns block [0, 16) and is stuck on
+    // index 0; the rest of its block must have been stolen.
+    std::set<std::thread::id> block0_threads(ran.begin(),
+                                             ran.begin() + 16);
+    EXPECT_GE(block0_threads.size(), 2u)
+        << "no stealing observed on the skewed block";
+}
+
+// --- sweep grain ---
+
+TEST(SweepGrain, DefaultGrainHeuristic)
+{
+    EXPECT_EQ(hil::SweepRunner::defaultGrain(0, 1), 1u);
+    EXPECT_EQ(hil::SweepRunner::defaultGrain(64, 1), 64u); // serial
+    EXPECT_EQ(hil::SweepRunner::defaultGrain(6, 4), 1u);
+    EXPECT_EQ(hil::SweepRunner::defaultGrain(64, 4), 4u);
+    EXPECT_EQ(hil::SweepRunner::defaultGrain(1000, 8), 31u);
+}
+
+TEST(SweepGrain, ChunkedEpisodesBitIdenticalToSerial)
+{
+    quad::DroneParams drone = quad::DroneParams::crazyflie();
+    hil::HilConfig cfg;
+    cfg.timing = hil::vectorControllerTiming(drone, 0.02, 10);
+    cfg.socFreqHz = 100e6;
+
+    ThreadPool serial(1);
+    auto base = hil::SweepRunner(serial).runEpisodes(
+        drone, quad::Difficulty::Easy, 6, cfg);
+
+    ThreadPool pooled(4);
+    for (int grain : {1, 2, 5}) {
+        auto got = hil::SweepRunner(pooled).setGrain(grain).runEpisodes(
+            drone, quad::Difficulty::Easy, 6, cfg);
+        ASSERT_EQ(got.size(), base.size()) << "grain=" << grain;
+        for (size_t i = 0; i < base.size(); ++i) {
+            EXPECT_EQ(got[i].success, base[i].success) << i;
+            EXPECT_EQ(got[i].missionTimeS, base[i].missionTimeS) << i;
+            EXPECT_EQ(got[i].rotorEnergyJ, base[i].rotorEnergyJ) << i;
+            EXPECT_EQ(got[i].socEnergyJ, base[i].socEnergyJ) << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace rtoc

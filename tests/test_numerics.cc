@@ -197,5 +197,140 @@ TEST(Dare, AmBKtIsTransposedClosedLoop)
     EXPECT_NEAR(c.amBKt.maxAbsDiff(expect), 0.0, 1e-12);
 }
 
+// --- in-place DMatrix updates and the allocation-free DARE loop ---
+
+TEST(DMatrixInPlace, MatchesAllocatingOperatorsBitExactly)
+{
+    // Deterministic pseudo-random operands (LCG, no <random>).
+    auto fill = [](DMatrix &m, uint64_t seed) {
+        for (int i = 0; i < m.rows(); ++i)
+            for (int j = 0; j < m.cols(); ++j) {
+                seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+                m(i, j) =
+                    static_cast<double>(static_cast<int64_t>(seed >> 20)) /
+                    (1ll << 40);
+            }
+    };
+    DMatrix a(7, 5), b(5, 9), c(7, 9), d(7, 9);
+    fill(a, 1);
+    fill(b, 2);
+    fill(c, 3);
+    fill(d, 4);
+
+    DMatrix prod;
+    prod.gemmInto(a, b);
+    DMatrix expect = a * b;
+    EXPECT_EQ(prod.maxAbsDiff(expect), 0.0);
+
+    // Shape reuse: second gemmInto of the same shape reuses storage.
+    const double *before = prod.data();
+    prod.gemmInto(a, b);
+    EXPECT_EQ(prod.data(), before);
+
+    DMatrix add = c;
+    add.addInPlace(d);
+    EXPECT_EQ(add.maxAbsDiff(c + d), 0.0);
+    DMatrix sub = c;
+    sub.subInPlace(d);
+    EXPECT_EQ(sub.maxAbsDiff(c - d), 0.0);
+
+    // The zero-skip of operator* is mirrored (sparse row).
+    DMatrix az(3, 3, {0, 0, 0, 1, 0, 2, 0, 3, 0});
+    DMatrix bz(3, 3);
+    fill(bz, 5);
+    DMatrix pz;
+    pz.gemmInto(az, bz);
+    EXPECT_EQ(pz.maxAbsDiff(az * bz), 0.0);
+}
+
+/**
+ * The historical allocating DARE iteration, kept verbatim as the
+ * reference: the in-place loop in trySolveDare must reproduce its
+ * Pinf/Kinf bit-for-bit (addInPlace commutes bitwise, gemmInto keeps
+ * the accumulation order).
+ */
+std::optional<LqrCache>
+referenceDare(const DMatrix &a, const DMatrix &b, const DMatrix &q,
+              const DMatrix &r, double rho, const DMatrix *p_warm,
+              double tol, int max_iters)
+{
+    int nx = a.rows();
+    DMatrix q_rho = q + DMatrix::identity(nx) * rho;
+    DMatrix r_rho = r + DMatrix::identity(b.cols()) * rho;
+    DMatrix at = a.transpose();
+    DMatrix bt = b.transpose();
+    DMatrix p = p_warm != nullptr ? *p_warm : q_rho;
+    DMatrix kinf(b.cols(), nx);
+    LqrCache cache;
+    for (int it = 0; it < max_iters; ++it) {
+        DMatrix btp = bt * p;
+        DMatrix quu = r_rho + btp * b;
+        DMatrix k_new = luSolve(quu, btp * a);
+        DMatrix p_new = q_rho + at * p * (a - b * k_new);
+        double dk = k_new.maxAbsDiff(kinf);
+        kinf = k_new;
+        double dp = p_new.maxAbsDiff(p);
+        p = p_new;
+        cache.iterations = it + 1;
+        cache.residual = dp;
+        if (dk < tol && it > 1) {
+            DMatrix quu_final = r_rho + bt * p * b;
+            cache.kinf = kinf;
+            cache.pinf = p;
+            cache.quuInv = inverse(quu_final);
+            cache.amBKt = (a - b * kinf).transpose();
+            return cache;
+        }
+    }
+    return std::nullopt;
+}
+
+TEST(Dare, InPlaceIterationBitIdenticalToAllocatingReference)
+{
+    // Double integrator and a 3-state system, cold and warm started.
+    DMatrix a2(2, 2, {1, 0.05, 0, 1});
+    DMatrix b2(2, 1, {0.00125, 0.05});
+    DMatrix q2 = DMatrix::diag({10.0, 1.0});
+    DMatrix r2 = DMatrix::diag({0.1});
+
+    DMatrix a3(3, 3, {1, 0.05, 0.001, 0, 0.98, 0.05, 0.01, 0, 0.95});
+    DMatrix b3(3, 2, {0.002, 0, 0.05, 0.01, 0, 0.04});
+    DMatrix q3 = DMatrix::diag({5.0, 2.0, 1.0});
+    DMatrix r3 = DMatrix::diag({0.2, 0.3});
+
+    struct Case
+    {
+        const DMatrix *a, *b, *q, *r;
+        double rho;
+    };
+    for (const Case &c :
+         {Case{&a2, &b2, &q2, &r2, 1.0}, Case{&a2, &b2, &q2, &r2, 5.0},
+          Case{&a3, &b3, &q3, &r3, 1.0}}) {
+        auto expect = referenceDare(*c.a, *c.b, *c.q, *c.r, c.rho,
+                                    nullptr, 1e-10, 10000);
+        auto got = trySolveDare(*c.a, *c.b, *c.q, *c.r, c.rho, nullptr,
+                                1e-10, 10000);
+        ASSERT_TRUE(expect.has_value());
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got->iterations, expect->iterations);
+        EXPECT_EQ(got->pinf.maxAbsDiff(expect->pinf), 0.0);
+        EXPECT_EQ(got->kinf.maxAbsDiff(expect->kinf), 0.0);
+        EXPECT_EQ(got->quuInv.maxAbsDiff(expect->quuInv), 0.0);
+        EXPECT_EQ(got->amBKt.maxAbsDiff(expect->amBKt), 0.0);
+
+        // Warm start from the converged Pinf: the session-refresh
+        // path. Must also match bit-for-bit and converge faster.
+        auto warm_ref = referenceDare(*c.a, *c.b, *c.q, *c.r, c.rho,
+                                      &expect->pinf, 1e-10, 10000);
+        auto warm_got = trySolveDare(*c.a, *c.b, *c.q, *c.r, c.rho,
+                                     &expect->pinf, 1e-10, 10000);
+        ASSERT_TRUE(warm_ref.has_value());
+        ASSERT_TRUE(warm_got.has_value());
+        EXPECT_EQ(warm_got->iterations, warm_ref->iterations);
+        EXPECT_EQ(warm_got->pinf.maxAbsDiff(warm_ref->pinf), 0.0);
+        EXPECT_LE(warm_got->iterations, got->iterations);
+    }
+}
+
 } // namespace
 } // namespace rtoc::numerics
