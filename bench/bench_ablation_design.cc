@@ -12,13 +12,22 @@
  *      claimed in the introduction; sweep N on the vector backend;
  *  (d) Gemmini hardware GEMV (§4.2.4 future work) — column operands
  *      packed across scratchpad rows at full DMA bandwidth.
+ *
+ * The swept grids — baud (b), horizon (c), and the two-design hw-GEMV
+ * comparison (d) — are enumerated through dse::DesignSpace instead of
+ * ad-hoc literals: (b)/(c) as custom named axes, (d) as a two-entry
+ * configuration axis evaluated through dse::Explorer (which batches
+ * both designs into one ReplayBatch column pass, exactly as this
+ * bench used to hand-roll). Output is pinned byte-identical to the
+ * pre-DesignSpace tables.
  */
 
 #include <cstdio>
 
 #include "bench_util.hh"
 #include "common/table.hh"
-#include "cpu/replay_batch.hh"
+#include "dse/explorer.hh"
+#include "dse_spaces.hh"
 #include "hil/episode.hh"
 #include "hil/timing.hh"
 #include "matlib/gemmini_backend.hh"
@@ -81,10 +90,13 @@ uartAblation()
     quad::DroneParams drone = quad::DroneParams::crazyflie();
     hil::ControllerTiming tv = hil::vectorControllerTiming(drone, 0.02, 10);
 
+    dse::DesignSpace space("ablation-uart");
+    space.setAxis("baud", {57600.0, 115200.0, 460800.0, 921600.0});
+
     Table t("Ablation (b): UART tether baud rate (vector @100 MHz, "
             "medium difficulty)",
             {"baud", "round-trip ms", "success", "actuator W"});
-    for (double baud : {57600.0, 115200.0, 460800.0, 921600.0}) {
+    for (double baud : space.axis("baud")) {
         hil::HilConfig cfg;
         cfg.timing = tv;
         cfg.socFreqHz = 100e6;
@@ -108,10 +120,14 @@ horizonAblation()
     vector::SaturnModel saturn(
         vector::SaturnConfig::make(512, 256, true));
 
+    dse::DesignSpace space("ablation-horizon");
+    space.setAxis("horizon", {5, 10, 15, 20, 30});
+
     Table t("Ablation (c): MPC horizon length (vector, cycles per "
             "5-iteration solve)",
             {"N", "cycles", "cycles/step"});
-    for (int n : {5, 10, 15, 20, 30}) {
+    for (double horizon : space.axis("horizon")) {
+        const int n = static_cast<int>(horizon);
         matlib::RvvBackend b(512, matlib::RvvMapping::handOptimized());
         tinympc::Workspace ws = quad::buildQuadWorkspace(drone, 0.02, n);
         ws.settings.maxIters = 5;
@@ -137,17 +153,38 @@ static void
 hwGemvAblation()
 {
     // Memory-round-trip mapping exercises the column-vector DMA path.
-    matlib::GemminiBackend b(matlib::GemminiMapping::staticMapped());
-    auto prog =
-        bench::emitQuadSolve(b, tinympc::MappingStyle::Library);
-    systolic::GemminiModel base(systolic::GemminiConfig::os4x4());
-    systolic::GemminiModel hw(systolic::GemminiConfig::os4x4HwGemv());
-    // Both design points advance in one batched column pass
+    // One fresh (uncached) emission; both design points share the
+    // stream, so the Explorer batches them into a single column pass
     // (bit-identical to sequential runs).
-    cpu::ReplayBatch batch;
-    batch.add(base);
-    batch.add(hw);
-    std::vector<cpu::TimingResult> res = batch.run(prog);
+    matlib::GemminiBackend b(matlib::GemminiMapping::staticMapped());
+    auto prog = std::make_shared<const isa::Program>(
+        bench::emitQuadSolve(b, tinympc::MappingStyle::Library));
+    auto emit = [prog](dse::Fidelity) { return prog; };
+    auto prog_key = [](dse::Fidelity) {
+        return std::string("ablation-hwgemv-roundtrip");
+    };
+
+    dse::DesignSpace space("ablation-hwgemv");
+    auto add = [&](const char *name, systolic::GemminiConfig cfg) {
+        space.addConfig(
+            {name,
+             [cfg](double lat,
+                   double width) -> std::unique_ptr<cpu::TimingModel> {
+                 return std::make_unique<systolic::GemminiModel>(
+                     dse::scaledGemmini(cfg, lat, width));
+             },
+             emit, prog_key, nullptr, 0});
+    };
+    add("baseline OS 4x4", systolic::GemminiConfig::os4x4());
+    add("+ hardware GEMV packing",
+        systolic::GemminiConfig::os4x4HwGemv());
+
+    dse::Explorer::Options opt;
+    opt.useMemo = false;
+    opt.useDisk = false;
+    dse::Explorer explorer(space, opt);
+    std::vector<dse::EvalOutcome> res =
+        explorer.submit({{0, 0, 0, 0}, {1, 0, 0, 0}});
     uint64_t cb = res[0].cycles;
     uint64_t ch = res[1].cycles;
     Table t("Ablation (d): Gemmini hardware-GEMV extension "

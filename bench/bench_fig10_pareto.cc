@@ -5,154 +5,47 @@
  * throughput (solves/second at 1 GHz equivalent: 1e9 / cycles per
  * 5-iteration solve); area comes from the ASAP7-calibrated table.
  *
- * Design points share cached emission (one stream per distinct
- * backend configuration) and are replayed through cpu::ReplayBatch:
- * points that time the same stream are grouped by architecture
- * family and advance their scoreboards in ONE column pass
- * (bit-identical to sequential runs — the table below is pinned
- * against the sequential baseline). The per-stream batches fan out
- * across the sweep pool; results are assembled in design-point order
- * so the table is identical to a serial run.
+ * The 15 design points are the configuration axis of the shared
+ * fig10Space() (bench/dse_spaces.hh) and are evaluated through
+ * dse::Explorer::submit, which performs exactly what this bench used
+ * to hand-roll: cached emission (one stream per distinct backend
+ * configuration), grouping of same-stream points into one
+ * cpu::ReplayBatch column pass per family, and fan-out of the groups
+ * across the sweep pool. Results are bit-identical to sequential
+ * runs and assembled in design-point order, so the table is pinned
+ * against the historical baseline. Caches above the replay layer are
+ * disabled here: the figure bench always replays, cold or warm.
  */
 
 #include <cstdio>
-#include <map>
-#include <memory>
-#include <utility>
 
-#include "bench_util.hh"
 #include "common/table.hh"
-#include "cpu/inorder.hh"
-#include "cpu/ooo.hh"
-#include "cpu/replay_batch.hh"
-#include "hil/sweep.hh"
-#include "matlib/gemmini_backend.hh"
-#include "matlib/rvv_backend.hh"
-#include "matlib/scalar_backend.hh"
+#include "dse/explorer.hh"
+#include "dse_spaces.hh"
 #include "soc/area_model.hh"
-#include "systolic/gemmini.hh"
-#include "vector/saturn.hh"
 
 using namespace rtoc;
-
-namespace {
-
-/** One Figure-10 design point: a model replaying a cached stream. */
-struct DesignPoint
-{
-    std::string config;
-    std::shared_ptr<const isa::Program> prog;
-    std::unique_ptr<cpu::TimingModel> model;
-    uint64_t extraCycles = 0; ///< modelled overhead added post-replay
-};
-
-} // namespace
 
 int
 main()
 {
-    soc::AreaModel area;
+    dse::DesignSpace space = bench::fig10Space();
 
-    std::vector<DesignPoint> points;
+    // Always replay (byte-identical output on cold and warm caches);
+    // the replay itself still shares cached emission and batching.
+    dse::Explorer::Options opt;
+    opt.useMemo = false;
+    opt.useDisk = false;
+    dse::Explorer explorer(space, opt);
 
-    auto scalar_prog = [] {
-        matlib::ScalarBackend b(matlib::ScalarFlavor::Optimized);
-        return bench::emitQuadSolveCached(b,
-                                          tinympc::MappingStyle::Library);
-    };
-    // Scalar cores run the optimized Eigen mapping.
-    points.push_back({"rocket", scalar_prog(),
-                      std::make_unique<cpu::InOrderCore>(
-                          cpu::InOrderConfig::rocket()),
-                      0});
-    points.push_back({"shuttle", scalar_prog(),
-                      std::make_unique<cpu::InOrderCore>(
-                          cpu::InOrderConfig::shuttle()),
-                      0});
-    for (auto cfg_fn : {cpu::OooConfig::boomSmall, cpu::OooConfig::boomMedium,
-                        cpu::OooConfig::boomLarge, cpu::OooConfig::boomMega}) {
-        auto core = std::make_unique<cpu::OooCore>(cfg_fn());
-        points.push_back(
-            {core->name(), scalar_prog(), std::move(core), 0});
-    }
-    // Saturn configurations run the hand-optimized RVV mapping; the
-    // source is one binary using dynamic VLMAX (§5.1.5), so the
-    // executed stream adapts to each configuration's VLEN — design
-    // points with equal VLEN replay one cached stream.
-    for (auto [vlen, dlen, shuttle] :
-         {std::tuple{256, 128, false}, std::tuple{512, 128, false},
-          std::tuple{256, 128, true}, std::tuple{512, 256, false},
-          std::tuple{512, 128, true}, std::tuple{512, 256, true}}) {
-        matlib::RvvBackend b(vlen, matlib::RvvMapping::handOptimized());
-        auto p =
-            bench::emitQuadSolveCached(b, tinympc::MappingStyle::Fused);
-        auto m = std::make_unique<vector::SaturnModel>(
-            vector::SaturnConfig::make(vlen, dlen, shuttle));
-        points.push_back({m->name(), p, std::move(m), 0});
-    }
-    // Gemmini design points: optimized OS mapping; the WS design runs
-    // the merely static-mapped software (§5.1.5: the deep software
-    // optimizations were not ported to it).
-    {
-        matlib::GemminiBackend b(matlib::GemminiMapping::fullyOptimized());
-        auto p = bench::emitQuadSolveCached(b,
-                                            tinympc::MappingStyle::Library);
-        points.push_back({"gemmini-os4x4-spad64k", p,
-                          std::make_unique<systolic::GemminiModel>(
-                              systolic::GemminiConfig::os4x4(64)),
-                          0});
-    }
-    {
-        matlib::GemminiBackend b(matlib::GemminiMapping::fullyOptimized());
-        auto p = bench::emitQuadSolveCached(b,
-                                            tinympc::MappingStyle::Library);
-        points.push_back({"gemmini-os4x4-spad32k", p,
-                          std::make_unique<systolic::GemminiModel>(
-                              systolic::GemminiConfig::os4x4(32)),
-                          600});
-    }
-    {
-        matlib::GemminiBackend b(matlib::GemminiMapping::staticMapped());
-        auto p = bench::emitQuadSolveCached(b,
-                                            tinympc::MappingStyle::Library);
-        points.push_back({"gemmini-ws4x4-spad64k", p,
-                          std::make_unique<systolic::GemminiModel>(
-                              systolic::GemminiConfig::ws4x4(64)),
-                          0});
-    }
-
-    // Group the design points by the stream they replay: each group
-    // becomes one ReplayBatch (which itself fuses same-family lanes
-    // into one column pass), and the groups fan out across the pool.
-    std::map<const isa::Program *, std::vector<size_t>> by_prog;
-    for (size_t i = 0; i < points.size(); ++i)
-        by_prog[points[i].prog.get()].push_back(i);
-    std::vector<std::vector<size_t>> groups;
-    groups.reserve(by_prog.size());
-    for (auto &[prog, slots] : by_prog)
-        groups.push_back(std::move(slots));
-
-    std::vector<uint64_t> cycles(points.size(), 0);
-    hil::SweepRunner sweep;
-    sweep.map<int>(groups.size(), [&](size_t g) {
-        cpu::ReplayBatch batch;
-        for (size_t slot : groups[g])
-            batch.add(*points[slot].model);
-        std::vector<cpu::TimingResult> res =
-            batch.run(*points[groups[g].front()].prog);
-        for (size_t k = 0; k < groups[g].size(); ++k) {
-            const size_t slot = groups[g][k];
-            cycles[slot] = res[k].cycles + points[slot].extraCycles;
-        }
-        return 0;
-    });
+    std::vector<dse::PointSpec> grid;
+    for (size_t flat = 0; flat < space.size(); ++flat)
+        grid.push_back(space.point(flat));
+    std::vector<dse::EvalOutcome> outcomes = explorer.submit(grid);
 
     std::vector<soc::ParetoPoint> pareto;
-    for (size_t i = 0; i < points.size(); ++i) {
-        pareto.push_back({points[i].config,
-                          area.areaMm2(points[i].config),
-                          1e9 / static_cast<double>(cycles[i]), false});
-    }
+    for (const dse::EvalOutcome &o : outcomes)
+        pareto.push_back({o.config, o.areaMm2, o.solvesPerS, false});
 
     soc::markParetoFrontier(pareto);
 

@@ -56,19 +56,30 @@ emitPlantSolve(const plant::Plant &plant, matlib::Backend &backend,
 }
 
 /**
- * Cached variant of emitPlantSolve. The key carries the problem shape
- * (nx, nu, horizon) but not the plant parameters: emission is
- * data-independent, so plants sharing a shape share one stream.
+ * ProgramCache key of a cached plant solve. Shared by
+ * emitPlantSolveCached and the dse DesignSpace progKey closures, so a
+ * design space names exactly the stream the emitter would cache. The
+ * key carries the problem shape (nx, nu, horizon) but not the plant
+ * parameters: emission is data-independent, so plants sharing a shape
+ * share one stream.
  */
+inline std::string
+plantSolveKey(const matlib::Backend &backend, tinympc::MappingStyle style,
+              int nx, int nu, int horizon, int iters)
+{
+    return csprintf("plantsolve:%s:style%d:nx%d:nu%d:h%d:it%d",
+                    backend.cacheKey().c_str(), static_cast<int>(style),
+                    nx, nu, horizon, iters);
+}
+
+/** Cached variant of emitPlantSolve (keyed by plantSolveKey). */
 inline std::shared_ptr<const isa::Program>
 emitPlantSolveCached(const plant::Plant &plant, matlib::Backend &backend,
                      tinympc::MappingStyle style, int iters = 5,
                      double dt = 0.02, int horizon = 10)
 {
-    const std::string key = csprintf(
-        "plantsolve:%s:style%d:nx%d:nu%d:h%d:it%d",
-        backend.cacheKey().c_str(), static_cast<int>(style), plant.nx(),
-        plant.nu(), horizon, iters);
+    const std::string key = plantSolveKey(backend, style, plant.nx(),
+                                          plant.nu(), horizon, iters);
     return isa::ProgramCache::global().getOrEmit(
         key, [&](isa::Program &p) {
             p = emitPlantSolve(plant, backend, style, iters, dt,

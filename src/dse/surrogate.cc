@@ -1,0 +1,118 @@
+#include "dse/surrogate.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "numerics/dmatrix.hh"
+
+namespace rtoc::dse {
+
+void
+Surrogate::addSample(double lat, double width, double cycles)
+{
+    rtoc_assert(cycles > 0.0);
+    lat_.push_back(lat);
+    width_.push_back(width);
+    logCycles_.push_back(std::log(cycles));
+    coef_.clear(); // stale until the next fit()
+}
+
+double
+Surrogate::eval(Term t, double lat, double width)
+{
+    switch (t) {
+      case kOne:
+        return 1.0;
+      case kLat:
+        return lat;
+      case kWidth:
+        return width;
+      case kLat2:
+        return lat * lat;
+      case kWidth2:
+        return width * width;
+      case kLatWidth:
+        return lat * width;
+    }
+    rtoc_panic("unreachable surrogate term");
+}
+
+bool
+Surrogate::fit()
+{
+    const size_t n = lat_.size();
+    if (n == 0)
+        return false;
+
+    auto varies = [](const std::vector<double> &v) {
+        for (size_t i = 1; i < v.size(); ++i)
+            if (v[i] != v[0])
+                return true;
+        return false;
+    };
+    const bool lat_varies = varies(lat_);
+    const bool width_varies = varies(width_);
+
+    // Assemble the richest basis the evidence supports, then shed
+    // high-order terms until the least-squares system is
+    // overdetermined (rows >= cols).
+    terms_.clear();
+    terms_.push_back(kOne);
+    if (lat_varies)
+        terms_.push_back(kLat);
+    if (width_varies)
+        terms_.push_back(kWidth);
+    if (lat_varies)
+        terms_.push_back(kLat2);
+    if (width_varies)
+        terms_.push_back(kWidth2);
+    if (lat_varies && width_varies)
+        terms_.push_back(kLatWidth);
+    while (terms_.size() > n)
+        terms_.pop_back();
+
+    const int cols = static_cast<int>(terms_.size());
+    numerics::DMatrix x(static_cast<int>(n), cols);
+    numerics::DMatrix y(static_cast<int>(n), 1);
+    for (size_t i = 0; i < n; ++i) {
+        for (int j = 0; j < cols; ++j)
+            x(static_cast<int>(i), j) = eval(terms_[j], lat_[i],
+                                             width_[i]);
+        y(static_cast<int>(i), 0) = logCycles_[i];
+    }
+
+    numerics::DMatrix xtx = x.transpose() * x;
+    double trace = 0.0;
+    for (int j = 0; j < cols; ++j)
+        trace += xtx(j, j);
+    const double ridge = 1e-9 * (trace > 0.0 ? trace : 1.0);
+    for (int j = 0; j < cols; ++j)
+        xtx(j, j) += ridge;
+
+    numerics::DMatrix beta = numerics::luSolve(xtx, x.transpose() * y);
+    coef_.resize(cols);
+    for (int j = 0; j < cols; ++j)
+        coef_[j] = beta(j, 0);
+
+    maxRelError_ = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double actual = std::exp(logCycles_[i]);
+        const double pred = predictCycles(lat_[i], width_[i]);
+        maxRelError_ = std::max(maxRelError_,
+                                std::abs(pred - actual) / actual);
+    }
+    return true;
+}
+
+double
+Surrogate::predictCycles(double lat, double width) const
+{
+    rtoc_assert(fitted());
+    double log_c = 0.0;
+    for (size_t j = 0; j < terms_.size(); ++j)
+        log_c += coef_[j] * eval(terms_[j], lat, width);
+    return std::exp(log_c);
+}
+
+} // namespace rtoc::dse

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Local low-order surrogate of replay cost over the continuous design
+ * axes (latency scale, width scale).
+ *
+ * The explorer fits one surrogate per configuration-axis entry on the
+ * cells it has already replayed, modelling log(cycles) — cycle counts
+ * across a latency sweep span decades, and the multiplicative knob
+ * scaling makes them near-log-linear — with a quadratic polynomial in
+ * (lat, width). The basis adapts to the evidence: axes that do not
+ * vary across the samples are dropped (a scalar core's width axis is
+ * degenerate), and higher-order terms are shed until the system is
+ * overdetermined, so the fit degrades gracefully from quadratic
+ * through linear to a constant as samples shrink. Normal equations
+ * get a trace-scaled ridge so near-collinear sample sets stay
+ * solvable (numerics::luSolve is fatal on singular systems).
+ */
+
+#ifndef RTOC_DSE_SURROGATE_HH
+#define RTOC_DSE_SURROGATE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace rtoc::dse {
+
+/** Per-config log-cycles model over (latScale, widthScale). */
+class Surrogate
+{
+  public:
+    /** Record one replayed cell at (lat, width) costing @p cycles. */
+    void addSample(double lat, double width, double cycles);
+
+    /**
+     * Refit on everything recorded so far. Returns false (and leaves
+     * the model unusable) with zero samples.
+     */
+    bool fit();
+
+    /** Predicted replay cycles at (lat, width); fit() must be true. */
+    double predictCycles(double lat, double width) const;
+
+    /**
+     * Worst relative training error |pred - actual| / actual of the
+     * last fit(). The explorer uses it as the model's trust band: a
+     * smooth response fits to a fraction of a percent and earns a
+     * tight expansion band, a rough one widens its own band.
+     */
+    double maxRelError() const { return maxRelError_; }
+
+    size_t samples() const { return lat_.size(); }
+    bool fitted() const { return !coef_.empty(); }
+
+  private:
+    // Basis-term tags, in preference order (trimmed from the back).
+    enum Term { kOne, kLat, kWidth, kLat2, kWidth2, kLatWidth };
+
+    static double eval(Term t, double lat, double width);
+
+    std::vector<double> lat_, width_, logCycles_;
+    std::vector<Term> terms_;
+    std::vector<double> coef_;
+    double maxRelError_ = 0.0;
+};
+
+} // namespace rtoc::dse
+
+#endif // RTOC_DSE_SURROGATE_HH

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
-#include <map>
 #include <mutex>
 
 #include "common/logging.hh"
+#include "common/lru_cache.hh"
 #include "common/random.hh"
 #include "hil/control_session.hh"
 #include "hil/sweep.hh"
@@ -207,12 +207,18 @@ namespace {
 /**
  * Process-wide runCell memo. Cells are deterministic functions of the
  * key, so racing workers may compute a key twice (benign: identical
- * values) but never block each other across distinct keys.
+ * values) but never block each other across distinct keys. The map is
+ * LRU-bounded (RTOC_CELL_MEMO_CAP, default 4096 cells, 0 = unbounded)
+ * so unbounded design-space exploration cannot grow the process
+ * without limit; an evicted cell is simply recomputed on the next
+ * request.
  */
+constexpr size_t kDefaultCellMemoCap = 4096;
+
 struct CellMemo
 {
     std::mutex mu;
-    std::map<std::string, SweepCell> memo;
+    LruMap<std::string, SweepCell> memo{kDefaultCellMemoCap};
     uint64_t hits = 0;
     uint64_t misses = 0;
 };
@@ -221,6 +227,13 @@ CellMemo &
 cellMemo()
 {
     static CellMemo m;
+    static const bool configured = [] {
+        if (const char *env = std::getenv("RTOC_CELL_MEMO_CAP"))
+            m.memo.setCapacity(
+                static_cast<size_t>(std::strtoull(env, nullptr, 10)));
+        return true;
+    }();
+    (void)configured;
     return m;
 }
 
@@ -342,17 +355,16 @@ runCell(const plant::Plant &proto, plant::Difficulty d, int n_scenarios,
         cellKey(proto, d, n_scenarios, cfg, disturbance);
     {
         std::lock_guard<std::mutex> lk(m.mu);
-        auto it = m.memo.find(key);
-        if (it != m.memo.end()) {
+        if (const SweepCell *hit = m.memo.get(key)) {
             ++m.hits;
-            return it->second;
+            return *hit;
         }
     }
     SweepCell cell = computeCell(proto, d, n_scenarios, cfg, disturbance);
     {
         std::lock_guard<std::mutex> lk(m.mu);
         ++m.misses;
-        m.memo.emplace(key, cell);
+        m.memo.put(key, cell);
     }
     return cell;
 }
@@ -370,7 +382,16 @@ cellMemoStats()
 {
     CellMemo &m = cellMemo();
     std::lock_guard<std::mutex> lk(m.mu);
-    return {m.hits, m.misses, m.memo.size()};
+    return {m.hits, m.misses, m.memo.size(), m.memo.evictions(),
+            m.memo.capacity()};
+}
+
+void
+cellMemoSetCap(size_t cap)
+{
+    CellMemo &m = cellMemo();
+    std::lock_guard<std::mutex> lk(m.mu);
+    m.memo.setCapacity(cap);
 }
 
 } // namespace rtoc::hil

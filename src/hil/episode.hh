@@ -17,7 +17,11 @@
  * runCell results are memoized process-wide keyed on (plant config,
  * difficulty, disturbance, episode count, timing model, frequency,
  * HIL config), so multi-figure bench binaries evaluating the same
- * cell pay for it once. Set RTOC_CELL_MEMO=0 to disable.
+ * cell pay for it once. Set RTOC_CELL_MEMO=0 to disable. The memo is
+ * LRU-bounded (RTOC_CELL_MEMO_CAP overrides the default cap, 0 means
+ * unbounded) so long-lived drivers sweeping 100k-point design spaces
+ * do not grow memory without limit; evictions are counted in
+ * cellMemoStats().
  */
 
 #ifndef RTOC_HIL_EPISODE_HH
@@ -120,8 +124,17 @@ struct CellMemoStats
     uint64_t hits = 0;
     uint64_t misses = 0;
     size_t entries = 0;
+    uint64_t evictions = 0; ///< LRU entries dropped over the cap
+    size_t capacity = 0;    ///< current cap (0 = unbounded)
 };
 CellMemoStats cellMemoStats();
+
+/**
+ * Override the memo's LRU cap at runtime (tests, long-lived
+ * explorers). Equivalent to RTOC_CELL_MEMO_CAP; 0 means unbounded.
+ * An over-full memo evicts immediately.
+ */
+void cellMemoSetCap(size_t cap);
 
 } // namespace rtoc::hil
 
