@@ -21,7 +21,10 @@
  * MPC model every K control ticks; default 0 = fixed trim). The
  * relinearization column is printed — and the JSON gains relin
  * fields — only when the policy is non-default, keeping the
- * historical golden output byte-stable.
+ * historical golden output byte-stable. --profile appends the
+ * Fig-12-style per-region cycle breakdown (backend x plant,
+ * replayed from the process ProgramCache) after the golden tables
+ * and exports the totals as trace counter tracks.
  */
 
 #include <chrono>
@@ -35,6 +38,8 @@
 #include "hil/timing.hh"
 #include "isa/program_cache.hh"
 #include "plant/registry.hh"
+#include "obs/region_profile.hh"
+#include "obs/registry.hh"
 
 using namespace rtoc;
 
@@ -64,6 +69,7 @@ main(int argc, char **argv)
     Cli cli(argc, argv);
     const bool smoke = cli.has("smoke");
     const bool full = cli.has("full");
+    const bool profile = cli.has("profile");
     const int episodes_flag =
         static_cast<int>(cli.getInt("episodes", 0));
     const double freq_hz = cli.getDouble("freq", 100.0) * 1e6;
@@ -211,11 +217,40 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(ps.misses),
                 static_cast<unsigned long long>(ps.cachedUops));
 
+    // --profile: Fig-12-style per-region cycle breakdown, replayed
+    // from the process ProgramCache (one cached replay per backend x
+    // plant shape). Printed after the golden tables so their bytes
+    // never move; totals also land in the trace as counter tracks.
+    if (profile) {
+        obs::RegionProfile prof;
+        const char *const prof_models[] = {"scalar", "vector",
+                                           "gemmini"};
+        std::vector<const plant::ScenarioSpec *> uniq;
+        for (const plant::ScenarioSpec &s : specs) {
+            bool seen = false;
+            for (const plant::ScenarioSpec *u : uniq)
+                seen = seen || u->plantName == s.plantName;
+            if (!seen)
+                uniq.push_back(&s);
+        }
+        for (const char *m : prof_models) {
+            for (const plant::ScenarioSpec *s : uniq) {
+                prof.add(m, s->plantName,
+                         hil::regionBreakdown(m, *s->prototype, 0.02,
+                                              10));
+            }
+        }
+        std::printf("\n%s", prof.table().c_str());
+        prof.exportTraceCounters();
+    }
+
     if (!json_path.empty()) {
         FILE *f = std::fopen(json_path.c_str(), "w");
         if (!f)
             rtoc_fatal("cannot write %s", json_path.c_str());
-        std::fprintf(f, "{\n  \"bench\": \"cross_plant\",\n");
+        std::fprintf(f, "{\n");
+        rtoc::obs::Registry::global().writeJsonSections(f);
+        std::fprintf(f, "  \"bench\": \"cross_plant\",\n");
         // null when the registry counts vary (per-cell "episodes"
         // fields carry the truth either way).
         if (uniform_episodes > 0) {

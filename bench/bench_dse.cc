@@ -42,6 +42,7 @@
 #include "common/table.hh"
 #include "dse/explorer.hh"
 #include "dse_spaces.hh"
+#include "obs/registry.hh"
 
 using namespace rtoc;
 
@@ -277,7 +278,9 @@ main(int argc, char **argv)
         FILE *f = std::fopen(json_path.c_str(), "w");
         if (!f)
             rtoc_fatal("cannot write %s", json_path.c_str());
-        std::fprintf(f, "{\n  \"experiments\": [\n");
+        std::fprintf(f, "{\n");
+        rtoc::obs::Registry::global().writeJsonSections(f);
+        std::fprintf(f, "  \"experiments\": [\n");
         for (size_t i = 0; i < rows.size(); ++i) {
             const ExperimentRow &r = rows[i];
             std::fprintf(

@@ -50,6 +50,7 @@
 #include "matlib/scalar_backend.hh"
 #include "systolic/gemmini.hh"
 #include "vector/saturn.hh"
+#include "obs/registry.hh"
 
 using namespace rtoc;
 
@@ -274,7 +275,9 @@ main(int argc, char **argv)
         FILE *f = std::fopen(json_path.c_str(), "w");
         if (!f)
             rtoc_fatal("cannot write %s", json_path.c_str());
-        std::fprintf(f, "{\n  \"backends\": [\n");
+        std::fprintf(f, "{\n");
+        rtoc::obs::Registry::global().writeJsonSections(f);
+        std::fprintf(f, "  \"backends\": [\n");
         for (size_t i = 0; i < rows.size(); ++i) {
             const auto &r = rows[i];
             std::fprintf(

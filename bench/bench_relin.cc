@@ -14,7 +14,8 @@
  * scalar model only), --freq=MHZ (default 100), --difficulty=easy|
  * medium|hard (default hard — the aggressive scenarios where the trim
  * model goes stale), --json=PATH (default BENCH_relin.json; empty
- * disables).
+ * disables), --profile (append the Fig-12-style per-region cycle
+ * breakdown after the golden tables and export trace counter tracks).
  *
  * A second section runs the off-trim recovery protocol — station-keep
  * at home, inject a step wrench through Plant::applyWrench, measure
@@ -43,6 +44,8 @@
 #include "hil/timing.hh"
 #include "plant/registry.hh"
 #include "plant/rocket.hh"
+#include "obs/region_profile.hh"
+#include "obs/registry.hh"
 
 using namespace rtoc;
 
@@ -76,6 +79,7 @@ main(int argc, char **argv)
 {
     Cli cli(argc, argv);
     const bool smoke = cli.has("smoke");
+    const bool profile = cli.has("profile");
     const int episodes = static_cast<int>(
         cli.getInt("episodes", smoke ? 2 : 6));
     const double freq_hz = cli.getDouble("freq", 100.0) * 1e6;
@@ -287,11 +291,27 @@ main(int argc, char **argv)
                 improved ? "yes" : "NO", 100.0 * best_gain,
                 best_desc.c_str());
 
+    // --profile: per-region cycle breakdown of each timing model on
+    // each plant in the sweep, printed after the golden tables (their
+    // bytes never move) and exported as trace counter tracks.
+    if (profile) {
+        obs::RegionProfile prof;
+        for (const std::string &m : models) {
+            for (const auto &p : plants)
+                prof.add(m, p->name(),
+                         hil::regionBreakdown(m, *p, 0.02, 10));
+        }
+        std::printf("\n%s", prof.table().c_str());
+        prof.exportTraceCounters();
+    }
+
     if (!json_path.empty()) {
         FILE *f = std::fopen(json_path.c_str(), "w");
         if (!f)
             rtoc_fatal("cannot write %s", json_path.c_str());
-        std::fprintf(f, "{\n  \"bench\": \"relin\",\n");
+        std::fprintf(f, "{\n");
+        rtoc::obs::Registry::global().writeJsonSections(f);
+        std::fprintf(f, "  \"bench\": \"relin\",\n");
         std::fprintf(f, "  \"difficulty\": \"%s\",\n",
                      diff_name.c_str());
         std::fprintf(f, "  \"episodes_per_cell\": %d,\n", episodes);

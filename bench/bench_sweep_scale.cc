@@ -55,6 +55,7 @@
 #include "systolic/gemmini.hh"
 #include "tinympc/solver.hh"
 #include "vector/saturn.hh"
+#include "obs/registry.hh"
 
 using namespace rtoc;
 
@@ -687,7 +688,9 @@ main(int argc, char **argv)
         FILE *f = std::fopen(json_path.c_str(), "w");
         if (!f)
             rtoc_fatal("cannot write %s", json_path.c_str());
-        std::fprintf(f, "{\n  \"batched_replay\": [\n");
+        std::fprintf(f, "{\n");
+        rtoc::obs::Registry::global().writeJsonSections(f);
+        std::fprintf(f, "  \"batched_replay\": [\n");
         for (size_t i = 0; i < batch_rows.size(); ++i) {
             const auto &r = batch_rows[i];
             std::fprintf(f,

@@ -24,6 +24,23 @@ vformat(const char *fmt, va_list ap)
 
 } // namespace
 
+LogLevel
+logLevel()
+{
+    static const LogLevel level = [] {
+        const char *env = std::getenv("RTOC_LOG");
+        if (!env)
+            return LogLevel::Info;
+        std::string v(env);
+        if (v == "quiet" || v == "error" || v == "0")
+            return LogLevel::Quiet;
+        if (v == "warn")
+            return LogLevel::Warn;
+        return LogLevel::Info;
+    }();
+    return level;
+}
+
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
@@ -49,6 +66,8 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 void
 warnImpl(const char *fmt, ...)
 {
+    if (logLevel() < LogLevel::Warn)
+        return;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
@@ -59,6 +78,8 @@ warnImpl(const char *fmt, ...)
 void
 informImpl(const char *fmt, ...)
 {
+    if (logLevel() < LogLevel::Info)
+        return;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);

@@ -10,6 +10,12 @@
  * warn()   — something is modelled approximately or suspiciously;
  *            simulation continues.
  * inform() — plain status output.
+ *
+ * Verbosity follows the RTOC_LOG env knob, sharing the RTOC_* naming
+ * convention of the other runtime knobs: "info" (the default — warn
+ * and inform both print, matching historical behaviour), "warn"
+ * (inform suppressed), and "error"/"quiet" (warn suppressed too).
+ * panic/fatal always print.
  */
 
 #ifndef RTOC_COMMON_LOGGING_HH
@@ -34,6 +40,17 @@ void informImpl(const char *fmt, ...);
 
 /** Format a printf-style message into a std::string. */
 std::string csprintf(const char *fmt, ...);
+
+/** Log verbosity, parsed once from RTOC_LOG (see file comment). */
+enum class LogLevel
+{
+    Quiet = 0, ///< RTOC_LOG=quiet or error: warn+inform suppressed
+    Warn = 1,  ///< RTOC_LOG=warn: inform suppressed
+    Info = 2,  ///< default: everything prints
+};
+
+/** The process's current verbosity. */
+LogLevel logLevel();
 
 } // namespace rtoc
 

@@ -1,48 +1,112 @@
 #include "stats.hh"
 
 #include <algorithm>
+#include <deque>
+#include <mutex>
 #include <numeric>
 #include <sstream>
+#include <unordered_map>
+
+#include "common/logging.hh"
 
 namespace rtoc {
 
-void
-StatGroup::inc(const std::string &name, uint64_t delta)
+namespace {
+
+/**
+ * Process-wide stat-name interner (same structure as the kernel-name
+ * interner in isa/program.cc): names are interned once at counter
+ * definition, so one mutex is plenty; lookups by id go through a
+ * std::deque so returned string references stay stable as the table
+ * grows.
+ */
+struct StatInterner
 {
-    counters_[name] += delta;
+    std::mutex mu;
+    std::unordered_map<std::string, StatId> ids;
+    std::deque<std::string> names;
+};
+
+StatInterner &
+statInterner()
+{
+    static StatInterner in;
+    return in;
 }
 
-void
-StatGroup::set(const std::string &name, uint64_t value)
+} // namespace
+
+StatId
+internStat(std::string_view name)
 {
-    counters_[name] = value;
+    if (name.empty())
+        rtoc_panic("internStat: empty stat name");
+    StatInterner &in = statInterner();
+    std::lock_guard<std::mutex> lk(in.mu);
+    auto it = in.ids.find(std::string(name));
+    if (it != in.ids.end())
+        return it->second;
+    StatId id = static_cast<StatId>(in.names.size());
+    in.names.emplace_back(name);
+    in.ids.emplace(in.names.back(), id);
+    return id;
+}
+
+const std::string &
+statName(StatId id)
+{
+    StatInterner &in = statInterner();
+    std::lock_guard<std::mutex> lk(in.mu);
+    if (id >= in.names.size())
+        rtoc_panic("statName: unknown stat id %u", id);
+    return in.names[id];
+}
+
+size_t
+internedStatCount()
+{
+    StatInterner &in = statInterner();
+    std::lock_guard<std::mutex> lk(in.mu);
+    return in.names.size();
 }
 
 uint64_t
 StatGroup::get(const std::string &name) const
 {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    return get(internStat(name));
 }
 
 bool
 StatGroup::has(const std::string &name) const
 {
-    return counters_.count(name) > 0;
+    return has(internStat(name));
 }
 
 void
 StatGroup::reset()
 {
-    for (auto &kv : counters_)
-        kv.second = 0;
+    std::fill(vals_.begin(), vals_.end(), 0);
+    view_dirty_ = true;
+}
+
+const std::map<std::string, uint64_t> &
+StatGroup::counters() const
+{
+    if (view_dirty_) {
+        view_.clear();
+        for (StatId id = 0; id < touched_.size(); ++id)
+            if (touched_[id])
+                view_[statName(id)] = vals_[id];
+        view_dirty_ = false;
+    }
+    return view_;
 }
 
 std::string
 StatGroup::dump(const std::string &prefix) const
 {
     std::ostringstream os;
-    for (const auto &kv : counters_)
+    for (const auto &kv : counters())
         os << prefix << kv.first << " = " << kv.second << "\n";
     return os.str();
 }

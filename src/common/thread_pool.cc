@@ -3,12 +3,40 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
 namespace rtoc {
 
 namespace {
 
 /** True on threads currently executing pool work (nesting guard). */
 thread_local bool in_pool_worker = false;
+
+/**
+ * Registry ids of the pool counters. Steal counts depend on the
+ * run-to-run scheduling race, so that counter is flagged unstable and
+ * stays out of bench metrics JSON; job and task totals are
+ * deterministic for a fixed configuration.
+ */
+struct PoolIds
+{
+    StatId jobs;
+    StatId tasks;
+    StatId steals;
+};
+
+const PoolIds &
+poolIds()
+{
+    static const PoolIds ids = [] {
+        obs::Registry &reg = obs::Registry::global();
+        return PoolIds{reg.counter("pool.jobs"),
+                       reg.counter("pool.tasks"),
+                       reg.counter("pool.steals", /*unstable=*/true)};
+    }();
+    return ids;
+}
 
 int
 defaultThreadCount()
@@ -48,6 +76,9 @@ ThreadPool::runTask(Job &job, size_t t)
 {
     const size_t begin = t * job.grain;
     const size_t end = std::min(job.limit, begin + job.grain);
+    obs::count(poolIds().tasks);
+    RTOC_SPAN_NAMED(span, "pool.task", "pool");
+    span.arg("task", t);
     // Per-index error guard: a throwing fn(i) must not skip the rest
     // of its grain chunk — the whole range drains regardless of the
     // grain, and the first exception is rethrown afterwards.
@@ -66,6 +97,8 @@ ThreadPool::runTask(Job &job, size_t t)
 void
 ThreadPool::drainAs(Job &job, int slot)
 {
+    RTOC_SPAN_NAMED(span, "pool.drain", "pool");
+    span.arg("slot", static_cast<uint64_t>(slot));
     const int nd = static_cast<int>(job.deques.size());
     while (true) {
         size_t t;
@@ -82,6 +115,8 @@ ThreadPool::drainAs(Job &job, int slot)
             stole = job.deques[(slot + k) % nd].stealBack(t);
         if (!stole)
             return;
+        obs::count(poolIds().steals);
+        obs::TraceWriter::global().instant("pool.steal", "pool");
         runTask(job, t);
     }
 }
@@ -154,6 +189,7 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn,
     }
 
     std::lock_guard<std::mutex> submit(submitMu_);
+    obs::count(poolIds().jobs);
     // Shared ownership: a worker that wakes late may still hold the
     // job after this call returns; it only observes the exhausted
     // deques, never the (by then dead) fn.

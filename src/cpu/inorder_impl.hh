@@ -24,8 +24,29 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 
 namespace rtoc::cpu {
+
+namespace inorder_detail {
+
+/** Interned stat ids for the in-order loops (one-time interning; the
+ *  per-run stats.set calls index by id instead of hashing a string). */
+struct Ids
+{
+    StatId uops = internStat("uops");
+    StatId stall_data = internStat("stall_data");
+    StatId stall_struct = internStat("stall_struct");
+};
+
+inline const Ids &
+statIds()
+{
+    static const Ids ids;
+    return ids;
+}
+
+} // namespace inorder_detail
 
 /** Reusable scoreboard state for one simulation thread. */
 struct InOrderScratch
@@ -177,9 +198,9 @@ InOrderCore::runStreamWithCoproc(const isa::UopStreamView &v,
 
     result.regionCycles = attr.finish(v.n);
     result.cycles = std::max(cycle, attr.maxCompletion());
-    result.stats.set("uops", v.n);
-    result.stats.set("stall_data", stall_data);
-    result.stats.set("stall_struct", stall_struct);
+    result.stats.set(inorder_detail::statIds().uops, v.n);
+    result.stats.set(inorder_detail::statIds().stall_data, stall_data);
+    result.stats.set(inorder_detail::statIds().stall_struct, stall_struct);
     return result;
 }
 
@@ -499,9 +520,9 @@ runInOrderStreamBatchWithCoproc(const isa::UopStreamView &v,
         rtoc_assert(region_out[l].size() == regions.size());
         out[l].regionCycles = std::move(region_out[l]);
         out[l].cycles = std::max(cycle[l], running_max[l]);
-        out[l].stats.set("uops", v.n);
-        out[l].stats.set("stall_data", stall_data[l]);
-        out[l].stats.set("stall_struct", stall_struct[l]);
+        out[l].stats.set(inorder_detail::statIds().uops, v.n);
+        out[l].stats.set(inorder_detail::statIds().stall_data, stall_data[l]);
+        out[l].stats.set(inorder_detail::statIds().stall_struct, stall_struct[l]);
     }
     return out;
 }
@@ -633,9 +654,9 @@ InOrderCore::runWithCoproc(const isa::Program &prog,
 
     result.cycles = total;
     result.regionCycles = attributeRegions(prog, finish);
-    result.stats.set("uops", uops.size());
-    result.stats.set("stall_data", stall_data);
-    result.stats.set("stall_struct", stall_struct);
+    result.stats.set(inorder_detail::statIds().uops, uops.size());
+    result.stats.set(inorder_detail::statIds().stall_data, stall_data);
+    result.stats.set(inorder_detail::statIds().stall_struct, stall_struct);
     return result;
 }
 

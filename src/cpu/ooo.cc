@@ -7,6 +7,18 @@
 
 namespace rtoc::cpu {
 
+namespace {
+
+/** Interned "uops" stat id (one-time; per-run sets index by id). */
+StatId
+oooUopsId()
+{
+    static const StatId id = internStat("uops");
+    return id;
+}
+
+} // namespace
+
 OooConfig
 OooConfig::boomSmall()
 {
@@ -212,7 +224,7 @@ OooCore::runStream(const isa::UopStreamView &v) const
 
     result.regionCycles = attr.finish(v.n);
     result.cycles = attr.maxCompletion();
-    result.stats.set("uops", v.n);
+    result.stats.set(oooUopsId(), v.n);
     return result;
 }
 
@@ -366,7 +378,7 @@ OooCore::runStreamBatch(
     for (size_t L = 0; L < lanes.size(); ++L) {
         out[L].regionCycles = lanes[L].attr.finish(v.n);
         out[L].cycles = lanes[L].attr.maxCompletion();
-        out[L].stats.set("uops", v.n);
+        out[L].stats.set(oooUopsId(), v.n);
     }
     return out;
 }
@@ -471,7 +483,7 @@ OooCore::runAos(const isa::Program &prog) const
 
     result.cycles = total;
     result.regionCycles = attributeRegions(prog, finish);
-    result.stats.set("uops", uops.size());
+    result.stats.set(oooUopsId(), uops.size());
     return result;
 }
 

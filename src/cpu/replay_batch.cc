@@ -2,11 +2,16 @@
 
 #include <typeindex>
 
+#include "obs/trace.hh"
+
 namespace rtoc::cpu {
 
 std::vector<TimingResult>
 ReplayBatch::run(const isa::UopStreamView &view) const
 {
+    RTOC_SPAN_NAMED(span, "cpu.replay_batch", "cpu");
+    span.arg("models", models_.size());
+    span.arg("uops", view.n);
     // Group result slots by dynamic model type, preserving first-seen
     // group order and within-group add order.
     std::vector<std::type_index> group_types;

@@ -9,6 +9,8 @@
 
 #include "common/logging.hh"
 #include "common/lru_cache.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "cpu/replay_batch.hh"
 #include "dse/surrogate.hh"
 #include "soc/area_model.hh"
@@ -34,8 +36,10 @@ struct EvalMemo
 {
     std::mutex mu;
     LruMap<std::string, CellCost> memo{kDefaultEvalMemoCap};
-    uint64_t hits = 0;
-    uint64_t misses = 0;
+    /** Hit/miss counts live on the obs::Registry (per-thread shards:
+     *  bumps from racing sweep workers are lock-free and race-free). */
+    StatId hits_id = 0;
+    StatId misses_id = 0;
 };
 
 EvalMemo &
@@ -46,6 +50,17 @@ evalMemo()
         if (const char *env = std::getenv("RTOC_DSE_MEMO_CAP"))
             m.memo.setCapacity(
                 static_cast<size_t>(std::strtoull(env, nullptr, 10)));
+        obs::Registry &reg = obs::Registry::global();
+        m.hits_id = reg.counter("eval_memo.hits");
+        m.misses_id = reg.counter("eval_memo.misses");
+        reg.gauge("eval_memo.entries", [] {
+            std::lock_guard<std::mutex> lk(m.mu);
+            return static_cast<uint64_t>(m.memo.size());
+        });
+        reg.gauge("eval_memo.evictions", [] {
+            std::lock_guard<std::mutex> lk(m.mu);
+            return m.memo.evictions();
+        });
         return true;
     }();
     (void)configured;
@@ -100,8 +115,11 @@ EvalMemoStats
 evalMemoStats()
 {
     EvalMemo &m = evalMemo();
+    obs::Registry &reg = obs::Registry::global();
+    uint64_t hits = reg.value(m.hits_id);
+    uint64_t misses = reg.value(m.misses_id);
     std::lock_guard<std::mutex> lk(m.mu);
-    return {m.hits, m.misses, m.memo.size(), m.memo.evictions(),
+    return {hits, misses, m.memo.size(), m.memo.evictions(),
             m.memo.capacity()};
 }
 
@@ -131,6 +149,8 @@ Explorer::Explorer(const DesignSpace &space, Options opt)
 std::vector<EvalOutcome>
 Explorer::submit(const std::vector<PointSpec> &points, Fidelity f)
 {
+    RTOC_SPAN_NAMED(span, "dse.submit", "dse");
+    span.arg("points", points.size());
     stats_.pointsServed += points.size();
 
     // Model-only materialization of every query: names, areas and the
@@ -169,11 +189,11 @@ Explorer::submit(const std::vector<PointSpec> &points, Fidelity f)
             if (const CellCost *c = m.memo.get(key)) {
                 cost[j] = *c;
                 resolved[j] = 1;
-                ++m.hits;
+                obs::count(m.hits_id);
                 ++stats_.memoHits;
                 continue;
             }
-            ++m.misses;
+            obs::count(m.misses_id);
         }
         if (disk_) {
             if (auto payload = disk_->get(kCellNs, key)) {
@@ -293,7 +313,11 @@ Explorer::explore()
     std::vector<PointSpec> rung;
     for (int c = 0; c < n_cfg; ++c)
         rung.push_back({c, lat0, width0, freq_max});
-    std::vector<EvalOutcome> low = submit(rung, Fidelity::Low);
+    std::vector<EvalOutcome> low;
+    {
+        RTOC_SPAN("dse.sh_rung", "dse");
+        low = submit(rung, Fidelity::Low);
+    }
     std::vector<EvalOutcome> low_frontier = paretoFrontier(low);
 
     std::vector<int> survivors;
@@ -319,19 +343,27 @@ Explorer::explore()
         for (int l : seedIndices(n_lat))
             for (int w : seedIndices(n_width))
                 push_all_freqs(c, l, w, seeds);
-    res.evaluated = submit(seeds, Fidelity::Full);
+    {
+        RTOC_SPAN("dse.seed_promotion", "dse");
+        res.evaluated = submit(seeds, Fidelity::Full);
+    }
 
     // Surrogate expansion: refit on everything replayed so far and
     // pull in only the cells predicted within the frontier band.
     for (int round = 0; round < opt_.maxRounds; ++round) {
+        RTOC_SPAN_NAMED(round_span, "dse.surrogate_round", "dse");
+        round_span.arg("round", static_cast<uint64_t>(round));
         std::vector<EvalOutcome> frontier = paretoFrontier(res.evaluated);
         std::map<int, Surrogate> models;
-        for (const EvalOutcome &o : res.evaluated)
-            models[o.point.config].addSample(
-                space_.latScale(o.point), space_.widthScale(o.point),
-                static_cast<double>(o.cycles));
-        for (auto &[c, s] : models)
-            s.fit();
+        {
+            RTOC_SPAN("dse.surrogate_fit", "dse");
+            for (const EvalOutcome &o : res.evaluated)
+                models[o.point.config].addSample(
+                    space_.latScale(o.point), space_.widthScale(o.point),
+                    static_cast<double>(o.cycles));
+            for (auto &[c, s] : models)
+                s.fit();
+        }
 
         const double peak_freq = space_.freqsHz()[freq_max];
         std::vector<PointSpec> batch;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace rtoc::hil {
 
@@ -44,6 +45,7 @@ ControlSession::drift() const
 bool
 ControlSession::refresh(TickResult &out)
 {
+    RTOC_SPAN_NAMED(span, "hil.refresh", "hil");
     // Linearize around (current state, last applied input delta).
     std::vector<double> x(x0_.begin(), x0_.end());
     std::vector<double> trim = plant_.trimCommand();
@@ -66,6 +68,8 @@ ControlSession::refresh(TickResult &out)
         m.ad, m.bd, qMat_, rMat_, rho_,
         cacheValid_ ? &cache_.pinf : nullptr, 1e-6, max_iters);
     if (!cache) {
+        span.arg("riccati_iters", static_cast<uint64_t>(max_iters));
+        span.arg("diverged", 1);
         // Off-trim model with no stabilizing solution: keep flying
         // the previous cache rather than aborting the episode. The
         // device still burned the full diverged sweep — charge it —
@@ -84,6 +88,8 @@ ControlSession::refresh(TickResult &out)
     plant_.inputBoundDeltas(flo, fhi);
     ws_.setInputBounds(flo, fhi);
 
+    span.arg("riccati_iters",
+             static_cast<uint64_t>(cache->iterations));
     cache_ = *cache;
     cacheValid_ = true;
     linState_ = std::move(x);
@@ -97,6 +103,7 @@ ControlSession::refresh(TickResult &out)
 ControlSession::TickResult
 ControlSession::tick(const std::vector<float> &xref)
 {
+    RTOC_SPAN_NAMED(span, "hil.tick", "hil");
     plant_.packState(x0_.data());
     ws_.setInitialState(x0_.data());
     ws_.setReferenceAll(xref);
@@ -119,6 +126,8 @@ ControlSession::tick(const std::vector<float> &xref)
     }
 
     out.solve = solver_.solve();
+    span.arg("solve_iters",
+             static_cast<uint64_t>(out.solve.iterations));
     ++stats_.solves;
     last_cmd_ = plant_.commandFromDelta(solver_.firstInput().data);
     return out;

@@ -10,6 +10,8 @@
 #include "common/random.hh"
 #include "hil/control_session.hh"
 #include "hil/sweep.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "plant/quad_plant.hh"
 
 namespace rtoc::hil {
@@ -20,6 +22,7 @@ runEpisode(plant::Plant &plant, const plant::Scenario &sc,
 {
     EpisodeResult res;
 
+    RTOC_SPAN("hil.episode", "hil");
     plant.reset();
 
     // The session owns the Workspace/Solver pair (functional-only
@@ -219,8 +222,11 @@ struct CellMemo
 {
     std::mutex mu;
     LruMap<std::string, SweepCell> memo{kDefaultCellMemoCap};
-    uint64_t hits = 0;
-    uint64_t misses = 0;
+    /** Hit/miss counts live on the obs::Registry (sharded per thread:
+     *  a counter bump under the work-stealing pool never contends on
+     *  mu, and never races — see test_obs stress test). */
+    StatId hits_id = 0;
+    StatId misses_id = 0;
 };
 
 CellMemo &
@@ -231,6 +237,17 @@ cellMemo()
         if (const char *env = std::getenv("RTOC_CELL_MEMO_CAP"))
             m.memo.setCapacity(
                 static_cast<size_t>(std::strtoull(env, nullptr, 10)));
+        obs::Registry &reg = obs::Registry::global();
+        m.hits_id = reg.counter("cell_memo.hits");
+        m.misses_id = reg.counter("cell_memo.misses");
+        reg.gauge("cell_memo.entries", [] {
+            std::lock_guard<std::mutex> lk(m.mu);
+            return static_cast<uint64_t>(m.memo.size());
+        });
+        reg.gauge("cell_memo.evictions", [] {
+            std::lock_guard<std::mutex> lk(m.mu);
+            return m.memo.evictions();
+        });
         return true;
     }();
     (void)configured;
@@ -356,14 +373,15 @@ runCell(const plant::Plant &proto, plant::Difficulty d, int n_scenarios,
     {
         std::lock_guard<std::mutex> lk(m.mu);
         if (const SweepCell *hit = m.memo.get(key)) {
-            ++m.hits;
+            obs::count(m.hits_id);
             return *hit;
         }
     }
+    obs::count(m.misses_id);
+    RTOC_SPAN("hil.cell", "sweep");
     SweepCell cell = computeCell(proto, d, n_scenarios, cfg, disturbance);
     {
         std::lock_guard<std::mutex> lk(m.mu);
-        ++m.misses;
         m.memo.put(key, cell);
     }
     return cell;
@@ -381,8 +399,11 @@ CellMemoStats
 cellMemoStats()
 {
     CellMemo &m = cellMemo();
+    obs::Registry &reg = obs::Registry::global();
+    uint64_t hits = reg.value(m.hits_id);
+    uint64_t misses = reg.value(m.misses_id);
     std::lock_guard<std::mutex> lk(m.mu);
-    return {m.hits, m.misses, m.memo.size(), m.memo.evictions(),
+    return {hits, misses, m.memo.size(), m.memo.evictions(),
             m.memo.capacity()};
 }
 

@@ -6,6 +6,8 @@
 #include <tuple>
 
 #include "common/logging.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "cpu/inorder.hh"
 #include "cpu/replay_batch.hh"
 #include "isa/program_cache.hh"
@@ -20,26 +22,28 @@ namespace rtoc::hil {
 
 namespace {
 
-/** Process-wide calibration-cache counters. */
-struct CalibCounters
+/**
+ * Registry ids of the calibration-cache counters. Sharded per-thread
+ * by the registry, so concurrent sweep workers bump them without a
+ * lock (the historical struct serialized every bump on one mutex).
+ */
+struct CalibIds
 {
-    std::mutex mu;
-    CalibCacheStats stats;
+    StatId memoHits;
+    StatId diskHits;
+    StatId computes;
 };
 
-CalibCounters &
-calibCounters()
+const CalibIds &
+calibIds()
 {
-    static CalibCounters c;
-    return c;
-}
-
-void
-bumpCalib(uint64_t CalibCacheStats::*field)
-{
-    CalibCounters &c = calibCounters();
-    std::lock_guard<std::mutex> lk(c.mu);
-    ++(c.stats.*field);
+    static const CalibIds ids = [] {
+        obs::Registry &reg = obs::Registry::global();
+        return CalibIds{reg.counter("calib.memo_hits"),
+                        reg.counter("calib.disk_hits"),
+                        reg.counter("calib.computes")};
+    }();
+    return ids;
 }
 
 } // namespace
@@ -47,9 +51,10 @@ bumpCalib(uint64_t CalibCacheStats::*field)
 CalibCacheStats
 calibCacheStats()
 {
-    CalibCounters &c = calibCounters();
-    std::lock_guard<std::mutex> lk(c.mu);
-    return c.stats;
+    const CalibIds &ids = calibIds();
+    obs::Registry &reg = obs::Registry::global();
+    return {reg.value(ids.memoHits), reg.value(ids.diskHits),
+            reg.value(ids.computes)};
 }
 
 std::string
@@ -205,11 +210,12 @@ calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
     if (disk) {
         if (auto payload = disk->get("calib", calib_key)) {
             if (auto t = decodeTiming(*payload)) {
-                bumpCalib(&CalibCacheStats::diskHits);
+                obs::count(calibIds().diskHits);
                 return *t;
             }
         }
     }
+    RTOC_SPAN("hil.calibrate", "hil");
     auto run_iters = [&](int iters) -> double {
         auto prog = calibSolveStream(backend, style, plant, dt, horizon,
                                      iters);
@@ -232,7 +238,7 @@ calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
         };
         fitRefreshCycles(t, run_refresh(2), run_refresh(8));
     }
-    bumpCalib(&CalibCacheStats::computes);
+    obs::count(calibIds().computes);
     if (disk)
         disk->put("calib", calib_key, encodeTiming(t));
     return t;
@@ -253,7 +259,7 @@ calibrateTimingBatch(const std::vector<const cpu::CoreModel *> &models,
         if (disk) {
             if (auto payload = disk->get("calib", keys[i])) {
                 if (auto t = decodeTiming(*payload)) {
-                    bumpCalib(&CalibCacheStats::diskHits);
+                    obs::count(calibIds().diskHits);
                     out[i] = *t;
                     continue;
                 }
@@ -264,6 +270,7 @@ calibrateTimingBatch(const std::vector<const cpu::CoreModel *> &models,
     if (pending.empty())
         return out;
 
+    RTOC_SPAN("hil.calibrate_batch", "hil");
     // One emission per fit point serves every pending model; the
     // family-batched replay advances all of their scoreboards in one
     // column pass. Cycle counts — and therefore the fits and the
@@ -297,7 +304,7 @@ calibrateTimingBatch(const std::vector<const cpu::CoreModel *> &models,
             fitRefreshCycles(t, static_cast<double>(r_lo[k].cycles),
                              static_cast<double>(r_hi[k].cycles));
         }
-        bumpCalib(&CalibCacheStats::computes);
+        obs::count(calibIds().computes);
         if (disk)
             disk->put("calib", keys[i], encodeTiming(t));
         out[i] = t;
@@ -349,7 +356,7 @@ memoizedCalibration(int which, const plant::Plant &plant, double dt,
                                horizon, with_refresh);
     auto it = m.memo.find(key);
     if (it != m.memo.end()) {
-        bumpCalib(&CalibCacheStats::memoHits);
+        obs::count(calibIds().memoHits);
         return it->second;
     }
     ControllerTiming t = make();
@@ -417,6 +424,41 @@ namedControllerTiming(const std::string &model,
         return gemminiControllerTiming(plant, dt, horizon, with_refresh);
     if (model == "vector" || model == "ideal")
         return vectorControllerTiming(plant, dt, horizon, with_refresh);
+    rtoc_fatal("unknown timing model '%s'", model.c_str());
+}
+
+std::vector<isa::KernelCycles>
+regionBreakdown(const std::string &model, const plant::Plant &plant,
+                double dt, int horizon, int iters)
+{
+    RTOC_SPAN("hil.region_breakdown", "hil");
+    // Mirror the convenience-calibration configurations exactly, so
+    // the profile describes the same hardware the sweeps priced.
+    auto replay = [&](const cpu::CoreModel &core,
+                      matlib::Backend &backend,
+                      tinympc::MappingStyle style) {
+        auto prog =
+            calibSolveStream(backend, style, plant, dt, horizon, iters);
+        return core.run(*prog).kernelBreakdown(*prog);
+    };
+    if (model == "scalar") {
+        cpu::InOrderCore core(cpu::InOrderConfig::shuttle());
+        matlib::ScalarBackend backend(matlib::ScalarFlavor::Optimized);
+        return replay(core, backend, tinympc::MappingStyle::Library);
+    }
+    if (model == "gemmini") {
+        systolic::GemminiModel gemmini(systolic::GemminiConfig::os4x4());
+        matlib::GemminiBackend backend(
+            matlib::GemminiMapping::fullyOptimized());
+        return replay(gemmini, backend, tinympc::MappingStyle::Library);
+    }
+    if (model == "vector" || model == "ideal") {
+        vector::SaturnModel saturn(
+            vector::SaturnConfig::make(512, 256, true));
+        matlib::RvvBackend backend(512,
+                                   matlib::RvvMapping::handOptimized());
+        return replay(saturn, backend, tinympc::MappingStyle::Fused);
+    }
     rtoc_fatal("unknown timing model '%s'", model.c_str());
 }
 

@@ -141,6 +141,19 @@ ControllerTiming namedControllerTiming(const std::string &model,
 /** Power model matching namedControllerTiming's dispatch. */
 soc::PowerParams namedPowerParams(const std::string &model);
 
+/**
+ * Per-kernel-region cycle breakdown of one named implementation's
+ * solve stream on @p plant (same "scalar" / "vector" / "gemmini"
+ * dispatch as namedControllerTiming), replayed at a forced @p iters
+ * ADMM iterations. The stream comes from the process ProgramCache, so
+ * a breakdown after a sweep costs one cached replay; results are
+ * deterministic regardless of disk-cache warmth. Feeds
+ * obs::RegionProfile for the bench `--profile` tables.
+ */
+std::vector<isa::KernelCycles>
+regionBreakdown(const std::string &model, const plant::Plant &plant,
+                double dt, int horizon, int iters = 25);
+
 /** Historical quadrotor entry points. */
 ControllerTiming scalarControllerTiming(const quad::DroneParams &drone,
                                         double dt, int horizon);

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 #if __has_include("rtoc_fingerprint.hh")
 #include "rtoc_fingerprint.hh"
@@ -115,8 +117,18 @@ DiskCache::fromEnv()
 DiskCache &
 DiskCache::global()
 {
-    static DiskCache cache = fromEnv();
-    return cache;
+    static DiskCache *cache = [] {
+        auto *c = new DiskCache(fromEnv());
+        // Mirror the process-wide instance into the registry (cache
+        // warmth shows up here: a warm CI re-run is all disk.hits).
+        obs::Registry &reg = obs::Registry::global();
+        reg.gauge("disk.hits", [c] { return c->stats().hits; });
+        reg.gauge("disk.misses", [c] { return c->stats().misses; });
+        reg.gauge("disk.writes", [c] { return c->stats().writes; });
+        reg.gauge("disk.rejected", [c] { return c->stats().rejected; });
+        return c;
+    }();
+    return *cache;
 }
 
 std::string
@@ -134,6 +146,7 @@ DiskCache::get(const std::string &ns, const std::string &key) const
 {
     if (!enabled())
         return std::nullopt;
+    RTOC_SPAN("disk.get", "cache");
     const std::string path = pathFor(ns, key);
     std::string file = readFile(path);
     if (file.empty()) {
@@ -189,6 +202,7 @@ DiskCache::put(const std::string &ns, const std::string &key,
 {
     if (!enabled())
         return;
+    RTOC_SPAN("disk.put", "cache");
     if (!makeDirs(dir_))
         return;
 

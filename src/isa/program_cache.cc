@@ -2,6 +2,8 @@
 
 #include "common/logging.hh"
 #include "isa/disk_cache.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace rtoc::isa {
 
@@ -17,10 +19,10 @@ ProgramCache::getOrEmit(const std::string &key, const Emitter &emit)
         std::lock_guard<std::mutex> lk(mu_);
         auto it = map_.find(key);
         if (it == map_.end()) {
-            ++misses_;
+            misses_.fetch_add(1, std::memory_order_relaxed);
             it = map_.emplace(key, std::make_shared<Entry>()).first;
         } else {
-            ++hits_;
+            hits_.fetch_add(1, std::memory_order_relaxed);
         }
         entry = it->second;
     }
@@ -31,16 +33,18 @@ ProgramCache::getOrEmit(const std::string &key, const Emitter &emit)
         // for emission; fresh emissions are persisted for the next
         // process.
         if (disk_) {
+            obs::Span span("isa.disk_load", "cache");
             if (auto payload = disk_->get("prog", key)) {
                 if (auto prog = decodeProgram(*payload)) {
                     entry->prog = std::make_shared<const Program>(
                         std::move(*prog));
-                    std::lock_guard<std::mutex> slk(stat_mu_);
-                    ++disk_hits_;
+                    disk_hits_.fetch_add(1, std::memory_order_relaxed);
+                    span.arg("uops", entry->prog->size());
                     return entry->prog;
                 }
             }
         }
+        obs::Span span("isa.emit", "cache");
         auto prog = std::make_shared<Program>();
         // Typical instrumented solves run to ~1e5 uops; reserving
         // here keeps the (one-time) emission from reallocating its
@@ -50,11 +54,11 @@ ProgramCache::getOrEmit(const std::string &key, const Emitter &emit)
         if (prog->kernelOpen())
             rtoc_panic("ProgramCache: emitter for '%s' left a kernel "
                        "region open", key.c_str());
+        span.arg("uops", prog->size());
         if (disk_)
             disk_->put("prog", key, encodeProgram(*prog));
         entry->prog = std::move(prog);
-        std::lock_guard<std::mutex> slk(stat_mu_);
-        ++emissions_;
+        emissions_.fetch_add(1, std::memory_order_relaxed);
     }
     return entry->prog;
 }
@@ -79,11 +83,10 @@ ProgramCache::clear()
 {
     std::lock_guard<std::mutex> lk(mu_);
     map_.clear();
-    hits_ = 0;
-    misses_ = 0;
-    std::lock_guard<std::mutex> slk(stat_mu_);
-    emissions_ = 0;
-    disk_hits_ = 0;
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    emissions_.store(0, std::memory_order_relaxed);
+    disk_hits_.store(0, std::memory_order_relaxed);
 }
 
 ProgramCacheStats
@@ -91,13 +94,10 @@ ProgramCache::stats() const
 {
     std::lock_guard<std::mutex> lk(mu_);
     ProgramCacheStats s;
-    s.hits = hits_;
-    s.misses = misses_;
-    {
-        std::lock_guard<std::mutex> slk(stat_mu_);
-        s.emissions = emissions_;
-        s.diskHits = disk_hits_;
-    }
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.emissions = emissions_.load(std::memory_order_relaxed);
+    s.diskHits = disk_hits_.load(std::memory_order_relaxed);
     s.entries = map_.size();
     for (const auto &kv : map_) {
         std::lock_guard<std::mutex> elk(kv.second->mu);
@@ -110,8 +110,28 @@ ProgramCache::stats() const
 ProgramCache &
 ProgramCache::global()
 {
-    static ProgramCache cache(&DiskCache::global());
-    return cache;
+    static ProgramCache *cache = [] {
+        auto *c = new ProgramCache(&DiskCache::global());
+        // Mirror the process-wide instance into the registry; private
+        // instances (tests) keep their counters to themselves.
+        obs::Registry &reg = obs::Registry::global();
+        reg.gauge("prog_cache.hits", [c] {
+            return c->hits_.load(std::memory_order_relaxed);
+        });
+        reg.gauge("prog_cache.misses", [c] {
+            return c->misses_.load(std::memory_order_relaxed);
+        });
+        reg.gauge("prog_cache.emissions", [c] {
+            return c->emissions_.load(std::memory_order_relaxed);
+        });
+        reg.gauge("prog_cache.disk_hits", [c] {
+            return c->disk_hits_.load(std::memory_order_relaxed);
+        });
+        reg.gauge("prog_cache.entries",
+                  [c] { return static_cast<uint64_t>(c->stats().entries); });
+        return c;
+    }();
+    return *cache;
 }
 
 } // namespace rtoc::isa

@@ -26,6 +26,7 @@
 #ifndef RTOC_ISA_PROGRAM_CACHE_HH
 #define RTOC_ISA_PROGRAM_CACHE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -79,7 +80,11 @@ class ProgramCache
     /** Snapshot of hit/miss/footprint counters. */
     ProgramCacheStats stats() const;
 
-    /** Process-wide cache used by the benches and HIL calibration. */
+    /**
+     * Process-wide cache used by the benches and HIL calibration. Its
+     * counters (and only its — tests build private instances) are
+     * mirrored into the obs::Registry as "prog_cache.*" gauges.
+     */
     static ProgramCache &global();
 
   private:
@@ -91,13 +96,14 @@ class ProgramCache
     };
 
     const DiskCache *disk_ = nullptr;
-    mutable std::mutex mu_; ///< guards map_ and the counters only
+    mutable std::mutex mu_; ///< guards map_ only
     std::unordered_map<std::string, std::shared_ptr<Entry>> map_;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
-    mutable std::mutex stat_mu_; ///< emissions/disk-hit counters
-    uint64_t emissions_ = 0;
-    uint64_t disk_hits_ = 0;
+    /** Relaxed atomics: counters are bumped from sweep workers and
+     *  read by stats()/registry gauges without taking mu_. */
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> emissions_{0};
+    std::atomic<uint64_t> disk_hits_{0};
 };
 
 } // namespace rtoc::isa

@@ -1,0 +1,130 @@
+#include "region_profile.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/trace.hh"
+
+namespace rtoc::obs {
+
+void
+RegionProfile::add(const std::string &backend, const std::string &plant,
+                   const std::vector<isa::KernelCycles> &kernels)
+{
+    (void)plant; // one add() call per plant; the name itself is not
+                 // stored, only the per-plant sample boundaries
+    bool seen = false;
+    for (const std::string &b : backend_order_)
+        if (b == backend)
+            seen = true;
+    if (!seen)
+        backend_order_.push_back(backend);
+    for (const isa::KernelCycles &k : kernels) {
+        Cell &c = cells_[{backend, k.name}];
+        c.cycles += k.cycles;
+        c.invocations += k.invocations;
+        c.perPlant.add(static_cast<double>(k.cycles));
+    }
+}
+
+uint64_t
+RegionProfile::totalCycles() const
+{
+    uint64_t total = 0;
+    for (const auto &kv : cells_)
+        total += kv.second.cycles;
+    return total;
+}
+
+uint64_t
+RegionProfile::backendCycles(const std::string &backend) const
+{
+    uint64_t total = 0;
+    for (const auto &kv : cells_)
+        if (kv.first.first == backend)
+            total += kv.second.cycles;
+    return total;
+}
+
+std::vector<RegionRow>
+RegionProfile::rows() const
+{
+    std::vector<RegionRow> out;
+    for (const std::string &backend : backend_order_) {
+        uint64_t btotal = backendCycles(backend);
+        std::vector<RegionRow> block;
+        for (const auto &kv : cells_) {
+            if (kv.first.first != backend)
+                continue;
+            RegionRow r;
+            r.backend = backend;
+            r.region = kv.first.second;
+            r.cycles = kv.second.cycles;
+            r.invocations = kv.second.invocations;
+            r.share = btotal
+                          ? static_cast<double>(kv.second.cycles) /
+                                static_cast<double>(btotal)
+                          : 0.0;
+            r.perPlant = kv.second.perPlant.summarize();
+            block.push_back(std::move(r));
+        }
+        std::sort(block.begin(), block.end(),
+                  [](const RegionRow &a, const RegionRow &b) {
+                      if (a.cycles != b.cycles)
+                          return a.cycles > b.cycles;
+                      return a.region < b.region;
+                  });
+        for (RegionRow &r : block)
+            out.push_back(std::move(r));
+    }
+    return out;
+}
+
+std::string
+RegionProfile::table() const
+{
+    std::ostringstream os;
+    char line[256];
+    os << "region profile (attributed cycles; per-plant median [p25, "
+          "p75])\n";
+    std::string cur;
+    for (const RegionRow &r : rows()) {
+        if (r.backend != cur) {
+            cur = r.backend;
+            snprintf(line, sizeof(line), "backend %-10s total %llu\n",
+                     cur.c_str(),
+                     static_cast<unsigned long long>(
+                         backendCycles(cur)));
+            os << line;
+            snprintf(line, sizeof(line), "  %-22s %12s %7s %7s %s\n",
+                     "region", "cycles", "share", "invocs",
+                     "per-plant");
+            os << line;
+        }
+        snprintf(line, sizeof(line),
+                 "  %-22s %12llu %6.1f%% %7llu %.0f [%.0f, %.0f]\n",
+                 r.region.c_str(),
+                 static_cast<unsigned long long>(r.cycles),
+                 100.0 * r.share,
+                 static_cast<unsigned long long>(r.invocations),
+                 r.perPlant.median, r.perPlant.p25, r.perPlant.p75);
+        os << line;
+    }
+    return os.str();
+}
+
+void
+RegionProfile::exportTraceCounters() const
+{
+    if (!traceEnabled())
+        return;
+    TraceWriter &tw = TraceWriter::global();
+    for (const RegionRow &r : rows()) {
+        const char *name =
+            tw.internString("region/" + r.backend + "/" + r.region);
+        tw.counter(name, static_cast<double>(r.cycles));
+    }
+}
+
+} // namespace rtoc::obs

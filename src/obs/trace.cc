@@ -1,0 +1,394 @@
+#include "trace.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace rtoc::obs {
+
+namespace detail {
+bool g_trace_on = false;
+} // namespace detail
+
+namespace {
+
+/** One buffered trace event (see Chrome trace-event format docs). */
+struct Event
+{
+    const char *name; ///< lifetime-stable
+    const char *cat;  ///< lifetime-stable
+    uint64_t ts_ns;
+    uint64_t dur_ns; ///< 'X' only
+    char ph;         ///< 'X' complete, 'i' instant, 'C' counter
+    uint8_t nargs;
+    const char *k[2];
+    uint64_t v[2];
+    double cval; ///< 'C' only
+};
+
+constexpr size_t kChunkEvents = 4096;
+
+/**
+ * Per-thread event buffer. The owning thread is the only writer; it
+ * appends into the current chunk and publishes the new count with a
+ * release store. The flusher reads counts with acquire loads. Chunks
+ * are allocated once and never move (deque of unique_ptr to fixed
+ * arrays), so the flusher can read earlier chunks while the owner
+ * appends to the last one; `grow_mu` serializes only chunk allocation
+ * against flush's chunk-list walk.
+ */
+struct ThreadBuffer
+{
+    std::mutex grow_mu;
+    std::deque<std::unique_ptr<Event[]>> chunks;
+    std::atomic<size_t> count{0}; ///< total events across chunks
+    uint64_t tid;
+
+    void
+    push(const Event &e)
+    {
+        size_t n = count.load(std::memory_order_relaxed);
+        if (n == chunks.size() * kChunkEvents) {
+            std::lock_guard<std::mutex> lk(grow_mu);
+            chunks.emplace_back(new Event[kChunkEvents]);
+        }
+        chunks[n / kChunkEvents][n % kChunkEvents] = e;
+        count.store(n + 1, std::memory_order_release);
+    }
+};
+
+struct WriterState
+{
+    mutable std::mutex mu; ///< path, buffer list, string pool, epoch
+    std::string path;
+    std::vector<ThreadBuffer *> buffers; ///< leaked on purpose: events
+                                         ///< from exited threads must
+                                         ///< survive to flush
+    std::deque<std::string> pool;        ///< interned dynamic names
+    uint64_t next_tid = 1;
+    uint64_t generation = 0; ///< bumped by enable(); stale buffers
+                             ///< (armed under an older generation)
+                             ///< are reset lazily
+    bool atexit_armed = false;
+};
+
+WriterState &
+state()
+{
+    static WriterState *s = new WriterState; // leaked: usable at exit
+    return *s;
+}
+
+thread_local ThreadBuffer *t_buf = nullptr;
+thread_local uint64_t t_gen = 0;
+
+ThreadBuffer &
+threadBuffer()
+{
+    WriterState &s = state();
+    if (!t_buf) {
+        auto *b = new ThreadBuffer; // leaked on purpose (see above)
+        std::lock_guard<std::mutex> lk(s.mu);
+        b->tid = s.next_tid++;
+        s.buffers.push_back(b);
+        t_buf = b;
+        t_gen = s.generation;
+    } else {
+        std::lock_guard<std::mutex> lk(s.mu);
+        if (t_gen != s.generation) {
+            // Re-enabled since this thread last traced: drop events
+            // from the previous trace window.
+            t_buf->count.store(0, std::memory_order_release);
+            t_gen = s.generation;
+        }
+    }
+    return *t_buf;
+}
+
+void
+flushAtExit()
+{
+    TraceWriter::global().flush();
+}
+
+/** JSON-escape a name/category string into @p out. */
+void
+appendEscaped(std::string &out, const char *s)
+{
+    for (; *s; ++s) {
+        char c = *s;
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char hex[8];
+            snprintf(hex, sizeof(hex), "\\u%04x", c);
+            out += hex;
+        } else {
+            out += c;
+        }
+    }
+}
+
+} // namespace
+
+uint64_t
+traceNowNs()
+{
+    // steady_clock: spans must nest even if the wall clock steps.
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+TraceWriter::TraceWriter()
+{
+    const char *env = std::getenv("RTOC_TRACE");
+    if (env && *env)
+        enable(env);
+}
+
+TraceWriter &
+TraceWriter::global()
+{
+    static TraceWriter *w = new TraceWriter; // leaked: usable at exit
+    return *w;
+}
+
+namespace {
+
+// The span macros' disabled fast path reads only detail::g_trace_on;
+// nothing else constructs the writer, so arm it (parsing RTOC_TRACE)
+// before main(). This TU is always linked: every instrumented seam
+// references TraceWriter symbols.
+[[maybe_unused]] const TraceWriter &g_env_arm = TraceWriter::global();
+
+} // namespace
+
+void
+TraceWriter::enable(const std::string &path)
+{
+    WriterState &s = state();
+    bool arm = false;
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        s.path = path;
+        ++s.generation;
+        for (ThreadBuffer *b : s.buffers)
+            b->count.store(0, std::memory_order_release);
+        if (!s.atexit_armed) {
+            s.atexit_armed = true;
+            arm = true;
+        }
+    }
+    if (t_buf)
+        t_gen = s.generation;
+    detail::g_trace_on = true;
+    if (arm)
+        std::atexit(flushAtExit);
+}
+
+void
+TraceWriter::disable()
+{
+    flush();
+    detail::g_trace_on = false;
+    WriterState &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.path.clear();
+}
+
+std::string
+TraceWriter::path() const
+{
+    WriterState &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.path;
+}
+
+void
+TraceWriter::completeEvent(const char *name, const char *cat,
+                           uint64_t ts_ns, uint64_t dur_ns, int nargs,
+                           const char *k0, uint64_t v0, const char *k1,
+                           uint64_t v1)
+{
+    if (!traceEnabled())
+        return;
+    Event e{};
+    e.name = name;
+    e.cat = cat;
+    e.ts_ns = ts_ns;
+    e.dur_ns = dur_ns;
+    e.ph = 'X';
+    e.nargs = static_cast<uint8_t>(nargs < 0 ? 0 : (nargs > 2 ? 2 : nargs));
+    e.k[0] = k0;
+    e.v[0] = v0;
+    e.k[1] = k1;
+    e.v[1] = v1;
+    threadBuffer().push(e);
+}
+
+void
+TraceWriter::instant(const char *name, const char *cat)
+{
+    if (!traceEnabled())
+        return;
+    Event e{};
+    e.name = name;
+    e.cat = cat;
+    e.ts_ns = traceNowNs();
+    e.ph = 'i';
+    threadBuffer().push(e);
+}
+
+void
+TraceWriter::counter(const char *name, double value)
+{
+    if (!traceEnabled())
+        return;
+    Event e{};
+    e.name = name;
+    e.cat = "counter";
+    e.ts_ns = traceNowNs();
+    e.ph = 'C';
+    e.cval = value;
+    threadBuffer().push(e);
+}
+
+const char *
+TraceWriter::internString(const std::string &str)
+{
+    WriterState &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (const std::string &p : s.pool)
+        if (p == str)
+            return p.c_str();
+    s.pool.push_back(str);
+    return s.pool.back().c_str();
+}
+
+size_t
+TraceWriter::bufferedEvents() const
+{
+    WriterState &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    size_t n = 0;
+    for (ThreadBuffer *b : s.buffers)
+        n += b->count.load(std::memory_order_acquire);
+    return n;
+}
+
+void
+TraceWriter::flush()
+{
+    WriterState &s = state();
+    std::string path;
+    std::vector<ThreadBuffer *> buffers;
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        path = s.path;
+        buffers = s.buffers;
+    }
+    if (path.empty())
+        return;
+
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        rtoc_warn("RTOC_TRACE: cannot open '%s' for writing",
+                  path.c_str());
+        return;
+    }
+
+    std::string out;
+    out.reserve(1 << 16);
+    std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n", f);
+    bool first = true;
+    char num[256];
+    for (ThreadBuffer *b : buffers) {
+        // Snapshot the published count and the chunk pointers under
+        // the growth mutex (the owner may allocate a new chunk
+        // concurrently); the Event arrays themselves never move, and
+        // events below the acquired count are fully written.
+        size_t n;
+        std::vector<const Event *> chunk_ptrs;
+        {
+            std::lock_guard<std::mutex> lk(b->grow_mu);
+            n = b->count.load(std::memory_order_acquire);
+            chunk_ptrs.reserve(b->chunks.size());
+            for (const auto &c : b->chunks)
+                chunk_ptrs.push_back(c.get());
+        }
+        if (n == 0)
+            continue;
+        // Per-thread metadata record so Perfetto names the track.
+        snprintf(num, sizeof(num),
+                 "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                 "\"tid\":%llu,\"args\":{\"name\":\"rtoc-%llu\"}}",
+                 first ? "" : ",\n",
+                 static_cast<unsigned long long>(b->tid),
+                 static_cast<unsigned long long>(b->tid));
+        first = false;
+        std::fputs(num, f);
+        for (size_t i = 0; i < n; ++i) {
+            const Event &e = chunk_ptrs[i / kChunkEvents][i % kChunkEvents];
+            out.clear();
+            out += ",\n{\"name\":\"";
+            appendEscaped(out, e.name);
+            out += "\",\"cat\":\"";
+            appendEscaped(out, e.cat ? e.cat : "rtoc");
+            out += "\",\"ph\":\"";
+            out += e.ph;
+            out += '"';
+            // ts/dur are microseconds with ns precision kept as
+            // fractional digits (format spec: doubles in us).
+            snprintf(num, sizeof(num), ",\"ts\":%llu.%03llu",
+                     static_cast<unsigned long long>(e.ts_ns / 1000),
+                     static_cast<unsigned long long>(e.ts_ns % 1000));
+            out += num;
+            if (e.ph == 'X') {
+                snprintf(num, sizeof(num), ",\"dur\":%llu.%03llu",
+                         static_cast<unsigned long long>(e.dur_ns / 1000),
+                         static_cast<unsigned long long>(e.dur_ns % 1000));
+                out += num;
+            }
+            if (e.ph == 'i')
+                out += ",\"s\":\"t\"";
+            snprintf(num, sizeof(num), ",\"pid\":1,\"tid\":%llu",
+                     static_cast<unsigned long long>(b->tid));
+            out += num;
+            if (e.ph == 'C') {
+                snprintf(num, sizeof(num), ",\"args\":{\"value\":%.17g}",
+                         e.cval);
+                out += num;
+            } else if (e.nargs > 0) {
+                out += ",\"args\":{";
+                for (int a = 0; a < e.nargs; ++a) {
+                    if (a)
+                        out += ',';
+                    out += '"';
+                    appendEscaped(out, e.k[a] ? e.k[a] : "arg");
+                    snprintf(num, sizeof(num), "\":%llu",
+                             static_cast<unsigned long long>(e.v[a]));
+                    out += num;
+                }
+                out += '}';
+            }
+            out += '}';
+            std::fputs(out.c_str(), f);
+        }
+    }
+    std::fputs("\n]}\n", f);
+    std::fclose(f);
+}
+
+} // namespace rtoc::obs

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Trace spans: Chrome trace-event / Perfetto-compatible tracing of
+ * the runtime's own hot seams (episode ticks, emission vs. cached
+ * replay, batch column passes, pool claim/steal/drain, explorer
+ * stages).
+ *
+ * The source paper is a characterization study; this is the same
+ * discipline applied to the reproduction itself. Set
+ * RTOC_TRACE=<path> to record a trace: every thread appends events to
+ * its own chunked buffer (owner-only writes, a light mutex only on
+ * chunk growth), and the process flushes one JSON file at exit —
+ * load it at https://ui.perfetto.dev or chrome://tracing.
+ *
+ * Cost discipline: when tracing is off (the default), RTOC_SPAN
+ * compiles down to a single predictable branch on a process-wide
+ * bool — no clock reads, no stores, no allocation — so every golden
+ * figure/bench output is byte-identical with tracing off and on
+ * (pinned by tests and the acceptance sweeps). Timestamps only ever
+ * land in the trace file, never in stdout or JSON artifacts.
+ *
+ * Span names and categories must be string literals or otherwise
+ * process-lifetime-stable strings (interned kernel/stat names
+ * qualify); dynamic names go through TraceWriter::internString.
+ */
+
+#ifndef RTOC_OBS_TRACE_HH
+#define RTOC_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rtoc::obs {
+
+namespace detail {
+/**
+ * Process-wide trace switch. Written only by TraceWriter::enable /
+ * disable (at static init from RTOC_TRACE, or from tests before
+ * spawning traced work); read unsynchronized on every span — the one
+ * predictable branch the macro pays when tracing is off.
+ */
+extern bool g_trace_on;
+} // namespace detail
+
+/** True when a trace destination is armed. */
+inline bool
+traceEnabled()
+{
+    return __builtin_expect(detail::g_trace_on, 0);
+}
+
+/** Monotonic nanoseconds since process trace epoch. */
+uint64_t traceNowNs();
+
+/**
+ * Process-wide trace sink (see file comment). All methods are safe to
+ * call with tracing disabled (they no-op), so instrumentation sites
+ * never need their own guards beyond the span macro's.
+ */
+class TraceWriter
+{
+  public:
+    /** The singleton sink (armed from RTOC_TRACE on first use). */
+    static TraceWriter &global();
+
+    /**
+     * Arm tracing to @p path (tests; RTOC_TRACE does this at
+     * startup). Clears any buffered events and re-opens the flush
+     * window.
+     */
+    void enable(const std::string &path);
+
+    /** Flush (if armed) and disarm. */
+    void disable();
+
+    /** Destination path ("" when disarmed). */
+    std::string path() const;
+
+    /**
+     * Record a completed span on the calling thread.
+     * @p name/@p cat/@p arg keys must be lifetime-stable strings.
+     * Pass nargs in [0,2].
+     */
+    void completeEvent(const char *name, const char *cat,
+                       uint64_t ts_ns, uint64_t dur_ns, int nargs = 0,
+                       const char *k0 = nullptr, uint64_t v0 = 0,
+                       const char *k1 = nullptr, uint64_t v1 = 0);
+
+    /** Record an instant event (thread scope). */
+    void instant(const char *name, const char *cat);
+
+    /** Record a counter sample on its own Perfetto counter track. */
+    void counter(const char *name, double value);
+
+    /**
+     * Copy @p s into the writer's string pool and return a
+     * process-lifetime-stable pointer (for composed counter-track
+     * names; cold path).
+     */
+    const char *internString(const std::string &s);
+
+    /**
+     * Write the JSON trace file from every thread's buffer.
+     * Registered atexit when armed; idempotent until re-enabled.
+     * Events recorded while a flush runs may be dropped (exit-time
+     * stragglers), never torn.
+     */
+    void flush();
+
+    /** Events currently buffered across all threads (tests). */
+    size_t bufferedEvents() const;
+
+  private:
+    TraceWriter();
+};
+
+/**
+ * RAII span: records a completeEvent from construction to
+ * destruction. Disabled construction costs one branch; destruction
+ * one more.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name, const char *cat = "rtoc")
+    {
+        if (traceEnabled()) {
+            name_ = name;
+            cat_ = cat;
+            t0_ = traceNowNs();
+        }
+    }
+
+    /** Attach a numeric arg (kept on the span's trace event; up to
+     *  two, extras dropped). No-op on a disabled span. */
+    void
+    arg(const char *key, uint64_t value)
+    {
+        if (name_ && nargs_ < 2) {
+            k_[nargs_] = key;
+            v_[nargs_] = value;
+            ++nargs_;
+        }
+    }
+
+    ~Span()
+    {
+        if (name_) {
+            TraceWriter::global().completeEvent(
+                name_, cat_, t0_, traceNowNs() - t0_, nargs_, k_[0],
+                v_[0], k_[1], v_[1]);
+        }
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    const char *name_ = nullptr; ///< nullptr = disabled span
+    const char *cat_ = nullptr;
+    uint64_t t0_ = 0;
+    int nargs_ = 0;
+    const char *k_[2] = {nullptr, nullptr};
+    uint64_t v_[2] = {0, 0};
+};
+
+#define RTOC_OBS_CONCAT2(a, b) a##b
+#define RTOC_OBS_CONCAT(a, b) RTOC_OBS_CONCAT2(a, b)
+
+/** Anonymous RAII span over the enclosing scope. */
+#define RTOC_SPAN(name, cat)                                            \
+    ::rtoc::obs::Span RTOC_OBS_CONCAT(rtoc_span_, __LINE__)(name, cat)
+
+/** Named RAII span, for sites that attach args before scope exit. */
+#define RTOC_SPAN_NAMED(var, name, cat) ::rtoc::obs::Span var(name, cat)
+
+} // namespace rtoc::obs
+
+#endif // RTOC_OBS_TRACE_HH

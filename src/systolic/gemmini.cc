@@ -7,6 +7,26 @@
 
 namespace rtoc::systolic {
 
+namespace {
+
+/** Interned stat ids (one-time; per-run sets index by id). */
+struct GemminiIds
+{
+    StatId cmds = internStat("rocc_cmds");
+    StatId fences = internStat("rocc_fences");
+    StatId fence_stall = internStat("fence_stall_cycles");
+    StatId stall_rob = internStat("stall_rob_full");
+};
+
+const GemminiIds &
+gemminiIds()
+{
+    static const GemminiIds ids;
+    return ids;
+}
+
+} // namespace
+
 GemminiConfig
 GemminiConfig::os4x4(int spad_kb)
 {
@@ -182,10 +202,10 @@ GemminiModel::runStream(const isa::UopStreamView &view) const
 
     cpu::TimingResult result =
         frontend.runStreamWithCoproc(view, coproc);
-    result.stats.set("rocc_cmds", st.cmds);
-    result.stats.set("rocc_fences", st.fences);
-    result.stats.set("fence_stall_cycles", st.fenceStall);
-    result.stats.set("stall_rob_full", st.stallQueueFull);
+    result.stats.set(gemminiIds().cmds, st.cmds);
+    result.stats.set(gemminiIds().fences, st.fences);
+    result.stats.set(gemminiIds().fence_stall, st.fenceStall);
+    result.stats.set(gemminiIds().stall_rob, st.stallQueueFull);
     return result;
 }
 
@@ -313,10 +333,10 @@ GemminiModel::runStreamBatch(
     std::vector<cpu::TimingResult> out =
         cpu::runInOrderStreamBatchWithCoproc(view, frontends, coproc);
     for (size_t L = 0; L < out.size(); ++L) {
-        out[L].stats.set("rocc_cmds", sts[L].cmds);
-        out[L].stats.set("rocc_fences", sts[L].fences);
-        out[L].stats.set("fence_stall_cycles", sts[L].fenceStall);
-        out[L].stats.set("stall_rob_full", sts[L].stallQueueFull);
+        out[L].stats.set(gemminiIds().cmds, sts[L].cmds);
+        out[L].stats.set(gemminiIds().fences, sts[L].fences);
+        out[L].stats.set(gemminiIds().fence_stall, sts[L].fenceStall);
+        out[L].stats.set(gemminiIds().stall_rob, sts[L].stallQueueFull);
     }
     return out;
 }
@@ -426,10 +446,10 @@ GemminiModel::runAos(const isa::Program &prog) const
     };
 
     cpu::TimingResult result = frontend.runWithCoproc(prog, coproc);
-    result.stats.set("rocc_cmds", st.cmds);
-    result.stats.set("rocc_fences", st.fences);
-    result.stats.set("fence_stall_cycles", st.fenceStall);
-    result.stats.set("stall_rob_full", st.stallQueueFull);
+    result.stats.set(gemminiIds().cmds, st.cmds);
+    result.stats.set(gemminiIds().fences, st.fences);
+    result.stats.set(gemminiIds().fence_stall, st.fenceStall);
+    result.stats.set(gemminiIds().stall_rob, st.stallQueueFull);
     return result;
 }
 

@@ -7,6 +7,24 @@
 
 namespace rtoc::vector {
 
+namespace {
+
+/** Interned stat ids (one-time; per-run sets index by id). */
+struct SaturnIds
+{
+    StatId vinstrs = internStat("vector_instrs");
+    StatId stall_vq = internStat("stall_vq_full");
+};
+
+const SaturnIds &
+saturnIds()
+{
+    static const SaturnIds ids;
+    return ids;
+}
+
+} // namespace
+
 SaturnConfig
 SaturnConfig::make(int vlen, int dlen, bool shuttle_frontend)
 {
@@ -213,8 +231,8 @@ SaturnModel::runStream(const isa::UopStreamView &view) const
 
     cpu::TimingResult result =
         frontend.runStreamWithCoproc(view, coproc);
-    result.stats.set("vector_instrs", st.vinstrs);
-    result.stats.set("stall_vq_full", st.stallQueueFull);
+    result.stats.set(saturnIds().vinstrs, st.vinstrs);
+    result.stats.set(saturnIds().stall_vq, st.stallQueueFull);
     return result;
 }
 
@@ -397,8 +415,8 @@ SaturnModel::runStreamBatch(
     std::vector<cpu::TimingResult> out =
         cpu::runInOrderStreamBatchWithCoproc(view, frontends, coproc);
     for (size_t L = 0; L < out.size(); ++L) {
-        out[L].stats.set("vector_instrs", sts[L].vinstrs);
-        out[L].stats.set("stall_vq_full", sts[L].stallQueueFull);
+        out[L].stats.set(saturnIds().vinstrs, sts[L].vinstrs);
+        out[L].stats.set(saturnIds().stall_vq, sts[L].stallQueueFull);
     }
     return out;
 }
@@ -549,8 +567,8 @@ SaturnModel::runAos(const isa::Program &prog) const
     };
 
     cpu::TimingResult result = frontend.runWithCoproc(prog, coproc);
-    result.stats.set("vector_instrs", st.vinstrs);
-    result.stats.set("stall_vq_full", st.stallQueueFull);
+    result.stats.set(saturnIds().vinstrs, st.vinstrs);
+    result.stats.set(saturnIds().stall_vq, st.stallQueueFull);
     return result;
 }
 
