@@ -21,6 +21,7 @@
 #define RTOC_CPU_INORDER_IMPL_HH
 
 #include <algorithm>
+#include <type_traits>
 #include <vector>
 
 #include "common/logging.hh"
@@ -249,6 +250,89 @@ class LaneRegView
 };
 
 /**
+ * Lane-major register files handed to *batched* coprocessor
+ * callbacks: entry (reg, lane) lives at base[idx * lanes + lane], the
+ * same lane-interleaved store LaneRegView wraps, but exposed as whole
+ * rows so a family can hoist the register resolution out of its lane
+ * loop and keep the loop itself branchless. Read rows fall back to a
+ * shared always-zero row (kNoReg / out-of-range reads return 0,
+ * RegReadyFile semantics); write rows fall back to a shared sink row
+ * (kNoReg destinations drop, and in-range is asserted exactly like
+ * LaneRegView::setReady).
+ */
+struct BatchRegFiles
+{
+    uint64_t *sready = nullptr;
+    uint64_t *vready = nullptr;
+    const uint64_t *zero_row = nullptr;
+    uint64_t *sink_row = nullptr;
+    uint32_t nsreg = 0;
+    uint32_t nvreg = 0;
+    size_t lanes = 0;
+
+    const uint64_t *
+    srow(uint32_t reg) const
+    {
+        const uint32_t idx = reg & 0x7fffffffu;
+        if (reg == isa::kNoReg || idx >= nsreg)
+            return zero_row;
+        return sready + static_cast<size_t>(idx) * lanes;
+    }
+
+    uint64_t *
+    srowW(uint32_t reg) const
+    {
+        if (reg == isa::kNoReg)
+            return sink_row;
+        const uint32_t idx = reg & 0x7fffffffu;
+        rtoc_assert(idx < nsreg); // store sized from Program counters
+        if (idx >= nsreg)
+            return sink_row;
+        return sready + static_cast<size_t>(idx) * lanes;
+    }
+
+    const uint64_t *
+    vrow(uint32_t reg) const
+    {
+        const uint32_t idx = reg & 0x7fffffffu;
+        if (reg == isa::kNoReg || idx >= nvreg)
+            return zero_row;
+        return vready + static_cast<size_t>(idx) * lanes;
+    }
+
+    uint64_t *
+    vrowW(uint32_t reg) const
+    {
+        if (reg == isa::kNoReg)
+            return sink_row;
+        const uint32_t idx = reg & 0x7fffffffu;
+        rtoc_assert(idx < nvreg);
+        if (idx >= nvreg)
+            return sink_row;
+        return vready + static_cast<size_t>(idx) * lanes;
+    }
+};
+
+namespace inorder_detail {
+
+/**
+ * Batched coprocessor contract: instead of one callback per (lane,
+ * uop) receiving per-lane reg views, the engine presents each coproc
+ * uop ONCE with the per-lane present-cycle array and the lane-major
+ * reg files; the callback fills release[]/done[] for every lane. This
+ * lets a family hoist its per-uop kind switch and operand resolution
+ * out of the lane loop and keep its unit state lane-major SoA, so the
+ * lane loop vectorizes under RTOC_NATIVE.
+ */
+template <typename Fn>
+constexpr bool kBatchedCoproc =
+    std::is_invocable_v<Fn &, const isa::UopStreamView &, size_t,
+                        const uint64_t *, uint64_t *, uint64_t *,
+                        const BatchRegFiles &>;
+
+} // namespace inorder_detail
+
+/**
  * Batched counterpart of runStreamWithCoproc: ONE pass over the
  * columns advances an independent scoreboard per config in @p cfgs
  * (lanes may differ in every knob, including issue width and the
@@ -265,9 +349,15 @@ class LaneRegView
  *    list (region structure is lane-invariant), so the per-lane,
  *    per-uop attribution work collapses to a running max.
  *
- * @p coproc receives (lane, view, i, present, sregs, vregs) — the reg
- * files as LaneRegView — and returns the single-lane {release, done}
- * pair; it owns any per-lane coprocessor state.
+ * @p coproc is one of two contracts, selected by signature at compile
+ * time: the per-lane form receives (lane, view, i, present, sregs,
+ * vregs) — the reg files as LaneRegView — and returns the single-lane
+ * {release, done} pair; the batched form (inorder_detail::
+ * kBatchedCoproc) receives (view, i, present[], release[], done[],
+ * BatchRegFiles) once per uop and fills the per-lane arrays. Both own
+ * any per-lane coprocessor state; results are bit-identical by
+ * construction because the engine computes present[] with exactly the
+ * per-lane frontend steps either way.
  */
 template <typename CoprocFn>
 std::vector<TimingResult>
@@ -353,6 +443,22 @@ runInOrderStreamBatchWithCoproc(const isa::UopStreamView &v,
     std::vector<uint64_t> vready(static_cast<size_t>(nvreg) * L, 0);
     std::vector<uint64_t> zero_row(L, 0), sink_row(L, 0);
 
+    // Batched-contract scratch: per-lane present/release/done arrays
+    // plus the lane-major reg-file handle (unused — and unallocated
+    // work in the loop — under the per-lane contract).
+    constexpr bool kBatched =
+        inorder_detail::kBatchedCoproc<std::decay_t<CoprocFn>>;
+    std::vector<uint64_t> co_present, co_release, co_done;
+    if constexpr (kBatched) {
+        co_present.resize(L);
+        co_release.resize(L);
+        co_done.resize(L);
+    }
+    const BatchRegFiles reg_files{sready.data(), vready.data(),
+                                  zero_row.data(), sink_row.data(),
+                                  nsreg,          nvreg,
+                                  L};
+
     // Shared region-boundary events, replayed in exactly the order
     // RegionAttributor::closeUpTo visits them (open at begin, close
     // at end, region order).
@@ -427,33 +533,64 @@ runInOrderStreamBatchWithCoproc(const isa::UopStreamView &v,
                 srow(isa::Program::isVReg(s1) ? isa::kNoReg : s1);
             const uint64_t *p2 =
                 srow(isa::Program::isVReg(s2) ? isa::kNoReg : s2);
-            for (size_t l = 0; l < L; ++l) {
-                while (static_cast<int>(occ[l] & 0xffffu) >=
-                       issue_width[l]) {
-                    cycle[l] += 1;
-                    occ[l] = 0;
+            if constexpr (kBatched) {
+                // Frontend steps per lane (identical to the per-lane
+                // contract), then ONE callback over all lanes.
+                for (size_t l = 0; l < L; ++l) {
+                    while (static_cast<int>(occ[l] & 0xffffu) >=
+                           issue_width[l]) {
+                        cycle[l] += 1;
+                        occ[l] = 0;
+                    }
+                    uint64_t ready =
+                        std::max(std::max(p0[l], p1[l]), p2[l]);
+                    if (ready > cycle[l]) {
+                        stall_data[l] += ready - cycle[l];
+                        cycle[l] = ready;
+                        occ[l] = 0;
+                    }
+                    occ[l] += 1;
+                    co_present[l] = cycle[l];
                 }
-                uint64_t ready =
-                    std::max(std::max(p0[l], p1[l]), p2[l]);
-                if (ready > cycle[l]) {
-                    stall_data[l] += ready - cycle[l];
-                    cycle[l] = ready;
-                    occ[l] = 0;
+                coproc(v, i, co_present.data(), co_release.data(),
+                       co_done.data(), reg_files);
+                for (size_t l = 0; l < L; ++l) {
+                    if (co_done[l] > running_max[l])
+                        running_max[l] = co_done[l];
+                    if (co_release[l] > cycle[l]) {
+                        cycle[l] = co_release[l];
+                        occ[l] = 0;
+                    }
                 }
-                occ[l] += 1;
-                LaneRegView sview(sbase, nsreg,
-                                  static_cast<uint32_t>(L),
-                                  static_cast<uint32_t>(l));
-                LaneRegView vview(vready.data(), nvreg,
-                                  static_cast<uint32_t>(L),
-                                  static_cast<uint32_t>(l));
-                auto [release, done] =
-                    coproc(l, v, i, cycle[l], sview, vview);
-                if (done > running_max[l])
-                    running_max[l] = done;
-                if (release > cycle[l]) {
-                    cycle[l] = release;
-                    occ[l] = 0;
+            } else {
+                for (size_t l = 0; l < L; ++l) {
+                    while (static_cast<int>(occ[l] & 0xffffu) >=
+                           issue_width[l]) {
+                        cycle[l] += 1;
+                        occ[l] = 0;
+                    }
+                    uint64_t ready =
+                        std::max(std::max(p0[l], p1[l]), p2[l]);
+                    if (ready > cycle[l]) {
+                        stall_data[l] += ready - cycle[l];
+                        cycle[l] = ready;
+                        occ[l] = 0;
+                    }
+                    occ[l] += 1;
+                    LaneRegView sview(sbase, nsreg,
+                                      static_cast<uint32_t>(L),
+                                      static_cast<uint32_t>(l));
+                    LaneRegView vview(vready.data(), nvreg,
+                                      static_cast<uint32_t>(L),
+                                      static_cast<uint32_t>(l));
+                    auto [release, done] =
+                        coproc(l, v, i, cycle[l], sview, vview);
+                    if (done > running_max[l])
+                        running_max[l] = done;
+                    if (release > cycle[l]) {
+                        cycle[l] = release;
+                        occ[l] = 0;
+                    }
                 }
             }
             continue;

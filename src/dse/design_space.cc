@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/logging.hh"
+#include "isa/sched_search.hh"
 
 namespace rtoc::dse {
 
@@ -188,7 +189,12 @@ DesignSpace::materialize(const PointSpec &p, Fidelity f,
     Candidate c;
     c.model = e.model(lat, width);
     c.name = e.name + scaleSuffix(lat, width);
-    c.cellKey = c.model->cacheKey() + "|" + e.progKey(f);
+    c.progKey = e.progKey(f);
+    // schedKeySuffix() keeps sched-on cell costs from aliasing the
+    // baseline cells (empty — keys untouched — when RTOC_SCHED is
+    // off).
+    c.cellKey =
+        c.model->cacheKey() + "|" + c.progKey + isa::schedKeySuffix();
     c.extraCycles = e.extraCycles;
     c.areaMm2 = e.area ? e.area(width) : 0.0;
     c.freqHz = freq_[p.freq];

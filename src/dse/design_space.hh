@@ -66,6 +66,7 @@ struct Candidate
 {
     std::string name;    ///< display name (scale-suffixed off nominal)
     std::string cellKey; ///< replay-cell identity (model | stream)
+    std::string progKey; ///< stream identity alone (schedule lookups)
     std::shared_ptr<const isa::Program> prog; ///< null when model-only
     std::unique_ptr<cpu::TimingModel> model;
     uint64_t extraCycles = 0; ///< modelled overhead added post-replay

@@ -13,6 +13,7 @@
 #include "obs/trace.hh"
 #include "cpu/replay_batch.hh"
 #include "dse/surrogate.hh"
+#include "isa/sched_search.hh"
 #include "soc/area_model.hh"
 
 namespace rtoc::dse {
@@ -218,6 +219,22 @@ Explorer::submit(const std::vector<PointSpec> &points, Fidelity f)
     for (size_t j = 0; j < n_jobs; ++j)
         if (!resolved[j])
             jc[j] = space_.materialize(points[jobRep[j]], f, true);
+
+    // With scheduling on, swap each cell's stream for the schedule
+    // its model searched (memo/disk-cached); cells whose winners
+    // coincide — including the no-improvement baseline case — still
+    // share a group below. Off, this is a no-op returning the same
+    // pointer.
+    if (isa::schedEnabled()) {
+        for (size_t j = 0; j < n_jobs; ++j) {
+            if (resolved[j])
+                continue;
+            const cpu::TimingModel &m = *jc[j].model;
+            jc[j].prog = isa::scheduledStream(
+                m.cacheKey(), jc[j].progKey, jc[j].prog,
+                [&m](const isa::Program &p) { return m.run(p).cycles; });
+        }
+    }
 
     // Group unresolved cells by stream and fan the groups over the
     // pool; each group replays in one ReplayBatch column pass.

@@ -11,6 +11,7 @@
 #include "cpu/inorder.hh"
 #include "cpu/replay_batch.hh"
 #include "isa/program_cache.hh"
+#include "isa/sched_search.hh"
 #include "matlib/gemmini_backend.hh"
 #include "matlib/rvv_backend.hh"
 #include "matlib/scalar_backend.hh"
@@ -105,10 +106,42 @@ calibDiskKey(const cpu::CoreModel &model, const matlib::Backend &backend,
     // backend's emission key, the mapping style, the problem shape
     // and whether the refresh stream was fitted (relinearization-
     // aware callers must never be served a refresh-less payload).
-    return csprintf("%s|%s|style%d|nx%d|nu%d|dt%.17g|h%d%s",
+    // schedKeySuffix() keeps sched-on fits from aliasing baseline
+    // entries (and is empty — keys untouched — when RTOC_SCHED is
+    // off).
+    return csprintf("%s|%s|style%d|nx%d|nu%d|dt%.17g|h%d%s%s",
                     model.cacheKey().c_str(), backend.cacheKey().c_str(),
                     static_cast<int>(style), plant.nx(), plant.nu(), dt,
-                    horizon, with_refresh ? "|refresh" : "");
+                    horizon, with_refresh ? "|refresh" : "",
+                    isa::schedKeySuffix().c_str());
+}
+
+/** ProgramCache key of one instrumented calibration solve stream. */
+std::string
+calibSolveKey(const matlib::Backend &backend, tinympc::MappingStyle style,
+              const plant::Plant &plant, double dt, int horizon,
+              int iters)
+{
+    return csprintf("calib:%s:style%d:nx%d:nu%d:dt%g:h%d:it%d",
+                    backend.cacheKey().c_str(), static_cast<int>(style),
+                    plant.nx(), plant.nu(), dt, horizon, iters);
+}
+
+/**
+ * The stream @p model should actually replay for @p progKey: the
+ * baseline untouched when RTOC_SCHED is off, otherwise the searched
+ * schedule (scored by the model itself, memo/disk-cached per
+ * (model, program) pair).
+ */
+std::shared_ptr<const isa::Program>
+schedStream(const cpu::CoreModel &model, const std::string &progKey,
+            const std::shared_ptr<const isa::Program> &prog)
+{
+    if (!isa::schedEnabled())
+        return prog;
+    return isa::scheduledStream(
+        model.cacheKey(), progKey, prog,
+        [&model](const isa::Program &p) { return model.run(p).cycles; });
 }
 
 /**
@@ -128,10 +161,8 @@ calibSolveStream(matlib::Backend &backend, tinympc::MappingStyle style,
                  const plant::Plant &plant, double dt, int horizon,
                  int iters)
 {
-    const std::string key = csprintf(
-        "calib:%s:style%d:nx%d:nu%d:dt%g:h%d:it%d",
-        backend.cacheKey().c_str(), static_cast<int>(style), plant.nx(),
-        plant.nu(), dt, horizon, iters);
+    const std::string key =
+        calibSolveKey(backend, style, plant, dt, horizon, iters);
     return isa::ProgramCache::global().getOrEmit(
         key, [&](isa::Program &p) {
             tinympc::Workspace ws = plant.buildWorkspace(dt, horizon);
@@ -159,15 +190,23 @@ calibSolveStream(matlib::Backend &backend, tinympc::MappingStyle style,
         });
 }
 
+/** ProgramCache key of one model-refresh stream. */
+std::string
+calibRefreshKey(const matlib::Backend &backend, const plant::Plant &plant,
+                int iters)
+{
+    return csprintf("refresh:%s:nx%d:nu%d:it%d",
+                    backend.cacheKey().c_str(), plant.nx(), plant.nu(),
+                    iters);
+}
+
 /** Cached model-refresh stream at a forced Riccati iteration count
  *  (shape-dependent only — no horizon loops). */
 std::shared_ptr<const isa::Program>
 calibRefreshStream(matlib::Backend &backend, const plant::Plant &plant,
                    double dt, int horizon, int iters)
 {
-    const std::string key =
-        csprintf("refresh:%s:nx%d:nu%d:it%d", backend.cacheKey().c_str(),
-                 plant.nx(), plant.nu(), iters);
+    const std::string key = calibRefreshKey(backend, plant, iters);
     return isa::ProgramCache::global().getOrEmit(
         key, [&](isa::Program &p) {
             tinympc::Workspace ws = plant.buildWorkspace(dt, horizon);
@@ -197,6 +236,51 @@ fitRefreshCycles(ControllerTiming &t, double r_lo, double r_hi)
         t.refreshBaseCycles = 0.0;
 }
 
+/**
+ * Family-batched replay of one fit point for the pending models.
+ * With scheduling off, one ReplayBatch covers everyone on the shared
+ * baseline stream. With scheduling on, each model resolves its own
+ * scheduled stream first; models whose winners coincide (including
+ * the common "schedule search found nothing" baseline case) still
+ * batch together, grouped by stream identity.
+ */
+std::vector<cpu::TimingResult>
+replayPending(const std::vector<const cpu::CoreModel *> &models,
+              const std::vector<size_t> &pending,
+              const std::string &progKey,
+              const std::shared_ptr<const isa::Program> &prog)
+{
+    if (!isa::schedEnabled()) {
+        cpu::ReplayBatch batch;
+        for (size_t i : pending)
+            batch.add(*models[i]);
+        return batch.run(*prog);
+    }
+    std::vector<std::shared_ptr<const isa::Program>> streams;
+    streams.reserve(pending.size());
+    for (size_t i : pending)
+        streams.push_back(schedStream(*models[i], progKey, prog));
+    std::vector<cpu::TimingResult> out(pending.size());
+    std::vector<uint8_t> placed(pending.size(), 0);
+    for (size_t k = 0; k < pending.size(); ++k) {
+        if (placed[k])
+            continue;
+        cpu::ReplayBatch batch;
+        std::vector<size_t> members;
+        for (size_t j = k; j < pending.size(); ++j) {
+            if (!placed[j] && streams[j] == streams[k]) {
+                batch.add(*models[pending[j]]);
+                members.push_back(j);
+                placed[j] = 1;
+            }
+        }
+        std::vector<cpu::TimingResult> res = batch.run(*streams[k]);
+        for (size_t m = 0; m < members.size(); ++m)
+            out[members[m]] = std::move(res[m]);
+    }
+    return out;
+}
+
 } // namespace
 
 ControllerTiming
@@ -217,8 +301,9 @@ calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
     }
     RTOC_SPAN("hil.calibrate", "hil");
     auto run_iters = [&](int iters) -> double {
-        auto prog = calibSolveStream(backend, style, plant, dt, horizon,
-                                     iters);
+        auto prog = schedStream(
+            model, calibSolveKey(backend, style, plant, dt, horizon, iters),
+            calibSolveStream(backend, style, plant, dt, horizon, iters));
         return static_cast<double>(model.run(*prog).cycles);
     };
 
@@ -232,8 +317,9 @@ calibrateTiming(const cpu::CoreModel &model, matlib::Backend &backend,
 
     if (with_refresh) {
         auto run_refresh = [&](int iters) -> double {
-            auto prog =
-                calibRefreshStream(backend, plant, dt, horizon, iters);
+            auto prog = schedStream(
+                model, calibRefreshKey(backend, plant, iters),
+                calibRefreshStream(backend, plant, dt, horizon, iters));
             return static_cast<double>(model.run(*prog).cycles);
         };
         fitRefreshCycles(t, run_refresh(2), run_refresh(8));
@@ -276,21 +362,23 @@ calibrateTimingBatch(const std::vector<const cpu::CoreModel *> &models,
     // column pass. Cycle counts — and therefore the fits and the
     // persisted payloads — are bit-identical to per-model
     // calibrateTiming (pinned by tests).
-    cpu::ReplayBatch batch;
-    for (size_t i : pending)
-        batch.add(*models[i]);
-
     auto lo = calibSolveStream(backend, style, plant, dt, horizon, 5);
     auto hi = calibSolveStream(backend, style, plant, dt, horizon, 25);
-    std::vector<cpu::TimingResult> c_lo = batch.run(*lo);
-    std::vector<cpu::TimingResult> c_hi = batch.run(*hi);
+    std::vector<cpu::TimingResult> c_lo = replayPending(
+        models, pending,
+        calibSolveKey(backend, style, plant, dt, horizon, 5), lo);
+    std::vector<cpu::TimingResult> c_hi = replayPending(
+        models, pending,
+        calibSolveKey(backend, style, plant, dt, horizon, 25), hi);
 
     std::vector<cpu::TimingResult> r_lo, r_hi;
     if (with_refresh) {
         auto rlo = calibRefreshStream(backend, plant, dt, horizon, 2);
         auto rhi = calibRefreshStream(backend, plant, dt, horizon, 8);
-        r_lo = batch.run(*rlo);
-        r_hi = batch.run(*rhi);
+        r_lo = replayPending(models, pending,
+                             calibRefreshKey(backend, plant, 2), rlo);
+        r_hi = replayPending(models, pending,
+                             calibRefreshKey(backend, plant, 8), rhi);
     }
 
     for (size_t k = 0; k < pending.size(); ++k) {
@@ -437,8 +525,12 @@ regionBreakdown(const std::string &model, const plant::Plant &plant,
     auto replay = [&](const cpu::CoreModel &core,
                       matlib::Backend &backend,
                       tinympc::MappingStyle style) {
-        auto prog =
-            calibSolveStream(backend, style, plant, dt, horizon, iters);
+        // With scheduling on, profile the stream the sweeps actually
+        // replay; region sums stay reconcilable because schedules
+        // permute only within regions.
+        auto prog = schedStream(
+            core, calibSolveKey(backend, style, plant, dt, horizon, iters),
+            calibSolveStream(backend, style, plant, dt, horizon, iters));
         return core.run(*prog).kernelBreakdown(*prog);
     };
     if (model == "scalar") {

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Schedule transforms over emitted micro-op streams.
+ *
+ * Emission hard-codes one loop structure per backend mapping; this
+ * pass treats the emitted stream as a schedulable program (the
+ * FreeTensor discipline applied to a trace IR). A SchedSpec names a
+ * sequence of dependence-preserving permutations applied per kernel
+ * region:
+ *
+ *  - Reorder(W): windowed list scheduling that interleaves
+ *    independent dependence chains — within a lookahead window of W
+ *    stream positions, a ready uop that does not consume the
+ *    previously-scheduled uop's result is hoisted, breaking the
+ *    back-to-back FP latency chains of serial GEMV accumulation;
+ *  - Unroll(K): splits a region body into K contiguous chunks and
+ *    round-robins ready uops across them — the classic
+ *    unroll-and-interleave of K loop iterations, expressed on the
+ *    flattened trace;
+ *  - Fission: reorders a fused region body into phases by latency
+ *    class (loads, then integer address arithmetic, then FP, then
+ *    stores/branches), splitting a fused loop body back into the
+ *    distributed loops it was fused from.
+ *
+ * Legality is derived from the register def/use chains of the decoded
+ * columns: RAW/WAR/WAW edges per virtual register, conservative
+ * memory ordering for scalar Load/Store (no address tracking), a
+ * total order among coprocessor uops (vector-unit and RoCC state —
+ * vsetvl contexts, queue occupancy, chaining, fences — is sequenced
+ * through every coproc op), and a total order among branches. Uops
+ * never cross kernel-region boundaries, so region uop counts and
+ * attribution structure are preserved by construction. Transforms
+ * permute the stream — they never add or drop uops — so functional
+ * semantics (which live in matlib, not the trace) are untouched and
+ * flops()/region invocation counts are invariant.
+ */
+
+#ifndef RTOC_ISA_SCHEDULE_HH
+#define RTOC_ISA_SCHEDULE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace rtoc::isa {
+
+/** One schedule transform. */
+enum class SchedKind : uint8_t {
+    Reorder, ///< windowed chain-interleaving list schedule
+    Unroll,  ///< K-chunk round-robin interleave
+    Fission, ///< latency-class phase grouping
+};
+
+/** Printable transform name ("reorder", "unroll", "fission"). */
+const char *schedKindName(SchedKind k);
+
+/** One step of a schedule recipe. */
+struct SchedStep
+{
+    SchedKind kind = SchedKind::Reorder;
+    /** Window W (Reorder) or chunk count K (Unroll); unused for
+     *  Fission. */
+    uint16_t param = 0;
+
+    bool operator==(const SchedStep &o) const
+    {
+        return kind == o.kind && param == o.param;
+    }
+};
+
+/**
+ * A schedule recipe: steps applied (in order) to every kernel-region
+ * segment, plus optional per-region-name overrides discovered by the
+ * searcher. Uops outside any kernel region keep their original order.
+ * An empty spec is the identity schedule.
+ */
+struct SchedSpec
+{
+    std::vector<SchedStep> steps; ///< default for every region
+
+    /** Region names whose step sequence differs from the default. */
+    struct Override
+    {
+        std::string region;
+        std::vector<SchedStep> steps;
+    };
+    std::vector<Override> overrides;
+
+    bool
+    empty() const
+    {
+        return steps.empty() && overrides.empty();
+    }
+
+    /** Steps effective for region @p name. */
+    const std::vector<SchedStep> &stepsFor(const std::string &name) const;
+
+    /** Compact human-readable form ("reorder8+fission; fp1=unroll2"). */
+    std::string describe() const;
+};
+
+/** Serialize @p spec (versioned; DiskCache "sched" payload). */
+std::string encodeSchedSpec(const SchedSpec &spec);
+
+/** Decode an encodeSchedSpec payload; nullopt when malformed. */
+std::optional<SchedSpec> decodeSchedSpec(const std::string &payload);
+
+/**
+ * Stable hex digest of @p spec — the schedule axis of ProgramCache
+ * keys (scheduled and baseline streams must never alias). The empty
+ * spec digests to "0".
+ */
+std::string schedSpecDigest(const SchedSpec &spec);
+
+/** applySchedule result: the permuted program plus the permutation. */
+struct ScheduleResult
+{
+    Program prog;
+    /** perm[new_index] == old_index (identity outside regions). */
+    std::vector<uint32_t> perm;
+};
+
+/**
+ * Apply @p spec to @p base: per-region dependence-DAG list scheduling
+ * under the legality model in the file comment. Deterministic — the
+ * same (base, spec) always yields the same permutation. Regions keep
+ * their [begin, end) index ranges, so attribution structure is
+ * unchanged.
+ */
+ScheduleResult applySchedule(const Program &base, const SchedSpec &spec);
+
+/**
+ * Independent legality checker (test oracle, deliberately not sharing
+ * the DAG builder): verifies @p perm is a region-local permutation of
+ * @p base into @p sched that preserves, per register, the write order
+ * and each read's observed writer, the coprocessor total order, the
+ * branch total order, and the conservative scalar memory order. On
+ * failure, fills @p why (when non-null) with a diagnostic.
+ */
+bool verifySchedule(const Program &base, const Program &sched,
+                    const std::vector<uint32_t> &perm,
+                    std::string *why = nullptr);
+
+/**
+ * The searcher's candidate recipes, cheapest first: three reorder
+ * windows, two unroll factors, fission, and fission+reorder. The
+ * identity (baseline) spec is not included — callers score it
+ * separately.
+ */
+std::vector<SchedSpec> enumerateSchedSpecs();
+
+} // namespace rtoc::isa
+
+#endif // RTOC_ISA_SCHEDULE_HH

@@ -228,22 +228,58 @@ GemminiModel::runStreamBatch(
         cfgs.push_back(&gem->config());
     }
 
-    // Per-lane accelerator state plus the shift-folded bus constants
-    // (exactly as the single-lane loop computes them).
-    struct LaneConsts
-    {
-        uint64_t bus = 1;
-        int busShift = 0;
-        bool busPow2 = false;
-    };
-    std::vector<AccelState> sts(models.size());
-    std::vector<LaneConsts> consts(models.size());
-    for (size_t L = 0; L < cfgs.size(); ++L) {
-        LaneConsts &k = consts[L];
-        k.bus = static_cast<uint64_t>(cfgs[L]->busBytes);
-        k.busPow2 = k.bus != 0 && (k.bus & (k.bus - 1)) == 0;
-        k.busShift = k.busPow2 ? __builtin_ctzll(k.bus) : 0;
+    // Lane-major SoA accelerator state (see the Saturn batch path for
+    // the pattern): flat per-lane arrays replace per-lane AccelState
+    // so the batched coprocessor callback runs contiguous lane loops
+    // with the command kind, operand fields, and the RoccFence branch
+    // hoisted out. Per-lane arithmetic is verbatim from the
+    // single-lane coproc above, keeping results bit-identical.
+    const size_t L = models.size();
+    std::vector<uint64_t> last_comp(L, 0), fence_stall(L, 0),
+        stall_rob(L, 0);
+    std::vector<uint64_t> rob_depth(L), issue_lat(L), config_lat(L),
+        dma_fixed(L), mesh_dim(L), bus(L), fence_base(L),
+        fence_mem(L);
+    std::vector<int> bus_shift(L);
+    std::vector<uint8_t> bus_pow2(L), hw_gemv(L), mvout_pending(L, 0);
+    uint64_t max_rob = 0;
+    for (size_t l = 0; l < L; ++l) {
+        const GemminiConfig &c = *cfgs[l];
+        rob_depth[l] = static_cast<uint64_t>(c.robDepth);
+        issue_lat[l] = static_cast<uint64_t>(c.issueLat);
+        config_lat[l] = static_cast<uint64_t>(c.configLat);
+        dma_fixed[l] = static_cast<uint64_t>(c.dmaFixed);
+        mesh_dim[l] = static_cast<uint64_t>(c.meshDim);
+        bus[l] = static_cast<uint64_t>(c.busBytes);
+        fence_base[l] = static_cast<uint64_t>(c.fenceBase);
+        fence_mem[l] = static_cast<uint64_t>(c.fenceMemPenalty);
+        bus_pow2[l] = bus[l] != 0 && (bus[l] & (bus[l] - 1)) == 0;
+        bus_shift[l] = bus_pow2[l] ? __builtin_ctzll(bus[l]) : 0;
+        hw_gemv[l] = c.hardwareGemv ? 1 : 0;
+        max_rob = std::max(max_rob, rob_depth[l]);
     }
+
+    // Lane-major command queue: occupancy never exceeds robDepth (the
+    // drain pops before a full queue pushes, fences clear it), so a
+    // flat ring of max_rob+1 slots per lane suffices.
+    const size_t qcap = static_cast<size_t>(max_rob) + 1;
+    std::vector<uint64_t> qbuf(L * qcap, 0);
+    std::vector<uint32_t> qhead(L, 0), qcount(L, 0);
+    auto q_front = [&](size_t l) { return qbuf[l * qcap + qhead[l]]; };
+    auto q_pop = [&](size_t l) {
+        qhead[l] = qhead[l] + 1 == qcap ? 0 : qhead[l] + 1;
+        --qcount[l];
+    };
+    auto q_push = [&](size_t l, uint64_t t) {
+        size_t p = qhead[l] + qcount[l];
+        if (p >= qcap)
+            p -= qcap;
+        qbuf[l * qcap + p] = t;
+        ++qcount[l];
+    };
+
+    uint64_t cmds = 0, fences = 0; ///< lane-invariant counts
+    std::vector<uint64_t> lat(L);
 
     const UopKind *const kind_col = view.kind;
     const uint16_t *const rows_col = view.rows;
@@ -251,92 +287,99 @@ GemminiModel::runStreamBatch(
     const uint32_t *const bytes_col = view.bytes;
     const uint8_t *const taken_col = view.taken;
 
-    auto coproc = [&](size_t L, const isa::UopStreamView &, size_t i,
-                      uint64_t present, auto &sregs,
-                      auto &vregs) -> std::pair<uint64_t, uint64_t> {
-        (void)sregs;
-        (void)vregs;
-        const GemminiConfig &cfg = *cfgs[L];
-        const LaneConsts &k = consts[L];
-        AccelState &st = sts[L];
+    auto coproc = [&](const isa::UopStreamView &, size_t i,
+                      const uint64_t *present, uint64_t *release,
+                      uint64_t *done, const cpu::BatchRegFiles &) {
+        const UopKind kind = kind_col[i];
 
-        auto div_bus = [&](uint64_t x) -> uint64_t {
-            return k.busPow2 ? x >> k.busShift : x / k.bus;
-        };
-        auto exec_latency = [&](size_t j) -> uint64_t {
-            switch (kind_col[j]) {
-              case UopKind::RoccConfig:
-                return static_cast<uint64_t>(cfg.configLat);
-              case UopKind::RoccMvin:
-              case UopKind::RoccMvout: {
-                const uint16_t rows = rows_col[j];
+        if (kind == UopKind::RoccFence) {
+            for (size_t l = 0; l < L; ++l) {
+                uint64_t d = std::max(present[l], last_comp[l]) +
+                             fence_base[l];
+                if (mvout_pending[l])
+                    d += fence_mem[l];
+                mvout_pending[l] = 0;
+                qcount[l] = 0;
+                fence_stall[l] += d - present[l];
+                release[l] = d;
+                done[l] = d;
+            }
+            ++fences;
+            return;
+        }
+
+        // Per-lane execution latency with the kind switch hoisted.
+        switch (kind) {
+          case UopKind::RoccConfig:
+            for (size_t l = 0; l < L; ++l)
+                lat[l] = config_lat[l];
+            break;
+          case UopKind::RoccMvin:
+          case UopKind::RoccMvout: {
+            const uint16_t rows = rows_col[i];
+            const uint64_t bytes = bytes_col[i];
+            const bool colvec = cols_col[i] == 1 && rows > 1;
+            const uint64_t pool =
+                kind == UopKind::RoccMvout && taken_col[i] ? rows : 0;
+            for (size_t l = 0; l < L; ++l) {
                 uint64_t move;
-                if (cols_col[j] == 1 && rows > 1 && !cfg.hardwareGemv) {
+                if (colvec && !hw_gemv[l]) {
+                    // Column vector: one element per cycle (§4.2.4).
                     move = rows;
                 } else {
-                    move = div_bus(
-                        static_cast<uint64_t>(bytes_col[j]) + k.bus -
-                        1);
+                    const uint64_t x = bytes + bus[l] - 1;
+                    move = bus_pow2[l] ? x >> bus_shift[l] : x / bus[l];
                 }
-                if (kind_col[j] == UopKind::RoccMvout && taken_col[j])
-                    move += rows;
-                return static_cast<uint64_t>(cfg.dmaFixed) + move;
-              }
-              case UopKind::RoccPreload:
-                return static_cast<uint64_t>(cfg.meshDim);
-              case UopKind::RoccCompute:
-                return static_cast<uint64_t>(rows_col[j]) +
-                       2 * static_cast<uint64_t>(cfg.meshDim);
-              default:
-                rtoc_panic("gemmini '%s': unsupported uop %s",
-                           cfg.name.c_str(),
-                           isa::uopName(kind_col[j]));
+                lat[l] = dma_fixed[l] + move + pool;
             }
-        };
-
-        uint64_t release = present;
-
-        if (kind_col[i] == UopKind::RoccFence) {
-            uint64_t done = std::max(present, st.lastCompletion) +
-                            static_cast<uint64_t>(cfg.fenceBase);
-            if (st.mvoutSinceFence)
-                done += static_cast<uint64_t>(cfg.fenceMemPenalty);
-            st.mvoutSinceFence = false;
-            st.inFlight.clear();
-            ++st.fences;
-            st.fenceStall += done - present;
-            return {done, done};
+            break;
+          }
+          case UopKind::RoccPreload:
+            for (size_t l = 0; l < L; ++l)
+                lat[l] = mesh_dim[l];
+            break;
+          case UopKind::RoccCompute:
+            for (size_t l = 0; l < L; ++l)
+                lat[l] = static_cast<uint64_t>(rows_col[i]) +
+                         2 * mesh_dim[l];
+            break;
+          default:
+            rtoc_panic("gemmini '%s': unsupported uop %s",
+                       cfgs[0]->name.c_str(), isa::uopName(kind));
         }
 
-        while (!st.inFlight.empty() && st.inFlight.front() <= present)
-            st.inFlight.popFront();
-        if (static_cast<int>(st.inFlight.size()) >= cfg.robDepth) {
-            uint64_t drain = st.inFlight.front();
-            st.stallQueueFull += drain - present;
-            release = drain;
-            st.inFlight.popFront();
+        for (size_t l = 0; l < L; ++l) {
+            const uint64_t p = present[l];
+            uint64_t rel = p;
+            while (qcount[l] != 0 && q_front(l) <= p)
+                q_pop(l);
+            if (qcount[l] >= rob_depth[l]) {
+                const uint64_t drain = q_front(l);
+                stall_rob[l] += drain - p;
+                rel = drain;
+                q_pop(l);
+            }
+            release[l] = rel;
+            const uint64_t start = std::max(
+                std::max(p, rel) + issue_lat[l], last_comp[l]);
+            const uint64_t completion = start + lat[l];
+            last_comp[l] = completion;
+            q_push(l, completion);
+            done[l] = completion;
         }
-
-        uint64_t start =
-            std::max(std::max(present, release) +
-                         static_cast<uint64_t>(cfg.issueLat),
-                     st.lastCompletion);
-        uint64_t completion = start + exec_latency(i);
-        st.lastCompletion = completion;
-        st.inFlight.pushBack(completion);
-        ++st.cmds;
-        if (kind_col[i] == UopKind::RoccMvout)
-            st.mvoutSinceFence = true;
-        return {release, completion};
+        ++cmds;
+        if (kind == UopKind::RoccMvout)
+            for (size_t l = 0; l < L; ++l)
+                mvout_pending[l] = 1;
     };
 
     std::vector<cpu::TimingResult> out =
         cpu::runInOrderStreamBatchWithCoproc(view, frontends, coproc);
-    for (size_t L = 0; L < out.size(); ++L) {
-        out[L].stats.set(gemminiIds().cmds, sts[L].cmds);
-        out[L].stats.set(gemminiIds().fences, sts[L].fences);
-        out[L].stats.set(gemminiIds().fence_stall, sts[L].fenceStall);
-        out[L].stats.set(gemminiIds().stall_rob, sts[L].stallQueueFull);
+    for (size_t l = 0; l < out.size(); ++l) {
+        out[l].stats.set(gemminiIds().cmds, cmds);
+        out[l].stats.set(gemminiIds().fences, fences);
+        out[l].stats.set(gemminiIds().fence_stall, fence_stall[l]);
+        out[l].stats.set(gemminiIds().stall_rob, stall_rob[l]);
     }
     return out;
 }

@@ -255,26 +255,76 @@ SaturnModel::runStreamBatch(
         cfgs.push_back(&sat->config());
     }
 
-    // Per-lane vector-unit state plus the hoisted datapath constants
-    // (shift-folded power-of-two divides, exactly as the single-lane
-    // loop computes them).
-    struct LaneConsts
-    {
-        uint64_t dlen = 1;
-        int dlenShift = 0;
-        bool dlenPow2 = false;
-        uint64_t vlen = 0;
-    };
-    std::vector<VectorUnitState> sts(models.size());
-    std::vector<LaneConsts> consts(models.size());
-    for (size_t L = 0; L < cfgs.size(); ++L) {
-        const SaturnConfig &c = *cfgs[L];
-        LaneConsts &k = consts[L];
-        k.dlen = static_cast<uint64_t>(c.dlen);
-        k.dlenPow2 = k.dlen != 0 && (k.dlen & (k.dlen - 1)) == 0;
-        k.dlenShift = k.dlenPow2 ? __builtin_ctzll(k.dlen) : 0;
-        k.vlen = static_cast<uint64_t>(c.vlen);
+    // Lane-major SoA vector-unit state: every per-lane quantity the
+    // old per-lane VectorUnitState held now lives in a flat array
+    // indexed by lane, so each per-kind lane loop below streams
+    // contiguous memory and vectorizes under RTOC_NATIVE. The batched
+    // coprocessor contract (one callback per uop, not per (lane,
+    // uop)) lets the kind switch, operand-row resolution and the
+    // beats branch hoist out of the lane loops; per-lane semantics
+    // are verbatim from the single-lane coproc above, so results stay
+    // bit-identical (pinned by tests and bench_sweep_scale).
+    const size_t L = models.size();
+    std::vector<uint64_t> vxu_free(L, 0), vlu_free(L, 0),
+        vsu_free(L, 0), stall_q(L, 0);
+    std::vector<uint64_t> vq_depth(L), pipe_lat(L), chain_lat(L),
+        mem_lat(L), sm_lat(L), dlen(L), vlen(L);
+    std::vector<uint64_t> beats(L), start_v(L);
+    std::vector<int> dlen_shift(L);
+    std::vector<uint8_t> dlen_pow2(L);
+    for (size_t l = 0; l < L; ++l) {
+        const SaturnConfig &c = *cfgs[l];
+        vq_depth[l] = static_cast<uint64_t>(c.vqDepth);
+        pipe_lat[l] = static_cast<uint64_t>(c.pipeLat);
+        chain_lat[l] = static_cast<uint64_t>(c.chainLat);
+        mem_lat[l] = static_cast<uint64_t>(c.memLat);
+        sm_lat[l] = static_cast<uint64_t>(c.scalarMoveLat);
+        dlen[l] = static_cast<uint64_t>(c.dlen);
+        vlen[l] = static_cast<uint64_t>(c.vlen);
+        dlen_pow2[l] = dlen[l] != 0 && (dlen[l] & (dlen[l] - 1)) == 0;
+        dlen_shift[l] = dlen_pow2[l] ? __builtin_ctzll(dlen[l]) : 0;
     }
+
+    // Lane-major in-flight queue. Every lane sees every vector op and
+    // pushes exactly one completion per queue-pushing op (everything
+    // but VSetVl), in stream order — so the FIFO collapses to a
+    // per-lane head index into a lane-major completion history:
+    // occupancy of lane l is vi - head[l], the front is
+    // hist[head[l]*L + l], a pop is ++head[l], and the push is the
+    // completion store the kind loops make anyway. No ring arithmetic
+    // and no separate push pass. The history is thread-local scratch
+    // so repeated batch calls never re-fault its pages.
+    size_t npush = 0;
+    for (size_t i = 0; i < view.n; ++i)
+        if (!(view.cls[i] & isa::kClsScalar) &&
+            view.kind[i] != UopKind::VSetVl)
+            ++npush;
+    static thread_local std::vector<uint64_t> comp_hist;
+    comp_hist.resize(npush * L);
+    std::vector<uint64_t> head(L, 0);
+    size_t vi = 0; ///< pushes so far; lane occupancy = vi - head[l]
+
+    // Lane-interleaved chaining file (first-element availability),
+    // sized from the program's vector-register counter; reads of
+    // unwritten/out-of-range ids fall back to a zero row and writes
+    // of non-vreg destinations to a sink row, matching RegReadyFile.
+    const uint32_t nvreg = view.program->vectorRegCount();
+    std::vector<uint64_t> chain(static_cast<size_t>(nvreg) * L, 0);
+    std::vector<uint64_t> chain_zero(L, 0), chain_sink(L, 0);
+    auto chain_row = [&](uint32_t reg) -> const uint64_t * {
+        const uint32_t idx = reg & 0x7fffffffu;
+        if (reg == isa::kNoReg || idx >= nvreg)
+            return chain_zero.data();
+        return chain.data() + static_cast<size_t>(idx) * L;
+    };
+    auto chain_row_w = [&](uint32_t reg) -> uint64_t * {
+        const uint32_t idx = reg & 0x7fffffffu;
+        if (reg == isa::kNoReg || idx >= nvreg)
+            return chain_sink.data();
+        return chain.data() + static_cast<size_t>(idx) * L;
+    };
+
+    uint64_t vinstrs = 0; ///< lane-invariant (every lane sees each op)
 
     const UopKind *const kind_col = view.kind;
     const uint32_t *const dst_col = view.dst;
@@ -285,138 +335,202 @@ SaturnModel::runStreamBatch(
     const uint16_t *const sew_col = view.sew;
     const uint16_t *const lmul8_col = view.lmul8;
 
-    auto coproc = [&](size_t L, const isa::UopStreamView &, size_t i,
-                      uint64_t present, auto &sregs,
-                      auto &vregs) -> std::pair<uint64_t, uint64_t> {
-        const SaturnConfig &cfg = *cfgs[L];
-        const LaneConsts &k = consts[L];
-        VectorUnitState &st = sts[L];
-
-        auto div_dlen = [&](uint64_t x) -> uint64_t {
-            return k.dlenPow2 ? x >> k.dlenShift : x / k.dlen;
-        };
-        auto beats_of = [&](size_t j) -> uint64_t {
-            if (lmul8_col[j] > 8) {
-                uint64_t group_bits =
-                    static_cast<uint64_t>(lmul8_col[j]) * k.vlen / 8;
-                return std::max<uint64_t>(
-                    1, div_dlen(group_bits + k.dlen - 1));
-            }
-            uint64_t live_bits = static_cast<uint64_t>(vl_col[j]) *
-                                 static_cast<uint64_t>(sew_col[j]);
-            return std::max<uint64_t>(
-                1, div_dlen(live_bits + k.dlen - 1));
-        };
-
+    auto coproc = [&](const isa::UopStreamView &, size_t i,
+                      const uint64_t *present, uint64_t *release,
+                      uint64_t *done, const cpu::BatchRegFiles &rf) {
         const UopKind kind = kind_col[i];
         const uint32_t dst = dst_col[i];
-        uint64_t release = present;
 
         if (kind == UopKind::VSetVl) {
-            sregs.setReady(dst, present + 2);
-            return {present + 1, present + 2};
+            uint64_t *sd = rf.srowW(dst);
+            for (size_t l = 0; l < L; ++l) {
+                sd[l] = present[l] + 2;
+                release[l] = present[l] + 1;
+                done[l] = present[l] + 2;
+            }
+            return;
         }
 
         const uint32_t src0 = src0_col[i];
         const uint32_t src1 = src1_col[i];
         const uint32_t src2 = src2_col[i];
+        const bool v0 = src0 != isa::kNoReg && isa::Program::isVReg(src0);
+        const bool v1 = src1 != isa::kNoReg && isa::Program::isVReg(src1);
+        const bool v2 = src2 != isa::kNoReg && isa::Program::isVReg(src2);
+        const uint64_t *c0 = v0 ? chain_row(src0) : chain_zero.data();
+        const uint64_t *c1 = v1 ? chain_row(src1) : chain_zero.data();
+        const uint64_t *c2 = v2 ? chain_row(src2) : chain_zero.data();
 
-        while (!st.inFlight.empty() && st.inFlight.front() <= present)
-            st.inFlight.popFront();
-        if (static_cast<int>(st.inFlight.size()) >= cfg.vqDepth) {
-            uint64_t drain = st.inFlight.front();
-            st.stallQueueFull += drain - present;
-            release = drain;
-            st.inFlight.popFront();
+        // Shared prologue, split so the serial queue walk never
+        // blocks vectorization of the start-cycle maxes: first the
+        // drain + back-pressure per lane, then the chained start
+        // cycle (zero-row fallbacks keep it branchless).
+        const uint64_t *const hist = comp_hist.data();
+        for (size_t l = 0; l < L; ++l) {
+            const uint64_t p = present[l];
+            uint64_t h = head[l];
+            while (h < vi && hist[h * L + l] <= p)
+                ++h;
+            uint64_t rel = p;
+            if (vi - h >= vq_depth[l]) {
+                const uint64_t drain = hist[h * L + l];
+                stall_q[l] += drain - p;
+                rel = drain;
+                ++h;
+            }
+            head[l] = h;
+            release[l] = rel;
+        }
+        for (size_t l = 0; l < L; ++l) {
+            uint64_t start = std::max(present[l], release[l]);
+            start = std::max(start, c0[l]);
+            start = std::max(start, c1[l]);
+            start = std::max(start, c2[l]);
+            start_v[l] = start;
         }
 
-        uint64_t start = std::max(present, release);
-        for (uint32_t src : {src0, src1, src2}) {
-            if (src != isa::kNoReg && isa::Program::isVReg(src))
-                start = std::max(start, st.chainReady.readyTime(src));
+        // Beats: the LMUL-group branch is lane-invariant, so it
+        // hoists; only the datapath width differs per lane. VMove
+        // never sequences beats, so it skips the pass entirely.
+        const uint16_t ulm = lmul8_col[i];
+        if (kind == UopKind::VMove) {
+            // no beats
+        } else if (ulm > 8) {
+            for (size_t l = 0; l < L; ++l) {
+                const uint64_t group_bits =
+                    static_cast<uint64_t>(ulm) * vlen[l] / 8;
+                const uint64_t x = group_bits + dlen[l] - 1;
+                beats[l] = std::max<uint64_t>(
+                    1, dlen_pow2[l] ? x >> dlen_shift[l] : x / dlen[l]);
+            }
+        } else {
+            const uint64_t live_bits =
+                static_cast<uint64_t>(vl_col[i]) *
+                static_cast<uint64_t>(sew_col[i]);
+            for (size_t l = 0; l < L; ++l) {
+                const uint64_t x = live_bits + dlen[l] - 1;
+                beats[l] = std::max<uint64_t>(
+                    1, dlen_pow2[l] ? x >> dlen_shift[l] : x / dlen[l]);
+            }
         }
 
-        uint64_t beats = beats_of(i);
-        uint64_t completion = 0;
+        // Queue push: the kind loops below store each completion into
+        // the history row for this op as well as done[] — that store
+        // IS the push (see the queue comment above).
+        uint64_t *const hrow = comp_hist.data() + vi * L;
 
         switch (kind) {
           case UopKind::VLoad:
           case UopKind::VLoadStrided: {
-            start = std::max(start, st.vluFree);
-            uint64_t lat = static_cast<uint64_t>(cfg.memLat);
-            uint64_t occ = kind == UopKind::VLoadStrided
-                               ? std::max<uint64_t>(vl_col[i], 1)
-                               : beats;
-            st.vluFree = start + occ;
-            completion = start + lat + occ;
-            st.chainReady.setReady(dst, start + lat + 1);
-            vregs.setReady(dst, completion);
+            uint64_t *ch_d = chain_row_w(dst);
+            uint64_t *vr_d = rf.vrowW(dst);
+            const bool strided = kind == UopKind::VLoadStrided;
+            const uint64_t strided_occ =
+                std::max<uint64_t>(vl_col[i], 1);
+            for (size_t l = 0; l < L; ++l) {
+                const uint64_t start =
+                    std::max(start_v[l], vlu_free[l]);
+                const uint64_t occ = strided ? strided_occ : beats[l];
+                vlu_free[l] = start + occ;
+                const uint64_t completion = start + mem_lat[l] + occ;
+                ch_d[l] = start + mem_lat[l] + 1;
+                vr_d[l] = completion;
+                hrow[l] = completion;
+                done[l] = completion;
+            }
             break;
           }
           case UopKind::VStore: {
-            start = std::max(start, st.vsuFree);
-            for (uint32_t src : {src0, src1}) {
-                if (src != isa::kNoReg && isa::Program::isVReg(src))
-                    start = std::max(start, vregs.readyTime(src));
+            const uint64_t *r0 = v0 ? rf.vrow(src0) : chain_zero.data();
+            const uint64_t *r1 = v1 ? rf.vrow(src1) : chain_zero.data();
+            for (size_t l = 0; l < L; ++l) {
+                // Stores need full operand data, not just the head.
+                uint64_t start = std::max(start_v[l], vsu_free[l]);
+                start = std::max(start, r0[l]);
+                start = std::max(start, r1[l]);
+                vsu_free[l] = start + beats[l];
+                const uint64_t completion = start + beats[l] + 1;
+                hrow[l] = completion;
+                done[l] = completion;
             }
-            st.vsuFree = start + beats;
-            completion = start + beats + 1;
             break;
           }
           case UopKind::VArith:
           case UopKind::VFma: {
-            start = std::max(start, st.vxuFree);
-            st.vxuFree = start + beats;
-            completion =
-                start + static_cast<uint64_t>(cfg.pipeLat) + beats;
-            st.chainReady.setReady(dst,
-                                   start + cfg.pipeLat + cfg.chainLat);
-            vregs.setReady(dst, completion);
+            uint64_t *ch_d = chain_row_w(dst);
+            uint64_t *vr_d = rf.vrowW(dst);
+            for (size_t l = 0; l < L; ++l) {
+                const uint64_t start =
+                    std::max(start_v[l], vxu_free[l]);
+                vxu_free[l] = start + beats[l];
+                const uint64_t completion =
+                    start + pipe_lat[l] + beats[l];
+                ch_d[l] = start + pipe_lat[l] + chain_lat[l];
+                vr_d[l] = completion;
+                hrow[l] = completion;
+                done[l] = completion;
+            }
             break;
           }
           case UopKind::VRed: {
-            start = std::max(start, st.vxuFree);
-            for (uint32_t src : {src0, src1}) {
-                if (src != isa::kNoReg && isa::Program::isVReg(src))
-                    start = std::max(start, vregs.readyTime(src));
+            // Reductions cannot chain out: full tree latency.
+            const uint64_t *r0 = v0 ? rf.vrow(src0) : chain_zero.data();
+            const uint64_t *r1 = v1 ? rf.vrow(src1) : chain_zero.data();
+            uint64_t *sd = rf.srowW(dst);
+            constexpr uint64_t tree = 12;
+            for (size_t l = 0; l < L; ++l) {
+                uint64_t start = std::max(start_v[l], vxu_free[l]);
+                start = std::max(start, r0[l]);
+                start = std::max(start, r1[l]);
+                vxu_free[l] = start + beats[l] + tree;
+                const uint64_t completion =
+                    start + pipe_lat[l] + beats[l] + tree + sm_lat[l];
+                sd[l] = completion;
+                hrow[l] = completion;
+                done[l] = completion;
             }
-            uint64_t tree = 12;
-            st.vxuFree = start + beats + tree;
-            completion = start + cfg.pipeLat + beats + tree +
-                         static_cast<uint64_t>(cfg.scalarMoveLat);
-            sregs.setReady(dst, completion);
             break;
           }
           case UopKind::VMove: {
-            uint64_t src_ready = 0;
-            if (src0 != isa::kNoReg && isa::Program::isVReg(src0))
-                src_ready = vregs.readyTime(src0);
-            start = std::max(start, src_ready);
-            completion =
-                start + static_cast<uint64_t>(cfg.scalarMoveLat);
+            const uint64_t *r0 = v0 ? rf.vrow(src0) : chain_zero.data();
             if (isa::Program::isVReg(dst)) {
-                vregs.setReady(dst, completion);
-                st.chainReady.setReady(dst, completion);
+                uint64_t *ch_d = chain_row_w(dst);
+                uint64_t *vr_d = rf.vrowW(dst);
+                for (size_t l = 0; l < L; ++l) {
+                    const uint64_t start = std::max(start_v[l], r0[l]);
+                    const uint64_t completion = start + sm_lat[l];
+                    vr_d[l] = completion;
+                    ch_d[l] = completion;
+                    hrow[l] = completion;
+                    done[l] = completion;
+                }
             } else {
-                sregs.setReady(dst, completion);
+                // vfmv.f.s: scalar destination, waits for full vreg.
+                uint64_t *sd = rf.srowW(dst);
+                for (size_t l = 0; l < L; ++l) {
+                    const uint64_t start = std::max(start_v[l], r0[l]);
+                    const uint64_t completion = start + sm_lat[l];
+                    sd[l] = completion;
+                    hrow[l] = completion;
+                    done[l] = completion;
+                }
             }
             break;
           }
           default:
             rtoc_panic("saturn '%s': unsupported coprocessor uop %s",
-                       cfg.name.c_str(), isa::uopName(kind));
+                       cfgs[0]->name.c_str(), isa::uopName(kind));
         }
 
-        st.inFlight.pushBack(completion);
-        ++st.vinstrs;
-        return {release, completion};
+        ++vi;
+        ++vinstrs;
     };
 
     std::vector<cpu::TimingResult> out =
         cpu::runInOrderStreamBatchWithCoproc(view, frontends, coproc);
-    for (size_t L = 0; L < out.size(); ++L) {
-        out[L].stats.set(saturnIds().vinstrs, sts[L].vinstrs);
-        out[L].stats.set(saturnIds().stall_vq, sts[L].stallQueueFull);
+    for (size_t l = 0; l < out.size(); ++l) {
+        out[l].stats.set(saturnIds().vinstrs, vinstrs);
+        out[l].stats.set(saturnIds().stall_vq, stall_q[l]);
     }
     return out;
 }

@@ -195,6 +195,24 @@ TEST(BatchedReplay, SaturnFamilyAcrossStylesAndConfigs)
         // Non-power-of-two datapath exercises the division fallback.
         c = SaturnConfig::make(512, 192, true);
         cfgs.push_back(c);
+        // Lane-major queue corners: the minimum queue depth forces a
+        // back-pressure drain on nearly every vector op in that lane
+        // while deeper lanes run free, and a deep queue with slow
+        // scalar moves skews the chain/epilogue timing between lanes.
+        c = SaturnConfig::make(256, 128, true);
+        c.name += "-vq1";
+        c.vqDepth = 1;
+        cfgs.push_back(c);
+        c = SaturnConfig::make(512, 128, false);
+        c.name += "-vq16-slowsm";
+        c.vqDepth = 16;
+        c.scalarMoveLat = 9;
+        cfgs.push_back(c);
+        c = SaturnConfig::make(256, 128, false);
+        c.name += "-deeppipe";
+        c.pipeLat = 11;
+        c.chainLat = 1;
+        cfgs.push_back(c);
 
         std::vector<std::unique_ptr<vector::SaturnModel>> ms;
         std::vector<const TimingModel *> models;

@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Tests for the schedule transform pass and the schedule searcher.
+ *
+ * Transform legality: every candidate recipe, applied to real emitted
+ * streams from all backend families, must produce a region-local
+ * permutation that preserves register def/use order (checked by the
+ * independent verifySchedule oracle), the region table, and the uop
+ * multiset. Replays of scheduled streams must reconcile region uop
+ * and invocation sums exactly with the baseline on all four timing
+ * families, and batched replay of a scheduled stream must stay
+ * bit-identical to sequential.
+ *
+ * Search: deterministic across repeated serial runs and a 4-thread
+ * pool; winners round-trip through the SchedSpec codec and the
+ * DiskCache "sched" namespace; corrupt blobs (bad envelope bytes or a
+ * valid envelope holding garbage) are re-searched and overwritten.
+ *
+ * This binary latches RTOC_SCHED=1 before main so the opt-in layer is
+ * live here; the off-mode identity contract lives in
+ * test_schedule_off.cc (own process, env untouched).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "cpu/inorder.hh"
+#include "cpu/ooo.hh"
+#include "cpu/replay_batch.hh"
+#include "isa/disk_cache.hh"
+#include "isa/program_cache.hh"
+#include "isa/sched_search.hh"
+#include "isa/schedule.hh"
+#include "matlib/gemmini_backend.hh"
+#include "matlib/rvv_backend.hh"
+#include "matlib/scalar_backend.hh"
+#include "obs/registry.hh"
+#include "systolic/gemmini.hh"
+#include "vector/saturn.hh"
+
+namespace rtoc {
+namespace {
+
+using isa::Program;
+using isa::SchedSpec;
+using isa::Uop;
+using isa::UopKind;
+
+/** Latch the schedule layer on before any schedEnabled() call. */
+const bool kSchedEnv = [] {
+    setenv("RTOC_SCHED", "1", 1);
+    unsetenv("RTOC_SCHED_CAP");
+    return true;
+}();
+
+std::string
+makeTempDir()
+{
+    char tmpl[] = "/tmp/rtoc-sched-test-XXXXXX";
+    const char *dir = mkdtemp(tmpl);
+    return dir ? dir : "/tmp/rtoc-sched-test-fallback";
+}
+
+/** Emitted streams from every backend family (small forced solves). */
+std::vector<std::shared_ptr<const Program>>
+familyStreams()
+{
+    std::vector<std::shared_ptr<const Program>> out;
+    matlib::ScalarBackend scalar(matlib::ScalarFlavor::Optimized);
+    out.push_back(
+        bench::emitQuadSolveCached(scalar, tinympc::MappingStyle::Library));
+    matlib::RvvBackend rvv(512, matlib::RvvMapping::handOptimized());
+    out.push_back(
+        bench::emitQuadSolveCached(rvv, tinympc::MappingStyle::Fused));
+    matlib::GemminiBackend gem(matlib::GemminiMapping::fullyOptimized());
+    out.push_back(
+        bench::emitQuadSolveCached(gem, tinympc::MappingStyle::Library));
+    return out;
+}
+
+/** Two independent FP chains in one region: serial emission stalls an
+ *  in-order core on every op, so interleaving schedules must win. */
+Program
+twoChainProgram(int chain_len)
+{
+    Program p;
+    p.beginKernel("body");
+    for (int chain = 0; chain < 2; ++chain) {
+        uint32_t acc = p.newReg();
+        p.push(Uop::scalar(UopKind::FpMove, acc));
+        for (int i = 0; i < chain_len; ++i) {
+            uint32_t next = p.newReg();
+            p.push(Uop::scalar(UopKind::FpFma, next, acc));
+            acc = next;
+        }
+    }
+    p.endKernel();
+    return p;
+}
+
+/** Field-wise uop equality (the permuted multiset check). */
+bool
+sameUop(const Uop &a, const Uop &b)
+{
+    return a.kind == b.kind && a.dst == b.dst && a.src0 == b.src0 &&
+           a.src1 == b.src1 && a.src2 == b.src2 && a.vl == b.vl &&
+           a.sew == b.sew && a.lmul8 == b.lmul8 && a.bytes == b.bytes &&
+           a.rows == b.rows && a.cols == b.cols && a.taken == b.taken;
+}
+
+TEST(ScheduleTransforms, CandidatesLegalOnEveryFamilyStream)
+{
+    for (const auto &prog : familyStreams()) {
+        for (const SchedSpec &spec : isa::enumerateSchedSpecs()) {
+            isa::ScheduleResult r = isa::applySchedule(*prog, spec);
+            std::string why;
+            EXPECT_TRUE(isa::verifySchedule(*prog, r.prog, r.perm, &why))
+                << spec.describe() << ": " << why;
+
+            // Permutations never add or drop uops, and the region
+            // table (ids and [begin, end) ranges) is untouched.
+            ASSERT_EQ(r.prog.size(), prog->size()) << spec.describe();
+            ASSERT_EQ(r.prog.kernels().size(), prog->kernels().size());
+            for (size_t k = 0; k < prog->kernels().size(); ++k) {
+                EXPECT_EQ(r.prog.kernels()[k].id, prog->kernels()[k].id);
+                EXPECT_EQ(r.prog.kernels()[k].begin,
+                          prog->kernels()[k].begin);
+                EXPECT_EQ(r.prog.kernels()[k].end,
+                          prog->kernels()[k].end);
+            }
+            for (size_t i = 0; i < r.perm.size(); ++i) {
+                ASSERT_LT(r.perm[i], prog->size());
+                EXPECT_TRUE(
+                    sameUop(r.prog.uops()[i], prog->uops()[r.perm[i]]))
+                    << spec.describe() << " index " << i;
+            }
+        }
+    }
+}
+
+TEST(ScheduleTransforms, IdentitySpecIsIdentity)
+{
+    matlib::ScalarBackend b(matlib::ScalarFlavor::Optimized);
+    auto prog =
+        bench::emitQuadSolveCached(b, tinympc::MappingStyle::Library);
+    isa::ScheduleResult r = isa::applySchedule(*prog, SchedSpec{});
+    ASSERT_EQ(r.prog.size(), prog->size());
+    for (size_t i = 0; i < r.perm.size(); ++i) {
+        EXPECT_EQ(r.perm[i], i);
+        ASSERT_TRUE(sameUop(r.prog.uops()[i], prog->uops()[i]));
+    }
+}
+
+TEST(ScheduleTransforms, VerifierRejectsIllegalReorder)
+{
+    // Swap a dependent FMA pair by hand: the oracle must refuse it.
+    Program p = twoChainProgram(4);
+    std::vector<Uop> uops = p.uops();
+    std::swap(uops[1], uops[2]); // FpFma consuming uops[1]'s FpMove? no:
+    // uops[1] defines the reg uops[2] reads — swapping breaks RAW.
+    Program bad = Program::assemble(uops, p.kernels(),
+                                    p.scalarRegCount(),
+                                    p.vectorRegCount());
+    std::vector<uint32_t> perm(p.size());
+    for (size_t i = 0; i < perm.size(); ++i)
+        perm[i] = static_cast<uint32_t>(i);
+    std::swap(perm[1], perm[2]);
+    std::string why;
+    EXPECT_FALSE(isa::verifySchedule(p, bad, perm, &why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(ScheduleTransforms, RegionSumsReconcileOnAllFourFamilies)
+{
+    // One interleaving recipe per family stream; the scheduled replay
+    // must attribute exactly the baseline's per-region uop counts and
+    // invocations (permutation within regions cannot move work across
+    // region boundaries), and region cycles must sum consistently.
+    SchedSpec reorder8{{{isa::SchedKind::Reorder, 8}}, {}};
+
+    auto streams = familyStreams();
+    cpu::InOrderCore inorder(cpu::InOrderConfig::shuttle());
+    cpu::OooCore ooo(cpu::OooConfig::boomMedium());
+    vector::SaturnModel saturn(vector::SaturnConfig::make(512, 256, true));
+    systolic::GemminiModel gemmini(systolic::GemminiConfig::os4x4());
+
+    struct Case
+    {
+        const cpu::TimingModel *model;
+        const Program *prog;
+        const char *label;
+    };
+    std::vector<Case> cases = {
+        {&inorder, streams[0].get(), "inorder"},
+        {&ooo, streams[0].get(), "ooo"},
+        {&saturn, streams[1].get(), "saturn"},
+        {&gemmini, streams[2].get(), "gemmini"},
+    };
+    for (const Case &c : cases) {
+        isa::ScheduleResult r = isa::applySchedule(*c.prog, reorder8);
+        std::string why;
+        ASSERT_TRUE(isa::verifySchedule(*c.prog, r.prog, r.perm, &why))
+            << c.label << ": " << why;
+
+        cpu::TimingResult base = c.model->run(*c.prog);
+        cpu::TimingResult sched = c.model->run(r.prog);
+        EXPECT_GT(sched.cycles, 0u) << c.label;
+
+        // Per-region-name uop counts are invariant by construction.
+        std::map<std::string, uint64_t> base_uops, sched_uops;
+        for (const isa::KernelRegion &k : c.prog->kernels())
+            base_uops[k.name()] += k.end - k.begin;
+        for (const isa::KernelRegion &k : r.prog.kernels())
+            sched_uops[k.name()] += k.end - k.begin;
+        EXPECT_EQ(base_uops, sched_uops) << c.label;
+
+        auto base_bd = base.kernelBreakdown(*c.prog);
+        auto sched_bd = sched.kernelBreakdown(r.prog);
+        ASSERT_EQ(base_bd.size(), sched_bd.size()) << c.label;
+        uint64_t base_sum = 0, sched_sum = 0;
+        for (size_t k = 0; k < base_bd.size(); ++k) {
+            EXPECT_EQ(base_bd[k].name, sched_bd[k].name) << c.label;
+            EXPECT_EQ(base_bd[k].invocations, sched_bd[k].invocations)
+                << c.label << " region " << base_bd[k].name;
+            base_sum += base_bd[k].cycles;
+            sched_sum += sched_bd[k].cycles;
+        }
+        // Region attribution covers the stream on both replays: sums
+        // are bounded by the totals on each side.
+        EXPECT_LE(sched_sum, sched.cycles) << c.label;
+        EXPECT_LE(base_sum, base.cycles) << c.label;
+
+        // Batched replay of a *scheduled* stream stays bit-exact.
+        std::vector<const cpu::TimingModel *> group = {c.model, c.model};
+        std::vector<cpu::TimingResult> batch =
+            c.model->runStreamBatch(r.prog.stream(), group);
+        ASSERT_EQ(batch.size(), 2u) << c.label;
+        EXPECT_EQ(batch[0].cycles, sched.cycles) << c.label;
+        EXPECT_EQ(batch[1].cycles, sched.cycles) << c.label;
+    }
+}
+
+TEST(ScheduleSearch, FindsInterleavingWinOnSerialChains)
+{
+    Program p = twoChainProgram(12);
+    cpu::InOrderCore shuttle(cpu::InOrderConfig::shuttle());
+    auto cost = [&](const Program &prog) {
+        return shuttle.run(prog).cycles;
+    };
+    isa::SchedSearchResult res = isa::searchSchedule(p, cost, 24);
+    EXPECT_GT(res.candidatesScored, 0);
+    // Two independent latency-4 chains emitted serially: any
+    // interleaving candidate roughly halves the stall time, so the
+    // search must find a strict win.
+    EXPECT_LT(res.bestCycles, res.baseCycles);
+    EXPECT_FALSE(res.spec.empty());
+
+    // The winner's cost claim is reproducible.
+    isa::ScheduleResult r = isa::applySchedule(p, res.spec);
+    EXPECT_EQ(cost(r.prog), res.bestCycles);
+    std::string why;
+    EXPECT_TRUE(isa::verifySchedule(p, r.prog, r.perm, &why)) << why;
+}
+
+TEST(ScheduleSearch, DeterministicSerialAndAcrossPoolThreads)
+{
+    Program p = twoChainProgram(10);
+    cpu::InOrderCore shuttle(cpu::InOrderConfig::shuttle());
+    auto cost = [&](const Program &prog) {
+        return shuttle.run(prog).cycles;
+    };
+    isa::SchedSearchResult serial = isa::searchSchedule(p, cost, 24);
+    isa::SchedSearchResult again = isa::searchSchedule(p, cost, 24);
+    EXPECT_EQ(serial.spec.describe(), again.spec.describe());
+    EXPECT_EQ(serial.bestCycles, again.bestCycles);
+    EXPECT_EQ(serial.candidatesScored, again.candidatesScored);
+
+    ThreadPool pool(4);
+    std::vector<isa::SchedSearchResult> results(8);
+    pool.parallelFor(results.size(), [&](size_t i) {
+        cpu::InOrderCore local(cpu::InOrderConfig::shuttle());
+        results[i] = isa::searchSchedule(
+            p, [&](const Program &prog) { return local.run(prog).cycles; },
+            24);
+    });
+    for (size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].spec.describe(), serial.spec.describe())
+            << i;
+        EXPECT_EQ(results[i].bestCycles, serial.bestCycles) << i;
+    }
+}
+
+TEST(ScheduleSearch, CapLimitsScoredCandidates)
+{
+    Program p = twoChainProgram(10);
+    cpu::InOrderCore shuttle(cpu::InOrderConfig::shuttle());
+    auto cost = [&](const Program &prog) {
+        return shuttle.run(prog).cycles;
+    };
+    isa::SchedSearchResult res = isa::searchSchedule(p, cost, 3);
+    EXPECT_LE(res.candidatesScored, 3);
+}
+
+TEST(SchedSpecCodec, RoundTripAndDigest)
+{
+    SchedSpec spec;
+    spec.steps = {{isa::SchedKind::Fission, 0},
+                  {isa::SchedKind::Reorder, 8}};
+    spec.overrides.push_back({"fp1", {{isa::SchedKind::Unroll, 2}}});
+    spec.overrides.push_back({"gemv", {}});
+
+    std::string blob = isa::encodeSchedSpec(spec);
+    std::optional<SchedSpec> dec = isa::decodeSchedSpec(blob);
+    ASSERT_TRUE(dec.has_value());
+    EXPECT_EQ(dec->describe(), spec.describe());
+    EXPECT_EQ(isa::schedSpecDigest(*dec), isa::schedSpecDigest(spec));
+
+    // Distinct specs get distinct digests; the empty spec is "0".
+    EXPECT_EQ(isa::schedSpecDigest(SchedSpec{}), "0");
+    SchedSpec other;
+    other.steps = {{isa::SchedKind::Reorder, 4}};
+    EXPECT_NE(isa::schedSpecDigest(other), isa::schedSpecDigest(spec));
+
+    // Truncated and garbage payloads decode to nullopt, not UB.
+    EXPECT_FALSE(isa::decodeSchedSpec(blob.substr(0, blob.size() / 2))
+                     .has_value());
+    EXPECT_FALSE(isa::decodeSchedSpec("not a sched spec").has_value());
+    EXPECT_FALSE(isa::decodeSchedSpec("").has_value());
+}
+
+TEST(ScheduledStream, MemoDiskRoundTripAndCorruptRegeneration)
+{
+    ASSERT_TRUE(isa::schedEnabled()) << "env latch failed";
+    const std::string dir = makeTempDir();
+
+    Program built = twoChainProgram(12);
+    auto baseline = std::make_shared<const Program>(std::move(built));
+    cpu::InOrderCore shuttle(cpu::InOrderConfig::shuttle());
+    std::atomic<int> cost_calls{0};
+    auto cost = [&](const Program &prog) {
+        ++cost_calls;
+        return shuttle.run(prog).cycles;
+    };
+    const std::string model_key = "modelA";
+    const std::string prog_key = "progK";
+    const std::string search_key = csprintf(
+        "sched1|%s|%s|cap%d", model_key.c_str(), prog_key.c_str(),
+        isa::schedCap());
+
+    // Cold: searches (cost called), persists the recipe, returns a
+    // scheduled stream distinct from the baseline.
+    isa::DiskCache disk(dir, "test-fp");
+    isa::ProgramCache cache(&disk);
+    isa::clearSchedMemoForTest();
+    auto s1 = isa::scheduledStream(model_key, prog_key, baseline, cost,
+                                   cache, &disk);
+    EXPECT_GT(cost_calls.load(), 0);
+    ASSERT_NE(s1, nullptr);
+    EXPECT_NE(s1.get(), baseline.get());
+    EXPECT_EQ(s1->size(), baseline->size());
+    const uint64_t sched_cycles = shuttle.run(*s1).cycles;
+    EXPECT_LT(sched_cycles, shuttle.run(*baseline).cycles);
+
+    // Memo hit: same pointer, no new search.
+    const int calls_after_search = cost_calls.load();
+    auto s2 = isa::scheduledStream(model_key, prog_key, baseline, cost,
+                                   cache, &disk);
+    EXPECT_EQ(s2.get(), s1.get());
+    EXPECT_EQ(cost_calls.load(), calls_after_search);
+
+    // Warm process (memo dropped): the recipe decodes from disk —
+    // zero cost replays — and re-applies to the same cycles.
+    isa::clearSchedMemoForTest();
+    cost_calls = 0;
+    isa::DiskCache disk2(dir, "test-fp");
+    isa::ProgramCache cache2(&disk2);
+    auto s3 = isa::scheduledStream(model_key, prog_key, baseline, cost,
+                                   cache2, &disk2);
+    EXPECT_EQ(cost_calls.load(), 0);
+    EXPECT_EQ(shuttle.run(*s3).cycles, sched_cycles);
+
+    // Corrupt envelope bytes: checksum rejects, search re-runs and
+    // overwrites.
+    {
+        const std::string path = disk2.pathFor("sched", search_key);
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekp(12);
+        f.write("\xde\xad\xbe\xef", 4);
+    }
+    isa::clearSchedMemoForTest();
+    cost_calls = 0;
+    isa::DiskCache disk3(dir, "test-fp");
+    isa::ProgramCache cache3(&disk3);
+    auto s4 = isa::scheduledStream(model_key, prog_key, baseline, cost,
+                                   cache3, &disk3);
+    EXPECT_GT(cost_calls.load(), 0);
+    EXPECT_EQ(shuttle.run(*s4).cycles, sched_cycles);
+
+    // Valid envelope holding an undecodable payload: decode fails,
+    // search re-runs and overwrites with a good blob.
+    disk3.put("sched", search_key, "garbage payload");
+    isa::clearSchedMemoForTest();
+    cost_calls = 0;
+    auto s5 = isa::scheduledStream(model_key, prog_key, baseline, cost,
+                                   cache3, &disk3);
+    EXPECT_GT(cost_calls.load(), 0);
+    EXPECT_EQ(shuttle.run(*s5).cycles, sched_cycles);
+    isa::clearSchedMemoForTest();
+    cost_calls = 0;
+    auto s6 = isa::scheduledStream(model_key, prog_key, baseline, cost,
+                                   cache3, &disk3);
+    EXPECT_EQ(cost_calls.load(), 0);
+    EXPECT_EQ(shuttle.run(*s6).cycles, sched_cycles);
+}
+
+TEST(ScheduledStream, CountersAndKeySuffixLive)
+{
+    // RTOC_SCHED=1 in this binary: the key suffix is non-empty and
+    // the schedule counters exist on the registry after use.
+    EXPECT_EQ(isa::schedKeySuffix(),
+              csprintf("|sched:v1:cap%d", isa::schedCap()));
+    obs::Snapshot snap = obs::Registry::global().snapshot();
+    EXPECT_GT(snap.get("sched.searches"), 0u);
+    EXPECT_GT(snap.get("sched.candidates_scored"), 0u);
+}
+
+} // namespace
+} // namespace rtoc
