@@ -159,8 +159,10 @@ hwGemvAblation()
     matlib::GemminiBackend b(matlib::GemminiMapping::staticMapped());
     auto prog = std::make_shared<const isa::Program>(
         bench::emitQuadSolve(b, tinympc::MappingStyle::Library));
-    auto emit = [prog](dse::Fidelity) { return prog; };
-    auto prog_key = [](dse::Fidelity) {
+    auto emit = [prog](dse::Fidelity, matlib::NumericFormat) {
+        return prog;
+    };
+    auto prog_key = [](dse::Fidelity, matlib::NumericFormat) {
         return std::string("ablation-hwgemv-roundtrip");
     };
 

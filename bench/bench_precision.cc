@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Precision Pareto sweep: every registered clean scenario x backend
+ * timing model (scalar, vector, Gemmini) x numeric format (float32,
+ * bfloat16, int32 fixed-point, int16 fixed-point). Each format is
+ * calibrated at its own element width — vector lanes pack more
+ * elements, coprocessor bus transfers shrink — and flown closed-loop
+ * with the quantized datapath, so the sweep reports both sides of the
+ * trade: replayed cycles per solve AND whether the narrow format
+ * still lands the rocket / parks the rover (success rate, tracking
+ * error, divergence and saturation telemetry).
+ *
+ * The headline table is the cheapest-successful-format per (scenario,
+ * model): the narrowest datapath whose success rate does not fall
+ * below the float32 baseline, with its cycle speedup.
+ *
+ * Flags: --smoke (2 episodes, Easy scenarios only — the CI gate),
+ * --episodes=N, --freq=MHZ (default 100), --plant=NAME,
+ * --json=PATH (default BENCH_precision.json; empty disables).
+ *
+ * Gates (exit status): int16 must beat float32 replayed cycles on at
+ * least one vector/Gemmini backend, and int16 must meet the
+ * tracking-error bound (<= 1.5x float32) with no success regression
+ * on at least one nonlinear plant.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "hil/sweep.hh"
+#include "hil/timing.hh"
+#include "matlib/fixed.hh"
+#include "obs/registry.hh"
+#include "plant/registry.hh"
+
+using namespace rtoc;
+
+namespace {
+
+/** Fixed iteration count the cycle comparison is priced at. */
+constexpr int kCompareIters = 25;
+
+/** Tracking-error bound relative to the float32 baseline. */
+constexpr double kTrackErrBound = 1.5;
+
+/** One (scenario, model, format) grid point. */
+struct GridCell
+{
+    plant::ScenarioSpec spec;
+    std::string model;           ///< scalar | vector | gemmini
+    matlib::NumericFormat fmt = matlib::NumericFormat::F32;
+    double cyclesPerSolve = 0.0; ///< solveCycles(kCompareIters)
+    hil::SweepCell cell;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    const bool smoke = cli.has("smoke");
+    const int episodes_flag =
+        static_cast<int>(cli.getInt("episodes", 0));
+    const double freq_hz = cli.getDouble("freq", 100.0) * 1e6;
+    const std::string json_path =
+        cli.getString("json", "BENCH_precision.json");
+    const std::string plant_filter = cli.getString("plant", "");
+
+    const char *const models[] = {"scalar", "vector", "gemmini"};
+    const matlib::NumericFormat formats[] = {
+        matlib::NumericFormat::F32, matlib::NumericFormat::BF16,
+        matlib::NumericFormat::I32, matlib::NumericFormat::I16};
+    const size_t n_models = std::size(models);
+    const size_t n_formats = std::size(formats);
+
+    // Clean specs only: the precision axis is about quantization
+    // error, not disturbance rejection. Smoke keeps Easy missions.
+    std::vector<plant::ScenarioSpec> specs;
+    for (plant::ScenarioSpec &s :
+         plant::ScenarioRegistry::global().specs()) {
+        if (s.disturbance.cmdNoiseSigma != 0.0)
+            continue;
+        if (smoke && s.difficulty != plant::Difficulty::Easy)
+            continue;
+        if (!smoke && s.difficulty == plant::Difficulty::Hard)
+            continue;
+        if (!plant_filter.empty() &&
+            s.plantName.find(plant_filter) == std::string::npos)
+            continue;
+        specs.push_back(std::move(s));
+    }
+    if (specs.empty())
+        rtoc_fatal("no scenario matches the requested filters");
+
+    auto episodes_for = [&](const plant::ScenarioSpec &s) -> int {
+        if (smoke)
+            return 2;
+        return episodes_flag > 0 ? episodes_flag : s.episodes;
+    };
+
+    // Grid point t = ((spec-major, then model), format fastest); the
+    // cells fan across the pool and aggregate in index order, so a
+    // format's float32 sibling is always i - (i % n_formats).
+    const size_t n = specs.size() * n_models * n_formats;
+    hil::SweepRunner sweep;
+    std::vector<GridCell> grid = sweep.map<GridCell>(n, [&](size_t t) {
+        GridCell g;
+        g.fmt = formats[t % n_formats];
+        const size_t sm = t / n_formats;
+        g.model = models[sm % n_models];
+        g.spec = specs[sm / n_models];
+
+        hil::HilConfig cfg;
+        cfg.socFreqHz = freq_hz;
+        cfg.relin = g.spec.relin;
+        cfg.format = g.fmt;
+        cfg.timing = hil::namedControllerTiming(
+            g.model, *g.spec.prototype, 0.02, 10, false, g.fmt);
+        cfg.power = hil::namedPowerParams(g.model);
+        g.cyclesPerSolve = cfg.timing.solveCycles(kCompareIters);
+        g.cell = hil::runCell(*g.spec.prototype, g.spec.difficulty,
+                              episodes_for(g.spec), cfg,
+                              g.spec.disturbance);
+        return g;
+    });
+
+    auto f32_of = [&](size_t i) -> const GridCell & {
+        return grid[i - (i % n_formats)];
+    };
+
+    Table t("Precision sweep (format x backend x scenario, " +
+                Table::num(freq_hz / 1e6, 0) + " MHz, cycles at " +
+                Table::num(static_cast<uint64_t>(kCompareIters)) +
+                " ADMM iters)",
+            {"scenario", "model", "format", "cycles/solve", "vs f32",
+             "success", "track err m", "div/ep", "sat/ep"});
+    for (size_t i = 0; i < grid.size(); ++i) {
+        const GridCell &g = grid[i];
+        const GridCell &base = f32_of(i);
+        const bool is_f32 = g.fmt == matlib::NumericFormat::F32;
+        t.addRow({g.spec.id, g.model, matlib::formatName(g.fmt),
+                  Table::num(g.cyclesPerSolve, 0),
+                  is_f32 ? "1.00x"
+                         : Table::num(base.cyclesPerSolve /
+                                          g.cyclesPerSolve,
+                                      2) + "x",
+                  Table::pct(g.cell.successRate),
+                  Table::num(g.cell.avgTrackingErrM, 3),
+                  is_f32 ? "-" : Table::num(g.cell.avgDivergedSolves, 1),
+                  is_f32 ? "-"
+                         : Table::num(g.cell.avgQuantSats +
+                                          g.cell.avgAccSats,
+                                      0)});
+    }
+    t.print();
+
+    // Cheapest still-successful format per (scenario, model): among
+    // the formats whose success rate does not regress from float32,
+    // the one with the fewest replayed cycles per solve.
+    Table cheapest("Cheapest successful format (no success regression "
+                   "vs float32)",
+                   {"scenario", "model", "format", "speedup",
+                    "success"});
+    for (size_t base_i = 0; base_i < grid.size(); base_i += n_formats) {
+        const GridCell &base = grid[base_i];
+        const GridCell *best = &base;
+        for (size_t k = 1; k < n_formats; ++k) {
+            const GridCell &g = grid[base_i + k];
+            if (g.cell.successRate >= base.cell.successRate &&
+                g.cyclesPerSolve < best->cyclesPerSolve) {
+                best = &g;
+            }
+        }
+        cheapest.addRow(
+            {base.spec.id, base.model, matlib::formatName(best->fmt),
+             Table::num(base.cyclesPerSolve / best->cyclesPerSolve, 2) +
+                 "x",
+             Table::pct(best->cell.successRate)});
+    }
+    cheapest.print();
+
+    // Gate 1: int16 beats float32 replayed cycles on >= 1
+    // vector/Gemmini backend (the element-width pricing claim).
+    // Gate 2: int16 meets the tracking-error bound with no success
+    // regression on >= 1 nonlinear plant (the accuracy claim).
+    bool cycles_gate = false;
+    bool accuracy_gate = false;
+    double best_speedup = 0.0;
+    std::string best_cell;
+    for (size_t i = 0; i < grid.size(); ++i) {
+        const GridCell &g = grid[i];
+        if (g.fmt != matlib::NumericFormat::I16)
+            continue;
+        const GridCell &base = f32_of(i);
+        const bool wide_backend = g.model != std::string("scalar");
+        const bool succeeds =
+            g.cell.successRate >= base.cell.successRate &&
+            base.cell.successRate > 0.0;
+        if (wide_backend && g.cyclesPerSolve < base.cyclesPerSolve) {
+            cycles_gate = true;
+            if (succeeds) {
+                double sp = base.cyclesPerSolve / g.cyclesPerSolve;
+                if (sp > best_speedup) {
+                    best_speedup = sp;
+                    best_cell = g.spec.id + " on " + g.model;
+                }
+            }
+        }
+        if (succeeds &&
+            g.cell.avgTrackingErrM <=
+                base.cell.avgTrackingErrM * kTrackErrBound + 1e-9) {
+            accuracy_gate = true;
+        }
+    }
+
+    std::printf("\nint16 vs float32: best still-successful speedup "
+                "%.2fx%s\n",
+                best_speedup,
+                best_cell.empty() ? ""
+                                  : (" (" + best_cell + ")").c_str());
+    std::printf("Gate: int16 beats f32 cycles on a vector/Gemmini "
+                "backend: %s\n",
+                cycles_gate ? "yes" : "NO");
+    std::printf("Gate: int16 meets tracking bound (<= %.1fx f32) on a "
+                "nonlinear plant: %s\n",
+                kTrackErrBound, accuracy_gate ? "yes" : "NO");
+
+    if (!json_path.empty()) {
+        FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f)
+            rtoc_fatal("cannot write %s", json_path.c_str());
+        std::fprintf(f, "{\n");
+        rtoc::obs::Registry::global().writeJsonSections(f);
+        std::fprintf(f, "  \"bench\": \"precision\",\n");
+        std::fprintf(f, "  \"freq_mhz\": %.0f,\n", freq_hz / 1e6);
+        std::fprintf(f, "  \"compare_iters\": %d,\n", kCompareIters);
+        std::fprintf(f, "  \"best_i16_speedup\": %.4f,\n", best_speedup);
+        std::fprintf(f, "  \"cells\": [\n");
+        for (size_t i = 0; i < grid.size(); ++i) {
+            const GridCell &g = grid[i];
+            const GridCell &base = f32_of(i);
+            std::fprintf(
+                f,
+                "    {\"scenario\": \"%s\", \"plant\": \"%s\", "
+                "\"model\": \"%s\", \"format\": \"%s\", "
+                "\"episodes\": %d, \"cycles_per_solve\": %.1f, "
+                "\"speedup_vs_f32\": %.4f, \"success\": %.4f, "
+                "\"tracking_err_m\": %.5f, "
+                "\"diverged_per_episode\": %.3f, "
+                "\"quant_sats_per_episode\": %.1f, "
+                "\"acc_sats_per_episode\": %.1f}%s\n",
+                g.spec.id.c_str(), g.spec.plantName.c_str(),
+                g.model.c_str(), matlib::formatName(g.fmt),
+                g.cell.episodes, g.cyclesPerSolve,
+                base.cyclesPerSolve / g.cyclesPerSolve,
+                g.cell.successRate, g.cell.avgTrackingErrM,
+                g.cell.avgDivergedSolves, g.cell.avgQuantSats,
+                g.cell.avgAccSats, i + 1 < grid.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("Wrote %s\n", json_path.c_str());
+    }
+
+    return cycles_gate && accuracy_gate ? 0 : 1;
+}

@@ -59,14 +59,19 @@ fig10Space()
     constexpr double kSaturnWidthMm2 = 0.40;
     constexpr double kGemminiWidthMm2 = 0.25;
 
-    // Scalar cores run the optimized Eigen mapping.
-    auto scalar_emit = [](dse::Fidelity f) {
+    // Scalar cores run the optimized Eigen mapping. The numeric
+    // format is applied to the emitting backend, so narrow-format
+    // streams (and their plantSolveKey identities, which embed the
+    // backend cacheKey) never alias the float32 ones.
+    auto scalar_emit = [](dse::Fidelity f, matlib::NumericFormat fmt) {
         matlib::ScalarBackend b(matlib::ScalarFlavor::Optimized);
+        b.setFormat(fmt);
         return emitQuadSolveCached(b, tinympc::MappingStyle::Library,
                                    fidelityIters(f));
     };
-    auto scalar_key = [](dse::Fidelity f) {
+    auto scalar_key = [](dse::Fidelity f, matlib::NumericFormat fmt) {
         matlib::ScalarBackend b(matlib::ScalarFlavor::Optimized);
+        b.setFormat(fmt);
         return plantSolveKey(b, tinympc::MappingStyle::Library, 12, 4,
                              10, fidelityIters(f));
     };
@@ -124,15 +129,17 @@ fig10Space()
                          vector::SaturnConfig::make(vl, dl, sh), lat,
                          width));
              },
-             [vl](dse::Fidelity f) {
+             [vl](dse::Fidelity f, matlib::NumericFormat fmt) {
                  matlib::RvvBackend b(
                      vl, matlib::RvvMapping::handOptimized());
+                 b.setFormat(fmt);
                  return emitQuadSolveCached(
                      b, tinympc::MappingStyle::Fused, fidelityIters(f));
              },
-             [vl](dse::Fidelity f) {
+             [vl](dse::Fidelity f, matlib::NumericFormat fmt) {
                  matlib::RvvBackend b(
                      vl, matlib::RvvMapping::handOptimized());
+                 b.setFormat(fmt);
                  return plantSolveKey(b, tinympc::MappingStyle::Fused,
                                       12, 4, 10, fidelityIters(f));
              },
@@ -144,13 +151,15 @@ fig10Space()
     // the merely static-mapped software (§5.1.5: the deep software
     // optimizations were not ported to it). The spad32k point pays the
     // modelled 600-cycle scratchpad-spill overhead per solve.
-    auto gem_opt_emit = [](dse::Fidelity f) {
+    auto gem_opt_emit = [](dse::Fidelity f, matlib::NumericFormat fmt) {
         matlib::GemminiBackend b(matlib::GemminiMapping::fullyOptimized());
+        b.setFormat(fmt);
         return emitQuadSolveCached(b, tinympc::MappingStyle::Library,
                                    fidelityIters(f));
     };
-    auto gem_opt_key = [](dse::Fidelity f) {
+    auto gem_opt_key = [](dse::Fidelity f, matlib::NumericFormat fmt) {
         matlib::GemminiBackend b(matlib::GemminiMapping::fullyOptimized());
+        b.setFormat(fmt);
         return plantSolveKey(b, tinympc::MappingStyle::Library, 12, 4,
                              10, fidelityIters(f));
     };
@@ -175,16 +184,18 @@ fig10Space()
                  600});
     s.addConfig({"gemmini-ws4x4-spad64k",
                  gem_model(systolic::GemminiConfig::ws4x4(64)),
-                 [](dse::Fidelity f) {
+                 [](dse::Fidelity f, matlib::NumericFormat fmt) {
                      matlib::GemminiBackend b(
                          matlib::GemminiMapping::staticMapped());
+                     b.setFormat(fmt);
                      return emitQuadSolveCached(
                          b, tinympc::MappingStyle::Library,
                          fidelityIters(f));
                  },
-                 [](dse::Fidelity f) {
+                 [](dse::Fidelity f, matlib::NumericFormat fmt) {
                      matlib::GemminiBackend b(
                          matlib::GemminiMapping::staticMapped());
+                     b.setFormat(fmt);
                      return plantSolveKey(b,
                                           tinympc::MappingStyle::Library,
                                           12, 4, 10, fidelityIters(f));

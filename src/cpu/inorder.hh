@@ -27,6 +27,23 @@ struct InOrderConfig
     int intMulLatency = 3;
     int branchBubble = 2; ///< taken-branch redirect penalty
 
+    /**
+     * Latency of pipelined FPU ops at sub-32-bit element width
+     * (LatClass::FpNarrow). 0 keeps the derived default of
+     * max(1, fpLatency - 1) — half-width FMAs shave a stage — and
+     * keeps the cache key unchanged; explicit values are encoded.
+     */
+    int fpNarrowLatency = 0;
+
+    /** FpNarrow latency with the derived default applied. */
+    int
+    resolvedFpNarrowLatency() const
+    {
+        if (fpNarrowLatency > 0)
+            return fpNarrowLatency;
+        return fpLatency > 1 ? fpLatency - 1 : 1;
+    }
+
     /** Rocket: classic 5-stage single-issue in-order. */
     static InOrderConfig rocket();
 

@@ -105,6 +105,8 @@ InOrderCore::runStreamWithCoproc(const isa::UopStreamView &v,
         static_cast<uint64_t>(cfg_.loadLatency);
     lat[static_cast<size_t>(LatClass::Store)] = 1;
     lat[static_cast<size_t>(LatClass::Branch)] = 1;
+    lat[static_cast<size_t>(LatClass::FpNarrow)] =
+        static_cast<uint64_t>(cfg_.resolvedFpNarrowLatency());
 
     constexpr uint8_t kBranchCls =
         static_cast<uint8_t>(LatClass::Branch);
@@ -432,6 +434,8 @@ runInOrderStreamBatchWithCoproc(const isa::UopStreamView &v,
         lt(LatClass::Load) = static_cast<uint64_t>(cfg.loadLatency);
         lt(LatClass::Store) = 1;
         lt(LatClass::Branch) = 1;
+        lt(LatClass::FpNarrow) =
+            static_cast<uint64_t>(cfg.resolvedFpNarrowLatency());
     }
 
     // Lane-interleaved ready stores (zero == never written, exactly
@@ -697,7 +701,8 @@ InOrderCore::runWithCoproc(const isa::Program &prog,
         }
     };
 
-    auto latency_of = [&](UopKind k) -> int {
+    auto latency_of = [&](const Uop &u) -> int {
+        const UopKind k = u.kind;
         switch (k) {
           case UopKind::IntAlu: return 1;
           case UopKind::IntMul: return cfg_.intMulLatency;
@@ -705,7 +710,9 @@ InOrderCore::runWithCoproc(const isa::Program &prog,
           case UopKind::FpMul:
           case UopKind::FpFma:
           case UopKind::FpMinMax:
-          case UopKind::FpAbs: return cfg_.fpLatency;
+          case UopKind::FpAbs:
+            return u.sew < 32 ? cfg_.resolvedFpNarrowLatency()
+                              : cfg_.fpLatency;
           case UopKind::FpDiv: return cfg_.fpDivLatency;
           case UopKind::FpCmp:
           case UopKind::FpMove: return 2;
@@ -777,7 +784,7 @@ InOrderCore::runWithCoproc(const isa::Program &prog,
         if (is_mem(u.kind))
             ++mem_used;
 
-        uint64_t done = cycle + static_cast<uint64_t>(latency_of(u.kind));
+        uint64_t done = cycle + static_cast<uint64_t>(latency_of(u));
         finish[i] = done;
         sregs.setReady(u.dst, done);
 

@@ -179,6 +179,8 @@ OooCore::runStream(const isa::UopStreamView &v) const
         static_cast<uint64_t>(cfg_.loadLatency);
     lat[static_cast<size_t>(LatClass::Store)] = 1;
     lat[static_cast<size_t>(LatClass::Branch)] = 1;
+    lat[static_cast<size_t>(LatClass::FpNarrow)] =
+        static_cast<uint64_t>(cfg_.resolvedFpNarrowLatency());
 
     // LatClass -> issue pipeline (same partition as classOf()).
     SlotMap *pipe[isa::kNumLatClasses] = {};
@@ -191,6 +193,7 @@ OooCore::runStream(const isa::UopStreamView &v) const
     pipe[static_cast<size_t>(LatClass::Load)] = &scratch.memSlots;
     pipe[static_cast<size_t>(LatClass::Store)] = &scratch.memSlots;
     pipe[static_cast<size_t>(LatClass::Branch)] = &scratch.intSlots;
+    pipe[static_cast<size_t>(LatClass::FpNarrow)] = &scratch.fpSlots;
 
     // In-order commit ring for the ROB-occupancy constraint.
     std::vector<uint64_t> &commit = scratch.commit;
@@ -267,6 +270,8 @@ struct OooBatchLane
             static_cast<uint64_t>(cfg.loadLatency);
         lat[static_cast<size_t>(LatClass::Store)] = 1;
         lat[static_cast<size_t>(LatClass::Branch)] = 1;
+        lat[static_cast<size_t>(LatClass::FpNarrow)] =
+            static_cast<uint64_t>(cfg.resolvedFpNarrowLatency());
 
         pipe[static_cast<size_t>(LatClass::IntAlu)] = &intSlots;
         pipe[static_cast<size_t>(LatClass::IntMul)] = &intSlots;
@@ -277,6 +282,7 @@ struct OooBatchLane
         pipe[static_cast<size_t>(LatClass::Load)] = &memSlots;
         pipe[static_cast<size_t>(LatClass::Store)] = &memSlots;
         pipe[static_cast<size_t>(LatClass::Branch)] = &intSlots;
+        pipe[static_cast<size_t>(LatClass::FpNarrow)] = &fpSlots;
     }
 
     // The SlotMap pointers alias this object's members: rebuild them
@@ -386,12 +392,18 @@ OooCore::runStreamBatch(
 std::string
 OooCore::cacheKey() const
 {
-    return csprintf("ooo:%s:fw%d:rob%d:ii%d:mi%d:fi%d:ld%d:fp%d:"
-                    "div%d:imul%d",
-                    cfg_.name.c_str(), cfg_.frontWidth, cfg_.robSize,
-                    cfg_.intIssue, cfg_.memIssue, cfg_.fpIssue,
-                    cfg_.loadLatency, cfg_.fpLatency,
-                    cfg_.fpDivLatency, cfg_.intMulLatency);
+    std::string key =
+        csprintf("ooo:%s:fw%d:rob%d:ii%d:mi%d:fi%d:ld%d:fp%d:"
+                 "div%d:imul%d",
+                 cfg_.name.c_str(), cfg_.frontWidth, cfg_.robSize,
+                 cfg_.intIssue, cfg_.memIssue, cfg_.fpIssue,
+                 cfg_.loadLatency, cfg_.fpLatency,
+                 cfg_.fpDivLatency, cfg_.intMulLatency);
+    // Only an explicit override is encoded: the derived default keeps
+    // every historical key (and cached cell) byte-identical.
+    if (cfg_.fpNarrowLatency > 0)
+        key += csprintf(":fpn%d", cfg_.fpNarrowLatency);
+    return key;
 }
 
 TimingResult
@@ -414,7 +426,8 @@ OooCore::runAos(const isa::Program &prog) const
     std::vector<uint64_t> &finish = scratch.finish;
     RegReadyFile &regs = scratch.regs;
 
-    auto latency_of = [&](UopKind k) -> uint64_t {
+    auto latency_of = [&](const Uop &u) -> uint64_t {
+        const UopKind k = u.kind;
         switch (k) {
           case UopKind::IntAlu: return 1;
           case UopKind::IntMul:
@@ -424,7 +437,9 @@ OooCore::runAos(const isa::Program &prog) const
           case UopKind::FpFma:
           case UopKind::FpMinMax:
           case UopKind::FpAbs:
-            return static_cast<uint64_t>(cfg_.fpLatency);
+            return static_cast<uint64_t>(
+                u.sew < 32 ? cfg_.resolvedFpNarrowLatency()
+                           : cfg_.fpLatency);
           case UopKind::FpDiv:
             return static_cast<uint64_t>(cfg_.fpDivLatency);
           case UopKind::FpCmp:
@@ -469,7 +484,7 @@ OooCore::runAos(const isa::Program &prog) const
                              ? mem_slots
                              : fp_slots;
         uint64_t issue = slots.claimFrom(t);
-        uint64_t done = issue + latency_of(u.kind);
+        uint64_t done = issue + latency_of(u);
         finish[i] = done;
         regs.setReady(u.dst, done);
 

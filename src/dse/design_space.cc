@@ -127,6 +127,15 @@ DesignSpace::setFreqsHz(std::vector<double> v)
 }
 
 DesignSpace &
+DesignSpace::setFormats(std::vector<matlib::NumericFormat> v)
+{
+    if (v.empty())
+        rtoc_fatal("DesignSpace '%s': empty format axis", name_.c_str());
+    formats_ = std::move(v);
+    return *this;
+}
+
+DesignSpace &
 DesignSpace::setAxis(const std::string &name, std::vector<double> values)
 {
     if (values.empty())
@@ -149,7 +158,8 @@ DesignSpace::axis(const std::string &name) const
 size_t
 DesignSpace::size() const
 {
-    return configs_.size() * lat_.size() * width_.size() * freq_.size();
+    return formats_.size() * configs_.size() * lat_.size() *
+           width_.size() * freq_.size();
 }
 
 PointSpec
@@ -162,14 +172,20 @@ DesignSpace::point(size_t flat) const
     p.width = static_cast<int>(flat % width_.size());
     flat /= width_.size();
     p.lat = static_cast<int>(flat % lat_.size());
-    p.config = static_cast<int>(flat / lat_.size());
+    flat /= lat_.size();
+    // Format outermost: the single-format default decodes flat
+    // indices exactly as the historical four-axis space.
+    p.config = static_cast<int>(flat % configs_.size());
+    p.fmt = static_cast<int>(flat / configs_.size());
     return p;
 }
 
 size_t
 DesignSpace::flatIndex(const PointSpec &p) const
 {
-    return ((static_cast<size_t>(p.config) * lat_.size() + p.lat) *
+    return (((static_cast<size_t>(p.fmt) * configs_.size() + p.config) *
+                 lat_.size() +
+             p.lat) *
                 width_.size() +
             p.width) *
                freq_.size() +
@@ -185,21 +201,26 @@ DesignSpace::materialize(const PointSpec &p, Fidelity f,
     const ConfigEntry &e = configs_[p.config];
     const double lat = lat_[p.lat];
     const double width = width_[p.width];
+    rtoc_assert(p.fmt >= 0 && p.fmt < static_cast<int>(formats_.size()));
+    const matlib::NumericFormat fmt = formats_[p.fmt];
 
     Candidate c;
     c.model = e.model(lat, width);
     c.name = e.name + scaleSuffix(lat, width);
-    c.progKey = e.progKey(f);
+    if (fmt != matlib::NumericFormat::F32)
+        c.name += std::string("@") + matlib::formatName(fmt);
+    c.progKey = e.progKey(f, fmt);
     // schedKeySuffix() keeps sched-on cell costs from aliasing the
     // baseline cells (empty — keys untouched — when RTOC_SCHED is
-    // off).
+    // off); the numeric format is carried inside progKey via the
+    // emitting backend's cacheKey.
     c.cellKey =
         c.model->cacheKey() + "|" + c.progKey + isa::schedKeySuffix();
     c.extraCycles = e.extraCycles;
     c.areaMm2 = e.area ? e.area(width) : 0.0;
     c.freqHz = freq_[p.freq];
     if (with_program)
-        c.prog = e.emit(f);
+        c.prog = e.emit(f, fmt);
     return c;
 }
 
@@ -230,12 +251,16 @@ DesignSpace::countDistinctCells(Fidelity f) const
     // cell abstraction), so count the actual key set.
     std::set<std::string> keys;
     PointSpec p;
-    for (p.config = 0; p.config < static_cast<int>(configs_.size());
-         ++p.config) {
-        for (p.lat = 0; p.lat < static_cast<int>(lat_.size()); ++p.lat) {
-            for (p.width = 0; p.width < static_cast<int>(width_.size());
-                 ++p.width) {
-                keys.insert(cellKey(p, f));
+    for (p.fmt = 0; p.fmt < static_cast<int>(formats_.size()); ++p.fmt) {
+        for (p.config = 0; p.config < static_cast<int>(configs_.size());
+             ++p.config) {
+            for (p.lat = 0; p.lat < static_cast<int>(lat_.size());
+                 ++p.lat) {
+                for (p.width = 0;
+                     p.width < static_cast<int>(width_.size());
+                     ++p.width) {
+                    keys.insert(cellKey(p, f));
+                }
             }
         }
     }

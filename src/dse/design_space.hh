@@ -18,7 +18,11 @@
  *    purely scalar families, whose points alias one replay cell);
  *  - a *frequency* axis, which never changes replayed cycles — many
  *    design points share one (model, stream) replay cell and differ
- *    only in the analytic solves/s = freq / cycles conversion.
+ *    only in the analytic solves/s = freq / cycles conversion;
+ *  - a *numeric-format* axis (default {float32}): narrow formats
+ *    re-emit the stream at their element width, so each format is a
+ *    distinct cached program and replay cell — the precision side of
+ *    the Pareto frontier.
  *
  * The solver-iteration axis rides on Fidelity: a Low-fidelity point
  * replays a short (1-iteration) solve stream, the cheap rung
@@ -44,6 +48,7 @@
 #include "cpu/inorder.hh"
 #include "cpu/ooo.hh"
 #include "isa/program.hh"
+#include "matlib/fixed.hh"
 #include "systolic/gemmini.hh"
 #include "vector/saturn.hh"
 
@@ -52,13 +57,16 @@ namespace rtoc::dse {
 /** Evaluation fidelity: the solver-iteration axis of the space. */
 enum class Fidelity { Low, Full };
 
-/** Coordinates of one design point (indices into the four axes). */
+/** Coordinates of one design point (indices into the axes). */
 struct PointSpec
 {
     int config = 0; ///< index into DesignSpace::configs()
     int lat = 0;    ///< index into latScales()
     int width = 0;  ///< index into widthScales()
     int freq = 0;   ///< index into freqsHz()
+    int fmt = 0;    ///< index into formats() (0 = the single-format
+                    ///< default, so historical brace-inits still name
+                    ///< the same point)
 };
 
 /** A materialized, runnable design point. */
@@ -83,11 +91,15 @@ struct ConfigEntry
     std::function<std::unique_ptr<cpu::TimingModel>(double, double)>
         model;
 
-    /** Emit (or fetch from the program cache) the stream to replay. */
-    std::function<std::shared_ptr<const isa::Program>(Fidelity)> emit;
+    /** Emit (or fetch from the program cache) the stream to replay at
+     *  a fidelity and numeric format (the format sets the emitted
+     *  element width — narrow streams are distinct cached programs). */
+    std::function<std::shared_ptr<const isa::Program>(
+        Fidelity, matlib::NumericFormat)>
+        emit;
 
     /** Stable cross-process identity of that stream. */
-    std::function<std::string(Fidelity)> progKey;
+    std::function<std::string(Fidelity, matlib::NumericFormat)> progKey;
 
     /** Area at a width scale (1.0 = nominal). */
     std::function<double(double)> area;
@@ -115,6 +127,9 @@ class DesignSpace
     DesignSpace &setLatScales(std::vector<double> v);
     DesignSpace &setWidthScales(std::vector<double> v);
     DesignSpace &setFreqsHz(std::vector<double> v);
+    /** Numeric-format axis (default {F32}: point ordering, keys and
+     *  sizes stay exactly the historical single-format space). */
+    DesignSpace &setFormats(std::vector<matlib::NumericFormat> v);
 
     /**
      * Attach an extra named enumerable axis (UART baud, disturbance
@@ -130,13 +145,19 @@ class DesignSpace
     const std::vector<double> &latScales() const { return lat_; }
     const std::vector<double> &widthScales() const { return width_; }
     const std::vector<double> &freqsHz() const { return freq_; }
+    const std::vector<matlib::NumericFormat> &formats() const
+    {
+        return formats_;
+    }
 
-    /** Point count: |configs| x |lat| x |width| x |freq|. */
+    /** Point count: |formats| x |configs| x |lat| x |width| x |freq|. */
     size_t size() const;
 
     /**
-     * Decode a flat index (config-major, frequency fastest) so
-     * single-valued axes preserve pure configuration order.
+     * Decode a flat index (format outermost, then config-major with
+     * frequency fastest) so single-valued axes preserve pure
+     * configuration order — with the default single-format axis the
+     * flat ordering is exactly the historical one.
      */
     PointSpec point(size_t flat) const;
     size_t flatIndex(const PointSpec &p) const;
@@ -159,6 +180,10 @@ class DesignSpace
     {
         return width_[p.width];
     }
+    matlib::NumericFormat format(const PointSpec &p) const
+    {
+        return formats_[p.fmt];
+    }
 
     /**
      * Distinct replay cells behind the whole space at @p f — the cost
@@ -173,6 +198,8 @@ class DesignSpace
     std::vector<double> lat_{1.0};
     std::vector<double> width_{1.0};
     std::vector<double> freq_{1e9};
+    std::vector<matlib::NumericFormat> formats_{
+        matlib::NumericFormat::F32};
     std::map<std::string, std::vector<double>> customAxes_;
 };
 

@@ -16,6 +16,15 @@ ControlSession::ControlSession(plant::Plant &plant, const HilConfig &cfg)
       x0_(static_cast<size_t>(plant.nx()), 0.0f),
       last_cmd_(plant.trimCommand())
 {
+    if (cfg.format != matlib::NumericFormat::F32) {
+        // Narrow datapath: quantize the solver arithmetic with shift
+        // schedules derived from the freshly built workspace (gains
+        // and dynamics are known here, exactly the offline static
+        // analysis a deployment would run).
+        backend_.setFormat(cfg.format);
+        backend_.setFixedScaling(
+            tinympc::calibrateFixedScaling(ws_, cfg.format));
+    }
     if (policy_.fixedTrim())
         return;
     // Relinearization bookkeeping: cost matrices for the Riccati
@@ -87,6 +96,12 @@ ControlSession::refresh(TickResult &out)
     std::vector<float> flo, fhi;
     plant_.inputBoundDeltas(flo, fhi);
     ws_.setInputBounds(flo, fhi);
+    // Refreshed gains can outgrow the old shift schedule: re-derive
+    // the fixed-point scaling against the new cache.
+    if (backend_.format() != matlib::NumericFormat::F32) {
+        backend_.setFixedScaling(
+            tinympc::calibrateFixedScaling(ws_, backend_.format()));
+    }
 
     span.arg("riccati_iters",
              static_cast<uint64_t>(cache->iterations));

@@ -16,6 +16,33 @@
 
 namespace rtoc::hil {
 
+namespace {
+
+/**
+ * fmt.* counter ids, interned lazily on the first narrow-format
+ * episode so format-off runs never grow their metrics section.
+ */
+struct FmtIds
+{
+    StatId divergedSolves;
+    StatId quantSats;
+    StatId accSats;
+};
+
+const FmtIds &
+fmtIds()
+{
+    static const FmtIds ids = [] {
+        obs::Registry &reg = obs::Registry::global();
+        return FmtIds{reg.counter("fmt.diverged_solves"),
+                      reg.counter("fmt.quant_sats"),
+                      reg.counter("fmt.acc_sats")};
+    }();
+    return ids;
+}
+
+} // namespace
+
 EpisodeResult
 runEpisode(plant::Plant &plant, const plant::Scenario &sc,
            const HilConfig &cfg)
@@ -37,10 +64,13 @@ runEpisode(plant::Plant &plant, const plant::Scenario &sc,
     double next_tick = 0.0;
     double busy_time = 0.0;
 
+    // Narrow formats ship quantized payloads over the tether: the
+    // element width scales the UART cost (f32 keeps the historical 4).
+    const int wire_bytes = matlib::formatElemBytes(cfg.format);
     const double uart_latency =
         cfg.idealPolicy ? 0.0
-                        : cfg.uart.uplinkS(plant.nx()) +
-                              cfg.uart.downlinkS(plant.nu());
+                        : cfg.uart.uplinkS(plant.nx(), wire_bytes) +
+                              cfg.uart.downlinkS(plant.nu(), wire_bytes);
 
     int revealed = 0;
     int reached = 0;
@@ -68,6 +98,8 @@ runEpisode(plant::Plant &plant, const plant::Scenario &sc,
         ControlSession::TickResult tr =
             session.tick(plant.reference(sc.waypoints[target_idx]));
         res.iterations.add(static_cast<double>(tr.solve.iterations));
+        if (tr.solve.diverged)
+            ++res.divergedSolves;
 
         double refresh_s = 0.0;
         if (tr.refreshAttempted) {
@@ -189,6 +221,18 @@ runEpisode(plant::Plant &plant, const plant::Scenario &sc,
     res.avgSocPowerW =
         pm.powerW(cfg.socFreqHz, res.computeUtilization);
     res.socEnergyJ = res.avgSocPowerW * res.missionTimeS;
+
+    if (cfg.format != matlib::NumericFormat::F32) {
+        const matlib::fx::Counters &fc =
+            session.solver().backend().fxCounters();
+        res.quantSats = fc.quantSats;
+        res.accSats = fc.accSats;
+        const FmtIds &ids = fmtIds();
+        obs::count(ids.divergedSolves,
+                   static_cast<uint64_t>(res.divergedSolves));
+        obs::count(ids.quantSats, res.quantSats);
+        obs::count(ids.accSats, res.accSats);
+    }
     return res;
 }
 
@@ -270,11 +314,13 @@ cellKey(const plant::Plant &proto, plant::Difficulty d, int n,
 {
     // The relinearization policy (and the refresh cycle model it
     // prices) changes closed-loop behaviour, so the memo key carries
-    // both — distinct policies never alias a cell.
+    // both — distinct policies never alias a cell. The numeric-format
+    // suffix is empty at float32, keeping historical keys (and warm
+    // memo entries) byte-identical.
     return csprintf(
         "%s|d%d|n%d|noise%g|arch:%s:%s|b%.17g|i%.17g|f%.17g|ideal%d|"
         "h%d|ctl%.17g|phys%.17g|uart%g/%d|pw:%s:%g:%g:%g:%g:%g|"
-        "%s|rb%.17g|ri%.17g",
+        "%s|rb%.17g|ri%.17g%s",
         proto.cacheKey().c_str(), static_cast<int>(d), n,
         dist.cmdNoiseSigma, cfg.timing.archName.c_str(),
         cfg.timing.mappingName.c_str(), cfg.timing.baseCycles,
@@ -284,7 +330,8 @@ cellKey(const plant::Plant &proto, plant::Difficulty d, int n,
         cfg.power.name.c_str(), cfg.power.leakageW,
         cfg.power.idleCapNfV2, cfg.power.busyCapNfV2, cfg.power.v0,
         cfg.power.vSlopePerGHz, cfg.relin.cacheKey().c_str(),
-        cfg.timing.refreshBaseCycles, cfg.timing.refreshCyclesPerIter);
+        cfg.timing.refreshBaseCycles, cfg.timing.refreshCyclesPerIter,
+        matlib::formatKeySuffix(cfg.format).c_str());
 }
 
 SweepCell
@@ -298,6 +345,7 @@ computeCell(const plant::Plant &proto, plant::Difficulty d,
     cell.freqMhz = cfg.socFreqHz / 1e6;
     cell.difficulty = d;
     cell.relin = cfg.relin;
+    cell.format = matlib::formatName(cfg.format);
 
     Distribution solve_ms;
     double iters_sum = 0.0;
@@ -308,6 +356,9 @@ computeCell(const plant::Plant &proto, plant::Difficulty d,
     double refreshes_sum = 0.0;
     double refresh_fail_sum = 0.0;
     double refresh_s_sum = 0.0;
+    double diverged_sum = 0.0;
+    double quant_sat_sum = 0.0;
+    double acc_sat_sum = 0.0;
     int successes = 0;
 
     // Episodes are independent and per-index seeded: fan them across
@@ -331,6 +382,9 @@ computeCell(const plant::Plant &proto, plant::Difficulty d,
         refreshes_sum += static_cast<double>(er.modelRefreshes);
         refresh_fail_sum += static_cast<double>(er.refreshFailures);
         refresh_s_sum += er.refreshTimeS;
+        diverged_sum += static_cast<double>(er.divergedSolves);
+        quant_sat_sum += static_cast<double>(er.quantSats);
+        acc_sat_sum += static_cast<double>(er.accSats);
         // The paper reports power only for successfully completed
         // tasks (Fig. 16c).
         if (er.success) {
@@ -353,6 +407,9 @@ computeCell(const plant::Plant &proto, plant::Difficulty d,
         cell.avgRefreshes = refreshes_sum / cell.episodes;
         cell.avgRefreshFailures = refresh_fail_sum / cell.episodes;
         cell.avgRefreshTimeS = refresh_s_sum / cell.episodes;
+        cell.avgDivergedSolves = diverged_sum / cell.episodes;
+        cell.avgQuantSats = quant_sat_sum / cell.episodes;
+        cell.avgAccSats = acc_sat_sum / cell.episodes;
     }
     return cell;
 }

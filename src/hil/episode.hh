@@ -29,6 +29,7 @@
 
 #include "common/stats.hh"
 #include "hil/timing.hh"
+#include "matlib/fixed.hh"
 #include "plant/plant.hh"
 #include "quad/scenario.hh"
 #include "soc/power_model.hh"
@@ -50,6 +51,12 @@ struct HilConfig
     /** Incremental-relinearization policy (default: fixed trim, the
      *  historical bit-identical path). */
     plant::RelinearizePolicy relin;
+    /** Numeric format of the on-SoC datapath (default from
+     *  RTOC_FORMAT, normally float32 — the bit-identical path).
+     *  Narrow formats quantize the solver arithmetic, shrink the
+     *  UART payload to their element width, and must be priced with
+     *  a ControllerTiming calibrated at the same format. */
+    matlib::NumericFormat format = matlib::defaultFormat();
 };
 
 /** Outcome of one episode. */
@@ -74,6 +81,10 @@ struct EpisodeResult
     /** Mean task-space distance to the active waypoint over the
      *  episode (the tracking-error metric bench_relin quantifies). */
     double trackingErrM = 0.0;
+    // Numeric-format telemetry (zero on the float32 path).
+    int divergedSolves = 0;   ///< solves with non-finite residuals
+    uint64_t quantSats = 0;   ///< fixed-point quantization saturations
+    uint64_t accSats = 0;     ///< fixed-point accumulator saturations
 };
 
 /** Run scenario @p sc on @p plant under @p cfg (plant is reset). */
@@ -104,6 +115,11 @@ struct SweepCell
     double avgRefreshes = 0.0;    ///< model refreshes per episode
     double avgRefreshFailures = 0.0; ///< diverged attempts per episode
     double avgRefreshTimeS = 0.0; ///< modelled refresh s per episode
+    // Numeric-format telemetry (f32 / zeros on the float32 path).
+    std::string format = "f32";   ///< datapath format of the cell
+    double avgDivergedSolves = 0.0; ///< diverged solves per episode
+    double avgQuantSats = 0.0;    ///< quantization sats per episode
+    double avgAccSats = 0.0;      ///< accumulator sats per episode
 };
 
 /**

@@ -421,7 +421,7 @@ namespace {
 struct CalibMemo
 {
     std::mutex mu;
-    std::map<std::tuple<int, int, int, double, int, bool>,
+    std::map<std::tuple<int, int, int, double, int, bool, int>,
              ControllerTiming>
         memo;
 };
@@ -436,12 +436,14 @@ calibMemo()
 template <typename MakeFn>
 ControllerTiming
 memoizedCalibration(int which, const plant::Plant &plant, double dt,
-                    int horizon, bool with_refresh, MakeFn &&make)
+                    int horizon, bool with_refresh,
+                    matlib::NumericFormat format, MakeFn &&make)
 {
     CalibMemo &m = calibMemo();
     std::lock_guard<std::mutex> lk(m.mu);
     auto key = std::make_tuple(which, plant.nx(), plant.nu(), dt,
-                               horizon, with_refresh);
+                               horizon, with_refresh,
+                               static_cast<int>(format));
     auto it = m.memo.find(key);
     if (it != m.memo.end()) {
         obs::count(calibIds().memoHits);
@@ -456,62 +458,76 @@ memoizedCalibration(int which, const plant::Plant &plant, double dt,
 
 ControllerTiming
 scalarControllerTiming(const plant::Plant &plant, double dt, int horizon,
-                       bool with_refresh)
+                       bool with_refresh, matlib::NumericFormat format)
 {
-    return memoizedCalibration(0, plant, dt, horizon, with_refresh, [&] {
-        cpu::InOrderCore core(cpu::InOrderConfig::shuttle());
-        matlib::ScalarBackend backend(matlib::ScalarFlavor::Optimized);
-        return calibrateTiming(core, backend,
-                               tinympc::MappingStyle::Library, plant,
-                               dt, horizon, &isa::DiskCache::global(),
-                               with_refresh);
-    });
+    return memoizedCalibration(
+        0, plant, dt, horizon, with_refresh, format, [&] {
+            cpu::InOrderCore core(cpu::InOrderConfig::shuttle());
+            matlib::ScalarBackend backend(
+                matlib::ScalarFlavor::Optimized);
+            backend.setFormat(format);
+            return calibrateTiming(core, backend,
+                                   tinympc::MappingStyle::Library, plant,
+                                   dt, horizon, &isa::DiskCache::global(),
+                                   with_refresh);
+        });
 }
 
 ControllerTiming
 vectorControllerTiming(const plant::Plant &plant, double dt, int horizon,
-                       bool with_refresh)
+                       bool with_refresh, matlib::NumericFormat format)
 {
-    return memoizedCalibration(1, plant, dt, horizon, with_refresh, [&] {
-        vector::SaturnModel saturn(
-            vector::SaturnConfig::make(512, 256, true));
-        matlib::RvvBackend backend(512,
-                                   matlib::RvvMapping::handOptimized());
-        return calibrateTiming(saturn, backend,
-                               tinympc::MappingStyle::Fused, plant, dt,
-                               horizon, &isa::DiskCache::global(),
-                               with_refresh);
-    });
+    return memoizedCalibration(
+        1, plant, dt, horizon, with_refresh, format, [&] {
+            vector::SaturnModel saturn(
+                vector::SaturnConfig::make(512, 256, true));
+            matlib::RvvBackend backend(
+                512, matlib::RvvMapping::handOptimized());
+            backend.setFormat(format);
+            return calibrateTiming(saturn, backend,
+                                   tinympc::MappingStyle::Fused, plant,
+                                   dt, horizon, &isa::DiskCache::global(),
+                                   with_refresh);
+        });
 }
 
 ControllerTiming
 gemminiControllerTiming(const plant::Plant &plant, double dt, int horizon,
-                        bool with_refresh)
+                        bool with_refresh, matlib::NumericFormat format)
 {
-    return memoizedCalibration(2, plant, dt, horizon, with_refresh, [&] {
-        systolic::GemminiModel gemmini(systolic::GemminiConfig::os4x4());
-        matlib::GemminiBackend backend(
-            matlib::GemminiMapping::fullyOptimized());
-        // Library style: the Gemmini backend rejects Fused emission
-        // (CISC tiled-matmul constraints).
-        return calibrateTiming(gemmini, backend,
-                               tinympc::MappingStyle::Library, plant,
-                               dt, horizon, &isa::DiskCache::global(),
-                               with_refresh);
-    });
+    return memoizedCalibration(
+        2, plant, dt, horizon, with_refresh, format, [&] {
+            systolic::GemminiModel gemmini(
+                systolic::GemminiConfig::os4x4());
+            matlib::GemminiBackend backend(
+                matlib::GemminiMapping::fullyOptimized());
+            backend.setFormat(format);
+            // Library style: the Gemmini backend rejects Fused emission
+            // (CISC tiled-matmul constraints).
+            return calibrateTiming(gemmini, backend,
+                                   tinympc::MappingStyle::Library, plant,
+                                   dt, horizon, &isa::DiskCache::global(),
+                                   with_refresh);
+        });
 }
 
 ControllerTiming
 namedControllerTiming(const std::string &model,
                       const plant::Plant &plant, double dt, int horizon,
-                      bool with_refresh)
+                      bool with_refresh, matlib::NumericFormat format)
 {
-    if (model == "scalar")
-        return scalarControllerTiming(plant, dt, horizon, with_refresh);
-    if (model == "gemmini")
-        return gemminiControllerTiming(plant, dt, horizon, with_refresh);
-    if (model == "vector" || model == "ideal")
-        return vectorControllerTiming(plant, dt, horizon, with_refresh);
+    if (model == "scalar") {
+        return scalarControllerTiming(plant, dt, horizon, with_refresh,
+                                      format);
+    }
+    if (model == "gemmini") {
+        return gemminiControllerTiming(plant, dt, horizon, with_refresh,
+                                       format);
+    }
+    if (model == "vector" || model == "ideal") {
+        return vectorControllerTiming(plant, dt, horizon, with_refresh,
+                                      format);
+    }
     rtoc_fatal("unknown timing model '%s'", model.c_str());
 }
 

@@ -114,17 +114,29 @@ calibrateTimingBatch(const std::vector<const cpu::CoreModel *> &models,
  * RVV on the large Saturn core (VLEN=512, DLEN=256, Shuttle
  * frontend), and the fully-optimized Gemmini mapping on the OS 4x4
  * systolic array (library style: Fused is rejected at emission time
- * by the Gemmini backend). Memoized per (impl, nx, nu, dt, horizon).
+ * by the Gemmini backend). Memoized per (impl, nx, nu, dt, horizon,
+ * refresh-awareness, format).
+ *
+ * @p format prices a narrow datapath: the backend emits its stream at
+ * the format's element width, so vector lanes pack more elements and
+ * coprocessor bus transfers shrink. float32 (the default) keeps every
+ * historical key and fit byte-identical.
  */
-ControllerTiming scalarControllerTiming(const plant::Plant &plant,
-                                        double dt, int horizon,
-                                        bool with_refresh = false);
-ControllerTiming vectorControllerTiming(const plant::Plant &plant,
-                                        double dt, int horizon,
-                                        bool with_refresh = false);
-ControllerTiming gemminiControllerTiming(const plant::Plant &plant,
-                                         double dt, int horizon,
-                                         bool with_refresh = false);
+ControllerTiming
+scalarControllerTiming(const plant::Plant &plant, double dt, int horizon,
+                       bool with_refresh = false,
+                       matlib::NumericFormat format =
+                           matlib::NumericFormat::F32);
+ControllerTiming
+vectorControllerTiming(const plant::Plant &plant, double dt, int horizon,
+                       bool with_refresh = false,
+                       matlib::NumericFormat format =
+                           matlib::NumericFormat::F32);
+ControllerTiming
+gemminiControllerTiming(const plant::Plant &plant, double dt, int horizon,
+                        bool with_refresh = false,
+                        matlib::NumericFormat format =
+                            matlib::NumericFormat::F32);
 
 /**
  * Named-model dispatch shared by the sweep benches
@@ -133,10 +145,11 @@ ControllerTiming gemminiControllerTiming(const plant::Plant &plant,
  * vector timing (unused by an ideal policy, kept for struct
  * completeness).
  */
-ControllerTiming namedControllerTiming(const std::string &model,
-                                       const plant::Plant &plant,
-                                       double dt, int horizon,
-                                       bool with_refresh = false);
+ControllerTiming
+namedControllerTiming(const std::string &model, const plant::Plant &plant,
+                      double dt, int horizon, bool with_refresh = false,
+                      matlib::NumericFormat format =
+                          matlib::NumericFormat::F32);
 
 /** Power model matching namedControllerTiming's dispatch. */
 soc::PowerParams namedPowerParams(const std::string &model);

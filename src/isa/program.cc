@@ -76,7 +76,8 @@ Program::nextId()
 
 Program::Program(const Program &o)
     : uops_(o.uops_), kernels_(o.kernels_), next_reg_(o.next_reg_),
-      next_vreg_(o.next_vreg_), kernel_open_(o.kernel_open_)
+      next_vreg_(o.next_vreg_), emit_sew_(o.emit_sew_),
+      kernel_open_(o.kernel_open_)
 {
 }
 
@@ -89,6 +90,7 @@ Program::operator=(const Program &o)
     kernels_ = o.kernels_;
     next_reg_ = o.next_reg_;
     next_vreg_ = o.next_vreg_;
+    emit_sew_ = o.emit_sew_;
     kernel_open_ = o.kernel_open_;
     invalidateColumns();
     return *this;
@@ -97,7 +99,7 @@ Program::operator=(const Program &o)
 Program::Program(Program &&o) noexcept
     : uops_(std::move(o.uops_)), kernels_(std::move(o.kernels_)),
       next_reg_(o.next_reg_), next_vreg_(o.next_vreg_),
-      kernel_open_(o.kernel_open_)
+      emit_sew_(o.emit_sew_), kernel_open_(o.kernel_open_)
 {
     o.invalidateColumns();
 }
@@ -111,6 +113,7 @@ Program::operator=(Program &&o) noexcept
     kernels_ = std::move(o.kernels_);
     next_reg_ = o.next_reg_;
     next_vreg_ = o.next_vreg_;
+    emit_sew_ = o.emit_sew_;
     kernel_open_ = o.kernel_open_;
     invalidateColumns();
     o.invalidateColumns();
@@ -177,7 +180,7 @@ Program::stream() const
         for (size_t i = 0; i < n; ++i) {
             const Uop &u = uops_[i];
             c.kind[i] = u.kind;
-            c.cls[i] = decodeClass(u.kind);
+            c.cls[i] = decodeClass(u.kind, u.sew);
             c.dst[i] = u.dst;
             c.src0[i] = u.src0;
             c.src1[i] = u.src1;
@@ -210,10 +213,28 @@ Program::assemble(std::vector<Uop> uops, std::vector<KernelRegion> kernels,
 size_t
 Program::push(const Uop &u)
 {
-    uops_.push_back(u);
+    if (emit_sew_ != 32) {
+        Uop w = u;
+        w.sew = emit_sew_;
+        if (w.bytes)
+            w.bytes = std::max<uint32_t>(
+                1, w.bytes * emit_sew_ / 32);
+        uops_.push_back(w);
+    } else {
+        uops_.push_back(u);
+    }
     if (cols_valid_.load(std::memory_order_relaxed))
         invalidateColumns();
     return uops_.size() - 1;
+}
+
+void
+Program::setEmitWidth(uint16_t sew_bits)
+{
+    if (sew_bits != 32 && sew_bits != 16 && sew_bits != 8)
+        rtoc_panic("setEmitWidth: unsupported element width %u",
+                   sew_bits);
+    emit_sew_ = sew_bits;
 }
 
 void

@@ -108,6 +108,17 @@ class Program
     size_t push(const Uop &u);
 
     /**
+     * Element width (bits) stamped onto subsequently pushed uops: push
+     * sets each uop's sew and scales its byte count by sew/32 (memory
+     * traffic shrinks with the element). The default 32 leaves pushed
+     * uops exactly as built — the float32 streams are byte-identical
+     * to the pre-format-axis ones. assemble() bypasses this (decoded
+     * streams already carry their widths).
+     */
+    void setEmitWidth(uint16_t sew_bits);
+    uint16_t emitWidth() const { return emit_sew_; }
+
+    /**
      * Pre-size the uop and region storage so emission appends without
      * reallocating (the ProgramCache sizes fresh emissions from the
      * previous stream of the same shape).
@@ -186,6 +197,7 @@ class Program
     std::vector<KernelRegion> kernels_;
     uint32_t next_reg_ = 1;
     uint32_t next_vreg_ = 1;
+    uint16_t emit_sew_ = 32;
     bool kernel_open_ = false;
     uint64_t id_ = nextId();
 

@@ -39,6 +39,17 @@ decodeClass(UopKind k)
     }
 }
 
+uint8_t
+decodeClass(UopKind k, uint16_t sew)
+{
+    uint8_t c = decodeClass(k);
+    if (sew < 32 && latClassOf(c) == LatClass::Fp)
+        c = static_cast<uint8_t>(
+            (c & ~kClsLatMask) |
+            static_cast<uint8_t>(LatClass::FpNarrow));
+    return c;
+}
+
 bool
 isScalar(UopKind k)
 {

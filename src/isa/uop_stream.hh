@@ -47,6 +47,7 @@ enum class LatClass : uint8_t {
     Store,
     Branch,
     Coproc,  ///< vector or RoCC kind, executed by a coprocessor
+    FpNarrow, ///< pipelined FPU op at sub-32-bit element width
     NumClasses,
 };
 
@@ -64,6 +65,14 @@ constexpr uint8_t kClsScalar = 0x40;
 
 /** Decode @p k into its class byte (pure function of the kind). */
 uint8_t decodeClass(UopKind k);
+
+/**
+ * Width-aware decode: pipelined FPU kinds at sub-32-bit element width
+ * map to LatClass::FpNarrow (same port flags), so per-run latency
+ * tables can price narrow arithmetic separately. At sew == 32 this is
+ * exactly decodeClass(k) — the float32 class column is unchanged.
+ */
+uint8_t decodeClass(UopKind k, uint16_t sew);
 
 /** LatClass stored in a class byte. */
 inline LatClass

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "isa/program.hh"
+#include "matlib/fixed.hh"
 #include "matlib/mat.hh"
 
 namespace rtoc::matlib {
@@ -41,11 +42,47 @@ class Backend
      * ProgramCache: two backends with equal cacheKey() emit
      * bit-identical streams for the same solve shape.
      */
-    virtual std::string cacheKey() const { return name(); }
+    virtual std::string cacheKey() const
+    {
+        return name() + matlib::formatKeySuffix(fmt_);
+    }
 
-    /** Attach/detach the emission target. */
-    void setProgram(isa::Program *prog) { prog_ = prog; }
+    /**
+     * Attach/detach the emission target. The program inherits the
+     * backend's element width: pushed uops carry the format's sew and
+     * width-scaled byte counts, so narrow-format streams are distinct
+     * (and distinctly priced) programs.
+     */
+    void
+    setProgram(isa::Program *prog)
+    {
+        prog_ = prog;
+        if (prog_)
+            prog_->setEmitWidth(static_cast<uint16_t>(sewBits()));
+    }
     isa::Program *program() const { return prog_; }
+
+    // --- numeric-format axis (default F32: bit-identical baseline) ---
+
+    /** Datapath element format of the MAC kernels. */
+    NumericFormat format() const { return fmt_; }
+
+    /** Select the datapath format (F32 restores the exact baseline). */
+    void setFormat(NumericFormat f) { fmt_ = f; }
+
+    /** Per-kernel fixed-point shift schedule (I16/I32 only). */
+    void setFixedScaling(const fx::Scaling &s) { scaling_ = s; }
+    const fx::Scaling &fixedScaling() const { return scaling_; }
+
+    /** Element width in bits of emitted uops for this format. */
+    int sewBits() const { return formatSewBits(fmt_); }
+
+    /** Element width in bytes (payload/DMA sizing). */
+    int elemBytes() const { return formatElemBytes(fmt_); }
+
+    /** Saturation telemetry accumulated by the fx kernels. */
+    const fx::Counters &fxCounters() const { return fxCounters_; }
+    void resetFxCounters() { fxCounters_ = fx::Counters(); }
 
     // --- operations (see ref:: for semantics) ---
     virtual void gemv(Mat y, const Mat &a, Mat x, float alpha = 1.0f,
@@ -94,8 +131,11 @@ class Backend
         if (emitting()) {
             gemv(y, a, x, alpha, beta);
             saxpby(y, sa, y, sb, b);
-        } else {
+        } else if (fmt_ == NumericFormat::F32) {
             ref::gemvSaxpby(y, a, x, alpha, beta, sa, sb, b);
+        } else {
+            fx::gemvSaxpby(fmt_, scaling_, fxCounters_, y, a, x, alpha,
+                           beta, sa, sb, b);
         }
     }
 
@@ -121,7 +161,43 @@ class Backend
     /** True when emission is active. */
     bool emitting() const { return prog_ != nullptr; }
 
+    /**
+     * Format-dispatched MAC kernels for the concrete backends' compute
+     * halves: exact ref:: float32 at the default, fx:: quantized
+     * datapaths otherwise. Emission is unaffected — only the computed
+     * values (and the saturation counters) change with the format.
+     */
+    void
+    computeGemv(Mat y, const Mat &a, Mat x, float alpha, float beta)
+    {
+        if (fmt_ == NumericFormat::F32)
+            ref::gemv(y, a, x, alpha, beta);
+        else
+            fx::gemv(fmt_, scaling_, fxCounters_, y, a, x, alpha, beta);
+    }
+
+    void
+    computeGemvT(Mat y, const Mat &a, Mat x, float alpha, float beta)
+    {
+        if (fmt_ == NumericFormat::F32)
+            ref::gemvT(y, a, x, alpha, beta);
+        else
+            fx::gemvT(fmt_, scaling_, fxCounters_, y, a, x, alpha, beta);
+    }
+
+    void
+    computeSaxpby(Mat out, float sa, const Mat &a, float sb, const Mat &b)
+    {
+        if (fmt_ == NumericFormat::F32)
+            ref::saxpby(out, sa, a, sb, b);
+        else
+            fx::saxpby(fmt_, scaling_, fxCounters_, out, sa, a, sb, b);
+    }
+
     isa::Program *prog_ = nullptr;
+    NumericFormat fmt_ = NumericFormat::F32;
+    fx::Scaling scaling_;
+    fx::Counters fxCounters_;
 };
 
 } // namespace rtoc::matlib

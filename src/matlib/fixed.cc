@@ -1,0 +1,325 @@
+#include "matlib/fixed.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace rtoc::matlib {
+
+const char *
+formatName(NumericFormat f)
+{
+    switch (f) {
+      case NumericFormat::F32: return "f32";
+      case NumericFormat::I16: return "i16";
+      case NumericFormat::I32: return "i32";
+      case NumericFormat::BF16: return "bf16";
+    }
+    rtoc_panic("formatName: bad format %d", static_cast<int>(f));
+}
+
+int
+formatSewBits(NumericFormat f)
+{
+    switch (f) {
+      case NumericFormat::F32: return 32;
+      case NumericFormat::I16: return 16;
+      case NumericFormat::I32: return 32;
+      case NumericFormat::BF16: return 16;
+    }
+    rtoc_panic("formatSewBits: bad format %d", static_cast<int>(f));
+}
+
+int
+formatElemBytes(NumericFormat f)
+{
+    return formatSewBits(f) / 8;
+}
+
+std::string
+formatKeySuffix(NumericFormat f)
+{
+    if (f == NumericFormat::F32)
+        return "";
+    return std::string("|fmt:") + formatName(f);
+}
+
+NumericFormat
+parseFormat(const std::string &name)
+{
+    if (name == "f32")
+        return NumericFormat::F32;
+    if (name == "i16")
+        return NumericFormat::I16;
+    if (name == "i32")
+        return NumericFormat::I32;
+    if (name == "bf16")
+        return NumericFormat::BF16;
+    rtoc_fatal("unknown numeric format '%s' (want f32|i16|i32|bf16)",
+               name.c_str());
+}
+
+NumericFormat
+defaultFormat()
+{
+    static NumericFormat cached = [] {
+        const char *env = std::getenv("RTOC_FORMAT");
+        if (!env || !*env)
+            return NumericFormat::F32;
+        return parseFormat(env);
+    }();
+    return cached;
+}
+
+namespace fx {
+
+float
+toBf16(float v)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    // Round to nearest even on the truncated 16 mantissa bits; NaN
+    // payloads are forced to a quiet pattern instead of rounding.
+    if ((bits & 0x7f800000u) == 0x7f800000u && (bits & 0x007fffffu)) {
+        bits = (bits & 0xffff0000u) | 0x00400000u;
+    } else {
+        bits += 0x7fffu + ((bits >> 16) & 1u);
+        bits &= 0xffff0000u;
+    }
+    float out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+}
+
+namespace {
+
+/** Raw element bits available below the sign bit. */
+int
+magnitudeBits(NumericFormat f)
+{
+    return f == NumericFormat::I16 ? 15 : 31;
+}
+
+/** Fraction bits that keep |v| <= range representable. */
+int
+fracBitsFor(NumericFormat f, double range)
+{
+    // Headroom of 2x over the calibrated range before the quantizer
+    // clamps; the saturating datapath absorbs (and counts) the rest.
+    double bound = std::max(range, 1e-6) * 2.0;
+    int int_bits = std::max(0, static_cast<int>(
+        std::ceil(std::log2(bound))));
+    return std::max(0, std::min(magnitudeBits(f) - 1 - int_bits,
+                                magnitudeBits(f) - 1));
+}
+
+/** Quantize @p v onto a 2^-frac grid, clamping to the element range. */
+int64_t
+quantizeSat(NumericFormat f, float v, int frac, uint64_t &sat_count)
+{
+    const int64_t lim = (int64_t{1} << magnitudeBits(f)) - 1;
+    double scaled = static_cast<double>(v) * std::ldexp(1.0, frac);
+    if (!std::isfinite(scaled)) {
+        ++sat_count;
+        return scaled > 0 ? lim : -lim - 1;
+    }
+    if (scaled >= static_cast<double>(lim)) {
+        if (scaled > static_cast<double>(lim))
+            ++sat_count;
+        return lim;
+    }
+    if (scaled <= static_cast<double>(-lim - 1)) {
+        if (scaled < static_cast<double>(-lim - 1))
+            ++sat_count;
+        return -lim - 1;
+    }
+    return std::llround(scaled);
+}
+
+float
+dequantize(int64_t q, int frac)
+{
+    return static_cast<float>(std::ldexp(static_cast<double>(q), -frac));
+}
+
+/**
+ * Saturating accumulator add: i16 datapaths accumulate in int32
+ * (products are 16x16 -> 32 bit, sums clamp at int32), i32 datapaths
+ * in int64 with overflow clamping.
+ */
+int64_t
+accAddSat(NumericFormat f, int64_t acc, int64_t prod, uint64_t &sat_count)
+{
+    if (f == NumericFormat::I16) {
+        const int64_t lim = INT32_MAX;
+        int64_t sum = acc + prod;
+        if (sum > lim) {
+            ++sat_count;
+            return lim;
+        }
+        if (sum < -lim - 1) {
+            ++sat_count;
+            return -lim - 1;
+        }
+        return sum;
+    }
+    int64_t sum;
+    if (__builtin_add_overflow(acc, prod, &sum)) {
+        ++sat_count;
+        return acc > 0 ? INT64_MAX : INT64_MIN;
+    }
+    return sum;
+}
+
+/**
+ * Round-shift a double-width accumulator (at a_frac + x_frac) onto the
+ * @p out_frac output grid with saturation — the per-kernel shift
+ * schedule of the fixed-point MAC.
+ */
+int64_t
+shiftRoundSat(NumericFormat f, int64_t acc, int shift, uint64_t &sat_count)
+{
+    int64_t v = acc;
+    if (shift > 0) {
+        const int64_t half = int64_t{1} << (shift - 1);
+        // Round half away from zero, matching llround in the quantizer.
+        v = v >= 0 ? (v + half) >> shift : -((-v + half) >> shift);
+    } else if (shift < 0) {
+        v <<= -shift;
+    }
+    const int64_t lim = (int64_t{1} << magnitudeBits(f)) - 1;
+    if (v > lim) {
+        ++sat_count;
+        return lim;
+    }
+    if (v < -lim - 1) {
+        ++sat_count;
+        return -lim - 1;
+    }
+    return v;
+}
+
+/** One fixed-point dot product of a matrix row against x. */
+float
+fxDot(NumericFormat f, const KernelSpec &s, Counters &c, const Mat &a,
+      int row, Mat x, bool transposed)
+{
+    const int n = x.cols;
+    int64_t acc = 0;
+    for (int j = 0; j < n; ++j) {
+        float av = transposed ? a.at(j, row) : a.at(row, j);
+        int64_t qa = quantizeSat(f, av, s.aFrac, c.quantSats);
+        int64_t qx = quantizeSat(f, x[j], s.xFrac, c.quantSats);
+        acc = accAddSat(f, acc, qa * qx, c.accSats);
+    }
+    int64_t q = shiftRoundSat(f, acc, s.aFrac + s.xFrac - s.outFrac,
+                              c.accSats);
+    return dequantize(q, s.outFrac);
+}
+
+/** Scale-and-store onto the output grid (alpha/beta folding). */
+float
+fxStore(NumericFormat f, const KernelSpec &s, Counters &c, float v)
+{
+    return dequantize(quantizeSat(f, v, s.outFrac, c.quantSats),
+                      s.outFrac);
+}
+
+/** bfloat16 dot: bf16 operands, float32 accumulate. */
+float
+bfDot(const Mat &a, int row, Mat x, bool transposed)
+{
+    const int n = x.cols;
+    float acc = 0.0f;
+    for (int j = 0; j < n; ++j) {
+        float av = transposed ? a.at(j, row) : a.at(row, j);
+        acc += toBf16(av) * toBf16(x[j]);
+    }
+    return acc;
+}
+
+void
+gemvAny(NumericFormat f, const Scaling &sc, Counters &c, Mat y,
+        const Mat &a, Mat x, float alpha, float beta, bool transposed)
+{
+    const KernelSpec &s = transposed ? sc.gemvT : sc.gemv;
+    const int m = y.cols;
+    for (int i = 0; i < m; ++i) {
+        if (f == NumericFormat::BF16) {
+            float dot = bfDot(a, i, x, transposed);
+            y[i] = toBf16(alpha * dot + beta * toBf16(y[i]));
+        } else {
+            float dot = fxDot(f, s, c, a, i, x, transposed);
+            y[i] = fxStore(f, s, c, alpha * dot + beta * y[i]);
+        }
+    }
+}
+
+} // namespace
+
+Scaling
+Scaling::forRanges(NumericFormat f, double mat_range, double vec_range,
+                   double acc_range)
+{
+    Scaling sc;
+    if (f == NumericFormat::F32 || f == NumericFormat::BF16)
+        return sc; // bf16 carries its own exponent; no shift schedule
+    int a_frac = fracBitsFor(f, mat_range);
+    int x_frac = fracBitsFor(f, vec_range);
+    int out_frac = fracBitsFor(f, acc_range);
+    sc.gemv = {a_frac, x_frac, out_frac};
+    sc.gemvT = {a_frac, x_frac, out_frac};
+    // saxpby combines two vector-range operands onto the vector grid.
+    sc.saxpby = {x_frac, x_frac, out_frac};
+    return sc;
+}
+
+void
+gemv(NumericFormat f, const Scaling &s, Counters &c, Mat y, const Mat &a,
+     Mat x, float alpha, float beta)
+{
+    gemvAny(f, s, c, y, a, x, alpha, beta, false);
+}
+
+void
+gemvT(NumericFormat f, const Scaling &s, Counters &c, Mat y, const Mat &a,
+      Mat x, float alpha, float beta)
+{
+    gemvAny(f, s, c, y, a, x, alpha, beta, true);
+}
+
+void
+saxpby(NumericFormat f, const Scaling &s, Counters &c, Mat out, float sa,
+       const Mat &a, float sb, const Mat &b)
+{
+    const int n = out.size();
+    Mat af(a.data, 1, n), bf(b.data, 1, n), of(out.data, 1, n);
+    for (int i = 0; i < n; ++i) {
+        if (f == NumericFormat::BF16) {
+            of[i] = toBf16(sa * toBf16(af[i]) + sb * toBf16(bf[i]));
+        } else {
+            float av = dequantize(
+                quantizeSat(f, af[i], s.saxpby.aFrac, c.quantSats),
+                s.saxpby.aFrac);
+            float bv = dequantize(
+                quantizeSat(f, bf[i], s.saxpby.xFrac, c.quantSats),
+                s.saxpby.xFrac);
+            of[i] = fxStore(f, s.saxpby, c, sa * av + sb * bv);
+        }
+    }
+}
+
+void
+gemvSaxpby(NumericFormat f, const Scaling &s, Counters &c, Mat y,
+           const Mat &a, Mat x, float alpha, float beta, float sa,
+           float sb, const Mat &b)
+{
+    gemv(f, s, c, y, a, x, alpha, beta);
+    saxpby(f, s, c, y, sa, y, sb, b);
+}
+
+} // namespace fx
+
+} // namespace rtoc::matlib

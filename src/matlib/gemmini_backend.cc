@@ -71,7 +71,7 @@ GemminiBackend::cacheKey() const
            (mapping_.spadResident ? ":spad" : "") +
            (mapping_.useElementwise ? ":ewise" : "") +
            (mapping_.usePooling ? ":pool" : "") + ":mesh" +
-           std::to_string(mapping_.meshDim);
+           std::to_string(mapping_.meshDim) + formatKeySuffix(format());
 }
 
 void
@@ -120,7 +120,7 @@ GemminiBackend::emitCmd(UopKind kind, int rows, int cols, int bytes,
 int
 GemminiBackend::tiles(int r, int c) const
 {
-    int d = mapping_.meshDim;
+    int d = effMeshDim();
     return ((r + d - 1) / d) * ((c + d - 1) / d);
 }
 
@@ -147,8 +147,8 @@ GemminiBackend::initResident(std::initializer_list<const Mat *> mats)
         emitCmd(UopKind::RoccMvin, m->rows, m->cols, m->size() * 4);
     }
     for (int util = 0; util < 4; ++util) {
-        emitCmd(UopKind::RoccMvin, mapping_.meshDim, mapping_.meshDim,
-                mapping_.meshDim * mapping_.meshDim * 4);
+        emitCmd(UopKind::RoccMvin, effMeshDim(), effMeshDim(),
+                effMeshDim() * effMeshDim() * 4);
     }
 }
 
@@ -193,7 +193,7 @@ GemminiBackend::emitMeshEwise(int n, int passes)
 {
     // Elementwise strip on the mesh: operands packed across
     // scratchpad rows in meshDim-wide tiles.
-    int d = mapping_.meshDim;
+    int d = effMeshDim();
     int tile_count = (n + d * d - 1) / (d * d);
     for (int p = 0; p < passes; ++p) {
         if (!config_valid_) {
@@ -237,11 +237,11 @@ GemminiBackend::emitCpuFallback(int n, int fp_per_elem)
 void
 GemminiBackend::gemv(Mat y, const Mat &a, Mat x, float alpha, float beta)
 {
-    ref::gemv(y, a, x, alpha, beta);
+    computeGemv(y, a, x, alpha, beta);
     if (!emitting())
         return;
 
-    int d = mapping_.meshDim;
+    int d = effMeshDim();
     int tm = (a.rows + d - 1) / d;
     int tn = (a.cols + d - 1) / d;
 
@@ -292,12 +292,12 @@ GemminiBackend::gemv(Mat y, const Mat &a, Mat x, float alpha, float beta)
 void
 GemminiBackend::gemvT(Mat y, const Mat &a, Mat x, float alpha, float beta)
 {
-    ref::gemvT(y, a, x, alpha, beta);
+    computeGemvT(y, a, x, alpha, beta);
     if (!emitting())
         return;
     // Same tile walk with transposed roles.
     Mat fake(const_cast<float *>(a.data), a.cols, a.rows);
-    int d = mapping_.meshDim;
+    int d = effMeshDim();
     int tm = (fake.rows + d - 1) / d;
     int tn = (fake.cols + d - 1) / d;
     if (!config_valid_ || last_cfg_rows_ != fake.rows ||
@@ -326,7 +326,7 @@ GemminiBackend::gemm(Mat c, const Mat &a, const Mat &b)
     ref::gemm(c, a, b);
     if (!emitting())
         return;
-    int d = mapping_.meshDim;
+    int d = effMeshDim();
     int t = tiles(c.rows, c.cols) * ((a.cols + d - 1) / d);
     if (!config_valid_) {
         emitCmd(UopKind::RoccConfig, 0, 0);
@@ -345,7 +345,7 @@ void
 GemminiBackend::saxpby(Mat out, float sa, const Mat &a, float sb,
                        const Mat &b)
 {
-    ref::saxpby(out, sa, a, sb, b);
+    computeSaxpby(out, sa, a, sb, b);
     if (!emitting())
         return;
     stage(a);

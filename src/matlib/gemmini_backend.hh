@@ -123,6 +123,13 @@ class GemminiBackend : public Backend
     /** Number of mesh tiles covering r x c. */
     int tiles(int r, int c) const;
 
+    /** Mesh dimension at the current element width: each fp32 PE
+     *  processes two 16-bit lanes per cycle (real Gemmini runs narrow
+     *  precisions at proportionally higher throughput), so 16-bit
+     *  tiles cover twice the rows/cols. float32 (and int32) keep
+     *  meshDim — and the emitted stream — exactly as before. */
+    int effMeshDim() const { return mapping_.meshDim * 32 / sewBits(); }
+
     /** Elementwise mesh pass over @p n elements (ReLU/scale). */
     void emitMeshEwise(int n, int passes);
 

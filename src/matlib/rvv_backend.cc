@@ -60,7 +60,8 @@ RvvBackend::cacheKey() const
            std::to_string(mapping_.lmul) +
            (mapping_.unroll ? ":unroll" : "") +
            (mapping_.fuse ? ":fuse" : "") +
-           (mapping_.transposedLayout ? ":xpose" : "");
+           (mapping_.transposedLayout ? ":xpose" : "") +
+           formatKeySuffix(format());
 }
 
 void
@@ -381,7 +382,7 @@ RvvBackend::gemv(Mat y, const Mat &a, Mat x, float alpha, float beta)
     emitLibCallOverhead();
     if (emitting())
         flushVec(x.data); // scalar loads of x[j] need memory current
-    ref::gemv(y, a, x, alpha, beta);
+    computeGemv(y, a, x, alpha, beta);
     emitGemvStream(a.rows, a.cols, beta != 0.0f, alpha != 1.0f, y.data);
 }
 
@@ -391,7 +392,7 @@ RvvBackend::gemvT(Mat y, const Mat &a, Mat x, float alpha, float beta)
     emitLibCallOverhead();
     if (emitting())
         flushVec(x.data);
-    ref::gemvT(y, a, x, alpha, beta);
+    computeGemvT(y, a, x, alpha, beta);
     // The transpose of a row-major matrix is column-contiguous, so the
     // roles of the layout flag invert; hand-tuned code keeps both
     // layouts in the cache (KinfT etc.), so charge the same stream.
@@ -411,7 +412,7 @@ RvvBackend::saxpby(Mat out, float sa, const Mat &a, float sb,
                    const Mat &b)
 {
     emitLibCallOverhead();
-    ref::saxpby(out, sa, a, sb, b);
+    computeSaxpby(out, sa, a, sb, b);
     bool general = sa != 1.0f && sa != -1.0f;
     ewise(out, {&a, &b}, [&](int vl, const std::vector<uint32_t> &in) {
         uint32_t r = prog_->newVReg();

@@ -88,8 +88,9 @@ class RvvBackend : public Backend
         mapping_ = m;
     }
 
-    /** Elements per strip for elementwise kernels. */
-    int stripElems() const { return vlen_ / 32 * mapping_.lmul; }
+    /** Elements per strip for elementwise kernels: narrower elements
+     *  pack more lanes into one vector register group. */
+    int stripElems() const { return vlen_ / sewBits() * mapping_.lmul; }
 
   private:
     struct FusedVec

@@ -171,7 +171,7 @@ ScalarBackend::emitGemv(int m, int n, bool accumulate_into_y, bool scaled)
 void
 ScalarBackend::gemv(Mat y, const Mat &a, Mat x, float alpha, float beta)
 {
-    ref::gemv(y, a, x, alpha, beta);
+    computeGemv(y, a, x, alpha, beta);
     emitCallOverhead();
     emitGemv(a.rows, a.cols, beta != 0.0f, alpha != 1.0f);
 }
@@ -179,7 +179,7 @@ ScalarBackend::gemv(Mat y, const Mat &a, Mat x, float alpha, float beta)
 void
 ScalarBackend::gemvT(Mat y, const Mat &a, Mat x, float alpha, float beta)
 {
-    ref::gemvT(y, a, x, alpha, beta);
+    computeGemvT(y, a, x, alpha, beta);
     emitCallOverhead();
     // Column walk of a row-major matrix: same op counts, worse
     // locality; the scalar model charges it as a plain GEMV (cache
@@ -200,7 +200,7 @@ void
 ScalarBackend::saxpby(Mat out, float sa, const Mat &a, float sb,
                       const Mat &b)
 {
-    ref::saxpby(out, sa, a, sb, b);
+    computeSaxpby(out, sa, a, sb, b);
     emitCallOverhead();
     // load a, load b, one or two multiplies + add; the optimized
     // flavor folds +-1 scales into a single add/sub.

@@ -59,16 +59,18 @@ class UartModel
     }
 
     /** Host -> SoC: @p state_floats state + 3 target floats (the
-     *  quadrotor's 12-state message is the historical default). */
-    double uplinkS(int state_floats = 12) const
+     *  quadrotor's 12-state message is the historical default).
+     *  @p elem_bytes is the wire width per element: narrow numeric
+     *  formats ship int16 payloads and halve the tether time. */
+    double uplinkS(int state_floats = 12, int elem_bytes = 4) const
     {
-        return transferS((state_floats + 3) * 4);
+        return transferS((state_floats + 3) * elem_bytes);
     }
 
     /** SoC -> host: @p cmd_floats actuator command floats. */
-    double downlinkS(int cmd_floats = 4) const
+    double downlinkS(int cmd_floats = 4, int elem_bytes = 4) const
     {
-        return transferS(cmd_floats * 4);
+        return transferS(cmd_floats * elem_bytes);
     }
 
     double baud() const { return baud_; }

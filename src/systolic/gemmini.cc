@@ -107,6 +107,7 @@ GemminiModel::runStream(const isa::UopStreamView &view) const
     const uint16_t *const cols_col = view.cols;
     const uint32_t *const bytes_col = view.bytes;
     const uint8_t *const taken_col = view.taken;
+    const uint16_t *const sew_col = view.sew;
 
     // The DMA bus width is a power of two on every real
     // configuration; folding the per-op ceil-divide into a shift
@@ -128,11 +129,13 @@ GemminiModel::runStream(const isa::UopStreamView &view) const
             const uint16_t rows = rows_col[i];
             uint64_t move;
             if (cols_col[i] == 1 && rows > 1 && !cfg_.hardwareGemv) {
-                // Column vector: one element per cycle into/out of a
-                // scratchpad column (§4.2.4 inefficiency). The
+                // Column vector: one scratchpad entry per cycle
+                // (§4.2.4 inefficiency) — a 4-byte entry, so fp32
+                // moves one element per cycle (bytes/4 == rows,
+                // unchanged) while 16-bit formats pack two. The
                 // hardware-GEMV extension packs vectors across rows
                 // and moves them at full bandwidth instead.
-                move = rows;
+                move = (static_cast<uint64_t>(bytes_col[i]) + 3) / 4;
             } else {
                 move = div_bus(static_cast<uint64_t>(bytes_col[i]) +
                                bus - 1);
@@ -144,10 +147,16 @@ GemminiModel::runStream(const isa::UopStreamView &view) const
           }
           case UopKind::RoccPreload:
             return static_cast<uint64_t>(cfg_.meshDim);
-          case UopKind::RoccCompute:
-            // rows flow through a meshDim-deep pipeline.
-            return static_cast<uint64_t>(rows_col[i]) +
-                   2 * static_cast<uint64_t>(cfg_.meshDim);
+          case UopKind::RoccCompute: {
+            // Physical rows flow through a meshDim-deep pipeline: a
+            // narrow tile packs 32/sew elements per fp32 PE, so a
+            // sew-bit tile of r rows occupies ceil(r*sew/32) physical
+            // rows. At sew=32 this is exactly r — unchanged.
+            const uint64_t prows =
+                (static_cast<uint64_t>(rows_col[i]) * sew_col[i] + 31) /
+                32;
+            return prows + 2 * static_cast<uint64_t>(cfg_.meshDim);
+          }
           default:
             rtoc_panic("gemmini '%s': unsupported uop %s",
                        cfg_.name.c_str(), isa::uopName(kind_col[i]));
@@ -286,6 +295,7 @@ GemminiModel::runStreamBatch(
     const uint16_t *const cols_col = view.cols;
     const uint32_t *const bytes_col = view.bytes;
     const uint8_t *const taken_col = view.taken;
+    const uint16_t *const sew_col = view.sew;
 
     auto coproc = [&](const isa::UopStreamView &, size_t i,
                       const uint64_t *present, uint64_t *release,
@@ -324,8 +334,10 @@ GemminiModel::runStreamBatch(
             for (size_t l = 0; l < L; ++l) {
                 uint64_t move;
                 if (colvec && !hw_gemv[l]) {
-                    // Column vector: one element per cycle (§4.2.4).
-                    move = rows;
+                    // Column vector: one 4-byte scratchpad entry per
+                    // cycle (§4.2.4) — rows at fp32, packed pairs at
+                    // 16-bit widths.
+                    move = (bytes + 3) / 4;
                 } else {
                     const uint64_t x = bytes + bus[l] - 1;
                     move = bus_pow2[l] ? x >> bus_shift[l] : x / bus[l];
@@ -338,11 +350,16 @@ GemminiModel::runStreamBatch(
             for (size_t l = 0; l < L; ++l)
                 lat[l] = mesh_dim[l];
             break;
-          case UopKind::RoccCompute:
+          case UopKind::RoccCompute: {
+            // Physical pipeline rows: ceil(rows*sew/32) — packed
+            // pairs at 16-bit widths, exactly rows at fp32.
+            const uint64_t prows =
+                (static_cast<uint64_t>(rows_col[i]) * sew_col[i] + 31) /
+                32;
             for (size_t l = 0; l < L; ++l)
-                lat[l] = static_cast<uint64_t>(rows_col[i]) +
-                         2 * mesh_dim[l];
+                lat[l] = prows + 2 * mesh_dim[l];
             break;
+          }
           default:
             rtoc_panic("gemmini '%s': unsupported uop %s",
                        cfgs[0]->name.c_str(), isa::uopName(kind));
@@ -416,11 +433,13 @@ GemminiModel::runAos(const isa::Program &prog) const
           case UopKind::RoccMvout: {
             uint64_t move;
             if (u.cols == 1 && u.rows > 1 && !cfg_.hardwareGemv) {
-                // Column vector: one element per cycle into/out of a
-                // scratchpad column (§4.2.4 inefficiency). The
+                // Column vector: one scratchpad entry per cycle
+                // (§4.2.4 inefficiency) — a 4-byte entry, so fp32
+                // moves one element per cycle (bytes/4 == rows,
+                // unchanged) while 16-bit formats pack two. The
                 // hardware-GEMV extension packs vectors across rows
                 // and moves them at full bandwidth instead.
-                move = u.rows;
+                move = (static_cast<uint64_t>(u.bytes) + 3) / 4;
             } else {
                 move = (static_cast<uint64_t>(u.bytes) +
                         cfg_.busBytes - 1) /
@@ -433,10 +452,15 @@ GemminiModel::runAos(const isa::Program &prog) const
           }
           case UopKind::RoccPreload:
             return static_cast<uint64_t>(cfg_.meshDim);
-          case UopKind::RoccCompute:
-            // rows flow through a meshDim-deep pipeline.
-            return static_cast<uint64_t>(u.rows) +
-                   2 * static_cast<uint64_t>(cfg_.meshDim);
+          case UopKind::RoccCompute: {
+            // Physical rows flow through a meshDim-deep pipeline: a
+            // narrow tile packs 32/sew elements per fp32 PE, so a
+            // sew-bit tile of r rows occupies ceil(r*sew/32) physical
+            // rows. At sew=32 this is exactly r — unchanged.
+            const uint64_t prows =
+                (static_cast<uint64_t>(u.rows) * u.sew + 31) / 32;
+            return prows + 2 * static_cast<uint64_t>(cfg_.meshDim);
+          }
           default:
             rtoc_panic("gemmini '%s': unsupported uop %s",
                        cfg_.name.c_str(), isa::uopName(u.kind));

@@ -1,5 +1,8 @@
 #include "solver.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/logging.hh"
 #include "matlib/gemmini_backend.hh"
 
@@ -357,6 +360,18 @@ Solver::solve()
     }
     // Export the solution to the CPU/actuators (Gemmini: mvout+fence).
     backend_.sync();
+
+    // Divergence check: non-finite residuals or command mean the
+    // iteration blew up (compounding quantization error on narrow
+    // formats). Costs nu + 4 finiteness tests per solve.
+    bool finite = std::isfinite(res.primalResidualState) &&
+                  std::isfinite(res.dualResidualState) &&
+                  std::isfinite(res.primalResidualInput) &&
+                  std::isfinite(res.dualResidualInput);
+    matlib::Mat u0 = ws_.u.row(0);
+    for (int i = 0; finite && i < u0.cols; ++i)
+        finite = std::isfinite(u0[i]);
+    res.diverged = !finite;
     return res;
 }
 
@@ -421,6 +436,54 @@ emitModelRefresh(Workspace &ws, matlib::Backend &backend,
                       1.0f, 0.0f);
     }
     backend.sync();
+}
+
+matlib::fx::Scaling
+calibrateFixedScaling(Workspace &ws, matlib::NumericFormat f)
+{
+    auto mat_max = [](const Mat &m) {
+        double r = 0.0;
+        for (int i = 0; i < m.size(); ++i) {
+            double v = std::fabs(static_cast<double>(
+                m.data[static_cast<size_t>(i)]));
+            if (std::isfinite(v) && v > r)
+                r = v;
+        }
+        return r;
+    };
+
+    // Gain/dynamics ranges: exact — the cached LQR solution is known
+    // before the fixed-point datapath ever runs.
+    double mat_range = 1.0;
+    Buffer *mats[] = {&ws.kinf,   &ws.kinfT, &ws.pinf,
+                      &ws.quuInv, &ws.amBKt, &ws.adyn,
+                      &ws.bdyn,   &ws.bdynT};
+    for (Buffer *b : mats)
+        mat_range = std::max(mat_range, mat_max(b->view()));
+
+    // Trajectory ranges: references plus finite bound-box edges
+    // (sentinel "unbounded" magnitudes are excluded), with 4x
+    // excursion headroom for transients beyond the reference.
+    double vec_range = 1.0;
+    vec_range = std::max(vec_range, mat_max(ws.xRef.view()));
+    Buffer *boxes[] = {&ws.uMin, &ws.uMax, &ws.xMin, &ws.xMax};
+    for (Buffer *b : boxes) {
+        const Mat m = b->view();
+        for (int i = 0; i < m.size(); ++i) {
+            double v = std::fabs(static_cast<double>(
+                m.data[static_cast<size_t>(i)]));
+            if (std::isfinite(v) && v < 1e6 && v > vec_range)
+                vec_range = v;
+        }
+    }
+    vec_range *= 4.0;
+
+    // Dot-product / costate magnitudes: one gain row against a
+    // trajectory vector, with slack for the ADMM linear-cost terms.
+    double acc_range = mat_range * vec_range * 2.0;
+
+    return matlib::fx::Scaling::forRanges(f, mat_range, vec_range,
+                                          acc_range);
 }
 
 } // namespace rtoc::tinympc

@@ -42,6 +42,14 @@ struct SolveResult
     float dualResidualState = 0.0f;
     float primalResidualInput = 0.0f;
     float dualResidualInput = 0.0f;
+
+    /**
+     * Non-finite residuals or command: the iteration blew up. Never
+     * set on the float32 path in practice; narrow formats can diverge
+     * when quantization error compounds, and the precision bench
+     * reports the rate per scenario.
+     */
+    bool diverged = false;
 };
 
 /** The TinyMPC solver: ADMM over box-constrained LQR tracking. */
@@ -105,6 +113,17 @@ class Solver
  */
 void emitModelRefresh(Workspace &ws, matlib::Backend &backend,
                       int riccati_iters);
+
+/**
+ * Derive the per-kernel fixed-point shift schedule from the solved
+ * workspace: gain/dynamics matrix ranges from the cached LQR solution
+ * (known offline, exactly the Jerez-style static analysis) and
+ * trajectory ranges from the references and finite bound boxes with
+ * excursion headroom. Call after loadCache/refreshModel; apply with
+ * Backend::setFixedScaling.
+ */
+matlib::fx::Scaling calibrateFixedScaling(Workspace &ws,
+                                          matlib::NumericFormat f);
 
 /** RAII kernel-region marker (no-op without an attached program). */
 class KernelScope

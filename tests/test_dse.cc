@@ -110,8 +110,12 @@ addChainConfig(DesignSpace &s, const char *name, int fp_latency,
              return std::make_unique<cpu::InOrderCore>(
                  scaledInOrder(cfg, lat));
          },
-         [](Fidelity f) { return chainProgram(chainLen(f)); },
-         [](Fidelity f) { return csprintf("chain:%d", chainLen(f)); },
+         [](Fidelity f, matlib::NumericFormat) {
+             return chainProgram(chainLen(f));
+         },
+         [](Fidelity f, matlib::NumericFormat) {
+             return csprintf("chain:%d", chainLen(f));
+         },
          [area_mm2](double) { return area_mm2; }, 0});
 }
 

@@ -1,0 +1,478 @@
+/**
+ * @file
+ * Numeric-format axis tests: fixed-point kernels stay within the
+ * error bounds their Q-format schedules imply, saturation telemetry
+ * fires on engineered overflow, the float32 path is bit-identical
+ * whether the format is defaulted or set explicitly, narrow streams
+ * survive schedule search and batched replay bit-exactly, formats
+ * round-trip through the program codec / disk cache under distinct
+ * keys, and the DSE format axis enumerates without disturbing the
+ * single-format default.
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util.hh"
+#include "common/random.hh"
+#include "cpu/inorder.hh"
+#include "dse/design_space.hh"
+#include "hil/episode.hh"
+#include "hil/timing.hh"
+#include "isa/disk_cache.hh"
+#include "isa/program_cache.hh"
+#include "isa/sched_search.hh"
+#include "isa/schedule.hh"
+#include "matlib/fixed.hh"
+#include "matlib/gemmini_backend.hh"
+#include "matlib/rvv_backend.hh"
+#include "matlib/scalar_backend.hh"
+#include "plant/registry.hh"
+#include "systolic/gemmini.hh"
+#include "vector/saturn.hh"
+
+namespace rtoc {
+namespace {
+
+using matlib::Mat;
+using matlib::NumericFormat;
+namespace fx = matlib::fx;
+
+/** Owned random-filled matrix with entries in [-scale, scale]. */
+struct TestMat
+{
+    std::vector<float> data;
+    int rows, cols;
+
+    TestMat(int r, int c, Rng &rng, float scale = 1.0f)
+        : data(static_cast<size_t>(r) * c), rows(r), cols(c)
+    {
+        for (auto &v : data)
+            v = static_cast<float>(rng.uniform(-1.0, 1.0)) * scale;
+    }
+
+    Mat view() { return {data.data(), rows, cols}; }
+};
+
+bool
+samePrograms(const isa::Program &a, const isa::Program &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const isa::Uop &x = a.uops()[i];
+        const isa::Uop &y = b.uops()[i];
+        if (x.kind != y.kind || x.dst != y.dst || x.src0 != y.src0 ||
+            x.src1 != y.src1 || x.src2 != y.src2 || x.vl != y.vl ||
+            x.sew != y.sew || x.lmul8 != y.lmul8 ||
+            x.bytes != y.bytes || x.rows != y.rows ||
+            x.cols != y.cols || x.taken != y.taken) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+makeTempDir()
+{
+    char tmpl[] = "/tmp/rtoc-precision-test-XXXXXX";
+    const char *dir = mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    return dir ? dir : "/tmp/rtoc-precision-test-fallback";
+}
+
+// --- fixed-point kernel error bounds ---
+
+/**
+ * Worst-case gemv error the Q-format schedule implies: operand
+ * rounding (half an LSB each) amplified through an n-term dot
+ * product, plus output-grid rounding. Saturation-free by
+ * construction (asserted), so the bound is purely quantization.
+ */
+double
+gemvErrorBound(const fx::KernelSpec &s, int n, double a_max,
+               double x_max, double alpha, double beta)
+{
+    double ea = std::ldexp(0.5, -s.aFrac); // operand LSB/2
+    double ex = std::ldexp(0.5, -s.xFrac);
+    double eo = std::ldexp(0.5, -s.outFrac);
+    double dot = n * (a_max * ex + x_max * ea + ea * ex);
+    // beta*y is quantized onto the x grid before the accumulate.
+    return std::abs(alpha) * dot + std::abs(beta) * ex + 2.0 * eo;
+}
+
+TEST(FxKernels, GemvWithinDerivedBound)
+{
+    for (NumericFormat f : {NumericFormat::I16, NumericFormat::I32}) {
+        Rng rng(7);
+        const int n = 12;
+        TestMat a(n, n, rng), x(1, n, rng), y(1, n, rng);
+        TestMat y_ref = y;
+
+        fx::Scaling s = fx::Scaling::forRanges(f, 1.0, 1.0,
+                                               static_cast<double>(n));
+        fx::Counters c;
+        fx::gemv(f, s, c, y.view(), a.view(), x.view(), 1.0f, 0.5f);
+        matlib::ref::gemv(y_ref.view(), a.view(), x.view(), 1.0f, 0.5f);
+
+        EXPECT_EQ(c.quantSats, 0u) << matlib::formatName(f);
+        EXPECT_EQ(c.accSats, 0u) << matlib::formatName(f);
+        double bound = gemvErrorBound(s.gemv, n, 1.0, 1.0, 1.0, 0.5);
+        // The float32 reference rounds too: when the fixed-point grid
+        // is finer than float ulps (int32), its own accumulation
+        // error shows up in the comparison.
+        double f32_slack = 2.0 * n * std::ldexp(double(n), -23);
+        for (int i = 0; i < n; ++i) {
+            EXPECT_NEAR(y.view()[i], y_ref.view()[i], bound + f32_slack)
+                << matlib::formatName(f) << " elem " << i;
+        }
+        // int32 must be far tighter than int16 would allow.
+        if (f == NumericFormat::I32)
+            EXPECT_LT(bound, 1e-5);
+    }
+}
+
+TEST(FxKernels, GemvTAndSaxpbyWithinDerivedBound)
+{
+    Rng rng(11);
+    const int n = 10;
+    TestMat a(n, n, rng), x(1, n, rng), y(1, n, rng);
+    TestMat y_ref = y;
+    fx::Scaling s = fx::Scaling::forRanges(NumericFormat::I16, 1.0, 1.0,
+                                           static_cast<double>(n));
+    fx::Counters c;
+    fx::gemvT(NumericFormat::I16, s, c, y.view(), a.view(), x.view(),
+              0.7f, 1.0f);
+    matlib::ref::gemvT(y_ref.view(), a.view(), x.view(), 0.7f, 1.0f);
+    EXPECT_EQ(c.accSats, 0u);
+    double bound = gemvErrorBound(s.gemvT, n, 1.0, 1.0, 0.7, 1.0);
+    for (int i = 0; i < n; ++i)
+        EXPECT_NEAR(y.view()[i], y_ref.view()[i], bound) << i;
+
+    TestMat u(1, n, rng), v(1, n, rng), out(1, n, rng);
+    TestMat out_ref = out;
+    fx::saxpby(NumericFormat::I16, s, c, out.view(), 0.5f, u.view(),
+               -0.25f, v.view());
+    matlib::ref::saxpby(out_ref.view(), 0.5f, u.view(), -0.25f,
+                        v.view());
+    double sb = gemvErrorBound(s.saxpby, 1, 1.0, 1.0, 0.5, 0.25);
+    for (int i = 0; i < n; ++i)
+        EXPECT_NEAR(out.view()[i], out_ref.view()[i], sb) << i;
+}
+
+TEST(FxKernels, Bf16TracksFloatAtHalfMantissa)
+{
+    Rng rng(3);
+    const int n = 12;
+    TestMat a(n, n, rng), x(1, n, rng), y(1, n, rng);
+    TestMat y_ref = y;
+    fx::Scaling s; // unused by bf16
+    fx::Counters c;
+    fx::gemv(NumericFormat::BF16, s, c, y.view(), a.view(), x.view(),
+             1.0f, 0.0f);
+    matlib::ref::gemv(y_ref.view(), a.view(), x.view(), 1.0f, 0.0f);
+    EXPECT_EQ(c.quantSats + c.accSats, 0u); // bf16 never saturates
+    // 8-bit mantissa: relative 2^-8 per operand through an n-term dot.
+    double bound = n * 2.0 * std::ldexp(1.0, -8) * 1.0 * 1.0 + 1e-6;
+    for (int i = 0; i < n; ++i)
+        EXPECT_NEAR(y.view()[i], y_ref.view()[i], bound) << i;
+}
+
+TEST(FxKernels, SaturationCountersFireOnEngineeredOverflow)
+{
+    Rng rng(5);
+    const int n = 8;
+    // Declare ranges of 1.0 but feed operands of magnitude ~100: the
+    // quantizer must clamp onto the declared grid.
+    TestMat a(n, n, rng, 100.0f), x(1, n, rng), y(1, n, rng);
+    fx::Scaling s = fx::Scaling::forRanges(NumericFormat::I16, 1.0, 1.0,
+                                           static_cast<double>(n));
+    fx::Counters c;
+    fx::gemv(NumericFormat::I16, s, c, y.view(), a.view(), x.view(),
+             1.0f, 0.0f);
+    EXPECT_GT(c.quantSats, 0u);
+    for (int i = 0; i < n; ++i)
+        EXPECT_TRUE(std::isfinite(y.view()[i])) << i; // clamped, not NaN
+
+    // Same-sign products against a tiny declared accumulator range:
+    // the saturating accumulate must clamp (and count).
+    TestMat ap(1, 64, rng), xp(1, 64, rng), yp(1, 1, rng);
+    for (int i = 0; i < 64; ++i) {
+        ap.view()[i] = 0.9f;
+        xp.view()[i] = 0.9f;
+    }
+    fx::Scaling tight =
+        fx::Scaling::forRanges(NumericFormat::I16, 1.0, 1.0, 1.0);
+    fx::Counters c2;
+    fx::gemv(NumericFormat::I16, tight, c2, yp.view(),
+             Mat(ap.data.data(), 1, 64), xp.view(), 1.0f, 0.0f);
+    EXPECT_GT(c2.accSats, 0u);
+}
+
+// --- float32 byte-identity ---
+
+TEST(FormatIdentity, ExplicitF32MatchesDefaultEverywhere)
+{
+    EXPECT_EQ(matlib::formatKeySuffix(NumericFormat::F32), "");
+    EXPECT_NE(matlib::formatKeySuffix(NumericFormat::I16), "");
+    EXPECT_NE(matlib::formatKeySuffix(NumericFormat::I16),
+              matlib::formatKeySuffix(NumericFormat::I32));
+
+    auto check = [](matlib::Backend &plain, matlib::Backend &touched) {
+        touched.setFormat(NumericFormat::F32);
+        EXPECT_EQ(plain.cacheKey(), touched.cacheKey());
+        isa::Program a = bench::emitQuadSolve(
+            plain, tinympc::MappingStyle::Library, 2);
+        isa::Program b = bench::emitQuadSolve(
+            touched, tinympc::MappingStyle::Library, 2);
+        EXPECT_TRUE(samePrograms(a, b)) << plain.name();
+        for (const isa::Uop &u : a.uops())
+            EXPECT_EQ(u.sew, 32) << plain.name();
+    };
+    matlib::ScalarBackend s1(matlib::ScalarFlavor::Optimized);
+    matlib::ScalarBackend s2(matlib::ScalarFlavor::Optimized);
+    check(s1, s2);
+    matlib::RvvBackend v1(512, matlib::RvvMapping::handOptimized());
+    matlib::RvvBackend v2(512, matlib::RvvMapping::handOptimized());
+    check(v1, v2);
+    matlib::GemminiBackend g1(matlib::GemminiMapping::fullyOptimized());
+    matlib::GemminiBackend g2(matlib::GemminiMapping::fullyOptimized());
+    check(g1, g2);
+}
+
+TEST(FormatIdentity, F32EpisodeBitExactPerPlant)
+{
+    // Every registered plant: an episode flown with the format left
+    // at its default must be bit-identical to one flown with F32 set
+    // explicitly (the format axis is purely additive at float32).
+    for (const plant::ScenarioSpec &spec :
+         plant::ScenarioRegistry::global().specs()) {
+        if (spec.difficulty != plant::Difficulty::Easy ||
+            spec.disturbance.cmdNoiseSigma != 0.0) {
+            continue; // one clean cell per plant is enough
+        }
+        hil::HilConfig base;
+        base.socFreqHz = 100e6;
+        base.relin = spec.relin;
+        base.timing = hil::namedControllerTiming(
+            "vector", *spec.prototype, 0.02, 10, false);
+
+        hil::HilConfig explicit_f32 = base;
+        explicit_f32.format = NumericFormat::F32;
+
+        std::unique_ptr<plant::Plant> p1 = spec.prototype->clone();
+        std::unique_ptr<plant::Plant> p2 = spec.prototype->clone();
+        plant::Scenario sc = spec.makeScenario(0);
+        hil::EpisodeResult a = hil::runEpisode(*p1, sc, base);
+        hil::EpisodeResult b = hil::runEpisode(*p2, sc, explicit_f32);
+        EXPECT_EQ(a.success, b.success) << spec.id;
+        EXPECT_EQ(a.waypointsReached, b.waypointsReached) << spec.id;
+        EXPECT_EQ(a.trackingErrM, b.trackingErrM) << spec.id;
+        EXPECT_EQ(a.missionTimeS, b.missionTimeS) << spec.id;
+        EXPECT_EQ(a.rotorEnergyJ, b.rotorEnergyJ) << spec.id;
+        EXPECT_EQ(a.divergedSolves, 0) << spec.id;
+        EXPECT_EQ(a.quantSats, 0u) << spec.id;
+    }
+}
+
+// --- narrow streams: emission, schedule search, batched replay ---
+
+TEST(NarrowStreams, CarryElementWidthAndDistinctKeys)
+{
+    matlib::GemminiBackend g(matlib::GemminiMapping::fullyOptimized());
+    std::string key_f32 = g.cacheKey();
+    g.setFormat(NumericFormat::I16);
+    EXPECT_NE(g.cacheKey(), key_f32);
+    isa::Program narrow =
+        bench::emitQuadSolve(g, tinympc::MappingStyle::Library, 2);
+    bool saw_sew16 = false;
+    for (const isa::Uop &u : narrow.uops()) {
+        if (u.sew == 16)
+            saw_sew16 = true;
+        EXPECT_TRUE(u.sew == 16 || u.sew == 32);
+    }
+    EXPECT_TRUE(saw_sew16);
+
+    // int32 keeps the 32-bit stream byte-identical to float32 (the
+    // values differ, the uops do not) — only the key is distinct.
+    matlib::GemminiBackend g32(matlib::GemminiMapping::fullyOptimized());
+    g32.setFormat(NumericFormat::I32);
+    EXPECT_NE(g32.cacheKey(), key_f32);
+    isa::Program i32 =
+        bench::emitQuadSolve(g32, tinympc::MappingStyle::Library, 2);
+    matlib::GemminiBackend gf(matlib::GemminiMapping::fullyOptimized());
+    isa::Program f32 =
+        bench::emitQuadSolve(gf, tinympc::MappingStyle::Library, 2);
+    EXPECT_TRUE(samePrograms(i32, f32));
+}
+
+TEST(NarrowStreams, NarrowReplayCheaperOnWideBackends)
+{
+    matlib::GemminiBackend gf(matlib::GemminiMapping::fullyOptimized());
+    isa::Program f32 =
+        bench::emitQuadSolve(gf, tinympc::MappingStyle::Library, 2);
+    matlib::GemminiBackend gn(matlib::GemminiMapping::fullyOptimized());
+    gn.setFormat(NumericFormat::I16);
+    isa::Program i16 =
+        bench::emitQuadSolve(gn, tinympc::MappingStyle::Library, 2);
+    systolic::GemminiModel m(systolic::GemminiConfig::os4x4());
+    uint64_t cf = m.run(f32).cycles;
+    uint64_t cn = m.run(i16).cycles;
+    // The acceptance bar for the precision bench: >= 1.5x on Gemmini.
+    EXPECT_GE(static_cast<double>(cf),
+              1.5 * static_cast<double>(cn));
+}
+
+TEST(NarrowStreams, ScheduleSearchAndBatchedReplayBitExact)
+{
+    matlib::GemminiBackend g(matlib::GemminiMapping::fullyOptimized());
+    g.setFormat(NumericFormat::I16);
+    isa::Program narrow =
+        bench::emitQuadSolve(g, tinympc::MappingStyle::Library, 2);
+
+    // Schedule search on the narrow stream: any found schedule must
+    // verify and reproduce its claimed cost.
+    systolic::GemminiModel m(systolic::GemminiConfig::os4x4());
+    auto cost = [&](const isa::Program &p) { return m.run(p).cycles; };
+    isa::SchedSearchResult res = isa::searchSchedule(narrow, cost, 24);
+    isa::ScheduleResult r = isa::applySchedule(narrow, res.spec);
+    std::string why;
+    EXPECT_TRUE(isa::verifySchedule(narrow, r.prog, r.perm, &why))
+        << why;
+    EXPECT_EQ(cost(r.prog), res.bestCycles);
+
+    // Batched replay of the narrow stream across a design sweep must
+    // be bit-identical to sequential replay (same contract the f32
+    // streams are pinned to).
+    systolic::GemminiModel m2(systolic::GemminiConfig::os4x4HwGemv());
+    std::vector<const cpu::TimingModel *> models = {&m, &m2};
+    std::vector<cpu::TimingResult> batch =
+        m.runStreamBatch(narrow.stream(), models);
+    ASSERT_EQ(batch.size(), models.size());
+    for (size_t i = 0; i < models.size(); ++i) {
+        cpu::TimingResult seq = models[i]->runStream(narrow.stream());
+        EXPECT_EQ(batch[i].cycles, seq.cycles) << i;
+        EXPECT_EQ(batch[i].stats.counters(), seq.stats.counters()) << i;
+    }
+
+    // Saturn, same contract.
+    matlib::RvvBackend v(512, matlib::RvvMapping::handOptimized());
+    v.setFormat(NumericFormat::I16);
+    isa::Program vec =
+        bench::emitQuadSolve(v, tinympc::MappingStyle::Fused, 2);
+    vector::SaturnModel s1(vector::SaturnConfig::make(512, 256, true));
+    vector::SaturnModel s2(vector::SaturnConfig::make(512, 128, true));
+    std::vector<const cpu::TimingModel *> sm = {&s1, &s2};
+    std::vector<cpu::TimingResult> vb = s1.runStreamBatch(vec.stream(), sm);
+    for (size_t i = 0; i < sm.size(); ++i)
+        EXPECT_EQ(vb[i].cycles, sm[i]->runStream(vec.stream()).cycles)
+            << i;
+}
+
+// --- persistence ---
+
+TEST(FormatPersistence, NarrowProgramRoundTripsThroughCodecAndDisk)
+{
+    matlib::GemminiBackend g(matlib::GemminiMapping::fullyOptimized());
+    g.setFormat(NumericFormat::I16);
+    isa::Program narrow =
+        bench::emitQuadSolve(g, tinympc::MappingStyle::Library, 2);
+
+    // Codec round trip preserves the element widths.
+    auto back = isa::decodeProgram(isa::encodeProgram(narrow));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(samePrograms(narrow, *back));
+
+    // Disk cache: per-format keys produce independently cached blobs
+    // that warm-read back bit-identical with zero re-emissions.
+    const std::string dir = makeTempDir();
+    auto key = [&](NumericFormat f) {
+        return "quad-solve" + matlib::formatKeySuffix(f);
+    };
+    {
+        isa::DiskCache disk(dir, "test-fp");
+        isa::ProgramCache cold(&disk);
+        cold.getOrEmit(key(NumericFormat::I16),
+                       [&](isa::Program &p) { p = narrow; });
+        matlib::GemminiBackend gf(
+            matlib::GemminiMapping::fullyOptimized());
+        cold.getOrEmit(key(NumericFormat::F32), [&](isa::Program &p) {
+            p = bench::emitQuadSolve(gf, tinympc::MappingStyle::Library,
+                                     2);
+        });
+        EXPECT_EQ(cold.stats().emissions, 2u);
+    }
+    isa::DiskCache disk2(dir, "test-fp");
+    isa::ProgramCache warm(&disk2);
+    auto warm_narrow =
+        warm.getOrEmit(key(NumericFormat::I16), [&](isa::Program &) {
+            ADD_FAILURE() << "warm read must not re-emit";
+        });
+    ASSERT_TRUE(warm_narrow != nullptr);
+    EXPECT_TRUE(samePrograms(narrow, *warm_narrow));
+    auto warm_f32 =
+        warm.getOrEmit(key(NumericFormat::F32), [&](isa::Program &) {
+            ADD_FAILURE() << "warm read must not re-emit";
+        });
+    ASSERT_TRUE(warm_f32 != nullptr);
+    EXPECT_FALSE(samePrograms(*warm_narrow, *warm_f32));
+}
+
+// --- DSE format axis ---
+
+TEST(DseFormatAxis, EnumeratesWithoutDisturbingDefault)
+{
+    auto make_space = [](dse::DesignSpace &space) {
+        dse::ConfigEntry e;
+        e.name = "gem";
+        e.model = [](double, double) -> std::unique_ptr<cpu::TimingModel> {
+            return std::make_unique<systolic::GemminiModel>(
+                systolic::GemminiConfig::os4x4());
+        };
+        e.emit = [](dse::Fidelity, matlib::NumericFormat fmt)
+            -> std::shared_ptr<const isa::Program> {
+            matlib::GemminiBackend b(
+                matlib::GemminiMapping::fullyOptimized());
+            b.setFormat(fmt);
+            return std::make_shared<const isa::Program>(
+                bench::emitQuadSolve(b, tinympc::MappingStyle::Library,
+                                     2));
+        };
+        e.progKey = [](dse::Fidelity, matlib::NumericFormat fmt) {
+            return "dse-fmt-test" + matlib::formatKeySuffix(fmt);
+        };
+        space.addConfig(std::move(e));
+    };
+
+    // Single-format default: one point, fmt decodes to 0 everywhere.
+    dse::DesignSpace plain("fmt-default");
+    make_space(plain);
+    ASSERT_EQ(plain.size(), 1u);
+    EXPECT_EQ(plain.point(0).fmt, 0);
+
+    dse::DesignSpace space("fmt-axis");
+    make_space(space);
+    space.setFormats({NumericFormat::F32, NumericFormat::I16});
+    ASSERT_EQ(space.size(), 2u);
+    for (size_t flat = 0; flat < space.size(); ++flat)
+        EXPECT_EQ(space.flatIndex(space.point(flat)), flat);
+
+    dse::Candidate f32 =
+        space.materialize(space.point(0), dse::Fidelity::Low);
+    dse::Candidate i16 =
+        space.materialize(space.point(1), dse::Fidelity::Low);
+    EXPECT_EQ(f32.name.find("@"), std::string::npos);
+    EXPECT_NE(i16.name.find("@i16"), std::string::npos);
+    EXPECT_NE(f32.cellKey, i16.cellKey);
+    EXPECT_NE(f32.progKey, i16.progKey);
+    ASSERT_TRUE(f32.prog && i16.prog);
+    EXPECT_FALSE(samePrograms(*f32.prog, *i16.prog));
+}
+
+} // namespace
+} // namespace rtoc

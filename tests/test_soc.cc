@@ -145,6 +145,23 @@ TEST(Uart, FramingIsShapeAware)
     EXPECT_EQ(u.framingBytes(), 6);
 }
 
+TEST(Uart, NarrowWireFormatShrinksTetherTime)
+{
+    UartModel u(460800.0, 6);
+    // int16 wire elements halve the payload byte-for-byte; the
+    // 4-byte default is the historical latency exactly.
+    EXPECT_EQ(u.uplinkS(12, 2), u.transferS((12 + 3) * 2));
+    EXPECT_EQ(u.downlinkS(4, 2), u.transferS(4 * 2));
+    EXPECT_LT(u.uplinkS(12, 2), u.uplinkS(12, 4));
+    EXPECT_LT(u.downlinkS(4, 2), u.downlinkS(4, 4));
+    EXPECT_EQ(u.uplinkS(12, 4), u.uplinkS());
+    EXPECT_EQ(u.downlinkS(4, 4), u.downlinkS());
+    // Narrow payloads always stay on the small-frame (<=255 B) path —
+    // even the wide nx=100 shape that needs a large frame at float32.
+    EXPECT_EQ(u.framingBytes((100 + 3) * 2), 6);
+    EXPECT_EQ(u.framingBytes((100 + 3) * 4), 9);
+}
+
 TEST(Rtos, UtilizationMatchesAnalytic)
 {
     // 50 Hz task of 5.7 ms at 100 MHz -> 28.5% utilization (the
