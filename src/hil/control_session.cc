@@ -116,7 +116,8 @@ ControlSession::refresh(TickResult &out)
 }
 
 ControlSession::TickResult
-ControlSession::tick(const std::vector<float> &xref)
+ControlSession::tick(const std::vector<float> &xref,
+                     const TickOptions &opt)
 {
     RTOC_SPAN_NAMED(span, "hil.tick", "hil");
     plant_.packState(x0_.data());
@@ -133,14 +134,21 @@ ControlSession::tick(const std::vector<float> &xref)
             bool drifted = policy_.stateDeltaThreshold > 0.0 &&
                            drift() > policy_.stateDeltaThreshold;
             if (due || drifted) {
-                refresh(out);
-                sinceRefresh_ = 0;
+                if (opt.skipRefresh) {
+                    // Governor shed the refresh: the model stays
+                    // stale and the policy clock keeps running so
+                    // the refresh fires on the next allowed tick.
+                    ++stats_.skippedRefreshes;
+                } else {
+                    refresh(out);
+                    sinceRefresh_ = 0;
+                }
             }
         }
         ++sinceRefresh_;
     }
 
-    out.solve = solver_.solve();
+    out.solve = solver_.solve(opt.maxIters);
     span.arg("solve_iters",
              static_cast<uint64_t>(out.solve.iterations));
     ++stats_.solves;

@@ -40,6 +40,7 @@ struct SessionStats
     int refreshes = 0;        ///< model refreshes performed
     int refreshFailures = 0;  ///< DARE did not converge; model kept
     int riccatiIters = 0;     ///< total warm Riccati iterations
+    int skippedRefreshes = 0; ///< due refreshes a governor suppressed
 };
 
 /** Per-episode control stack (see file comment). */
@@ -67,11 +68,47 @@ class ControlSession
     ControlSession(plant::Plant &plant, const HilConfig &cfg);
 
     /**
+     * Per-tick overrides for slack-governed (anytime) callers. The
+     * default-constructed value is the historical bit-identical path.
+     */
+    struct TickOptions
+    {
+        /** ADMM iteration budget; <= 0 runs the workspace's
+         *  configured bound (the historical path). */
+        int maxIters = 0;
+        /** Suppress a due relinearization this tick (degradation
+         *  ladder's SkipRelin rung); the policy clock keeps ticking
+         *  so the refresh fires again once the governor allows it. */
+        bool skipRefresh = false;
+    };
+
+    /**
      * One control tick: sample the plant state into the workspace,
      * retarget the reference, refresh the model if the policy says
      * so, and run one warm-started ADMM solve.
      */
-    TickResult tick(const std::vector<float> &xref);
+    TickResult
+    tick(const std::vector<float> &xref)
+    {
+        return tick(xref, TickOptions{});
+    }
+
+    /** Budgeted tick (see TickOptions). */
+    TickResult tick(const std::vector<float> &xref,
+                    const TickOptions &opt);
+
+    /**
+     * Whether the *schedulable* component of the relinearization
+     * policy (everyK) would fire on the next unskipped tick. Drift
+     * triggers depend on the not-yet-sampled state, so a slack
+     * governor reserving refresh cycles sees only the periodic part.
+     */
+    bool
+    refreshDue() const
+    {
+        return !policy_.fixedTrim() && failCooldown_ == 0 &&
+               policy_.everyK > 0 && sinceRefresh_ >= policy_.everyK;
+    }
 
     /** Actuator command from the last solve's first input. */
     const std::vector<double> &command() const { return last_cmd_; }

@@ -1,0 +1,212 @@
+#include "fault.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "obs/registry.hh"
+
+namespace rtoc::sched {
+
+namespace {
+
+/**
+ * fault.* counter ids, interned lazily on the first applied fault so
+ * fault-free runs never grow their metrics section.
+ */
+struct FaultIds
+{
+    StatId spikedSolves;
+    StatId stalledSolves;
+    StatId droppedTicks;
+};
+
+const FaultIds &
+faultIds()
+{
+    static const FaultIds ids = [] {
+        obs::Registry &reg = obs::Registry::global();
+        return FaultIds{reg.counter("fault.spiked_solves"),
+                        reg.counter("fault.stalled_solves"),
+                        reg.counter("fault.dropped_ticks")};
+    }();
+    return ids;
+}
+
+/** Parse "<kind>@<t0>+<len>[x<factor>|c<cycles>]" after any task
+ *  prefix was stripped; false on malformed text. */
+bool
+parseEvent(const std::string &text, FaultEvent &ev)
+{
+    size_t at = text.find('@');
+    if (at == std::string::npos)
+        return false;
+    std::string kind = text.substr(0, at);
+    if (kind == "spike")
+        ev.kind = FaultKind::CycleSpike;
+    else if (kind == "drop")
+        ev.kind = FaultKind::SensorDrop;
+    else if (kind == "stall")
+        ev.kind = FaultKind::ComputeStall;
+    else
+        return false;
+
+    const char *p = text.c_str() + at + 1;
+    char *end = nullptr;
+    ev.t0 = std::strtod(p, &end);
+    if (end == p || *end != '+' || ev.t0 < 0.0)
+        return false;
+    p = end + 1;
+    ev.lenS = std::strtod(p, &end);
+    if (end == p || ev.lenS <= 0.0)
+        return false;
+    p = end;
+
+    switch (ev.kind) {
+    case FaultKind::CycleSpike:
+        if (*p != 'x')
+            return false;
+        ++p;
+        ev.factor = std::strtod(p, &end);
+        return end != p && *end == '\0' && ev.factor > 0.0;
+    case FaultKind::ComputeStall:
+        if (*p != 'c')
+            return false;
+        ++p;
+        ev.cycles = std::strtod(p, &end);
+        return end != p && *end == '\0' && ev.cycles > 0.0;
+    case FaultKind::SensorDrop:
+        return *p == '\0';
+    }
+    return false;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+    case FaultKind::CycleSpike:
+        return "spike";
+    case FaultKind::SensorDrop:
+        return "drop";
+    case FaultKind::ComputeStall:
+        return "stall";
+    }
+    return "?";
+}
+
+double
+FaultTrace::spikeFactor(const std::string &task, double t) const
+{
+    double f = 1.0;
+    for (const FaultEvent &ev : events) {
+        if (ev.kind == FaultKind::CycleSpike && ev.applies(task, t))
+            f *= ev.factor;
+    }
+    return f;
+}
+
+double
+FaultTrace::stallCycles(const std::string &task, double t) const
+{
+    double c = 0.0;
+    for (const FaultEvent &ev : events) {
+        if (ev.kind == FaultKind::ComputeStall && ev.applies(task, t))
+            c += ev.cycles;
+    }
+    return c;
+}
+
+bool
+FaultTrace::sensorDropped(const std::string &task, double t) const
+{
+    for (const FaultEvent &ev : events) {
+        if (ev.kind == FaultKind::SensorDrop && ev.applies(task, t))
+            return true;
+    }
+    return false;
+}
+
+std::string
+FaultTrace::spec() const
+{
+    std::string out;
+    for (const FaultEvent &ev : events) {
+        if (!out.empty())
+            out += ';';
+        if (!ev.task.empty())
+            out += "task=" + ev.task + ":";
+        out += csprintf("%s@%g+%g", faultKindName(ev.kind), ev.t0,
+                        ev.lenS);
+        if (ev.kind == FaultKind::CycleSpike)
+            out += csprintf("x%g", ev.factor);
+        else if (ev.kind == FaultKind::ComputeStall)
+            out += csprintf("c%g", ev.cycles);
+    }
+    return out;
+}
+
+std::optional<FaultTrace>
+FaultTrace::parse(const std::string &spec)
+{
+    FaultTrace trace;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t sep = spec.find(';', pos);
+        std::string item = spec.substr(
+            pos, sep == std::string::npos ? std::string::npos
+                                          : sep - pos);
+        pos = sep == std::string::npos ? spec.size() : sep + 1;
+        if (item.empty())
+            continue;
+        FaultEvent ev;
+        if (item.rfind("task=", 0) == 0) {
+            size_t colon = item.find(':');
+            if (colon == std::string::npos || colon == 5)
+                return std::nullopt;
+            ev.task = item.substr(5, colon - 5);
+            item = item.substr(colon + 1);
+        }
+        if (!parseEvent(item, ev))
+            return std::nullopt;
+        trace.events.push_back(std::move(ev));
+    }
+    return trace;
+}
+
+const FaultTrace &
+FaultTrace::env()
+{
+    static const FaultTrace trace = [] {
+        const char *env = std::getenv("RTOC_FAULT");
+        if (env == nullptr || *env == '\0')
+            return FaultTrace{};
+        std::optional<FaultTrace> parsed = parse(env);
+        if (!parsed) {
+            rtoc_fatal("malformed RTOC_FAULT spec: %s", env);
+        }
+        return *parsed;
+    }();
+    return trace;
+}
+
+void
+countSpikedSolve()
+{
+    obs::count(faultIds().spikedSolves);
+}
+
+void
+countStalledSolve()
+{
+    obs::count(faultIds().stalledSolves);
+}
+
+void
+countDroppedTick()
+{
+    obs::count(faultIds().droppedTicks);
+}
+
+} // namespace rtoc::sched

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fault-injection vocabulary for the shared-SoC scheduler: seeded,
+ * reproducible overload events parsed from the RTOC_FAULT knob so a
+ * bench (or a user) can replay the exact same adverse trace against
+ * different scheduling policies. Three fault kinds, matching the
+ * overload modes embedded control deployments actually see:
+ *
+ *  - cycle spikes  — every solve issued inside the window costs a
+ *    factor more cycles (DRAM contention, thermal throttling);
+ *  - dropped sensor ticks — the state sample for a release never
+ *    arrives, so the controller can only hold its last command;
+ *  - transient compute stalls — a fixed extra cycle tax on every
+ *    solve issued inside the window (icache refill, DMA contention).
+ *
+ * RTOC_FAULT syntax (';'-separated events, times in seconds):
+ *
+ *   spike@<t0>+<len>x<factor>      e.g. spike@2.0+1.0x2.5
+ *   drop@<t0>+<len>                e.g. drop@3.5+0.1
+ *   stall@<t0>+<len>c<cycles>      e.g. stall@4.0+0.5c50000
+ *
+ * Any event may be scoped to one task with a "task=<name>:" prefix
+ * (e.g. "task=quad:spike@1+2x3"); unscoped events hit every task.
+ * Unset or empty means no faults — the byte-identical default.
+ *
+ * fault.* obs counters are interned lazily on the first applied
+ * fault, so fault-free processes never grow their metrics section.
+ */
+
+#ifndef RTOC_SCHED_FAULT_HH
+#define RTOC_SCHED_FAULT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rtoc::sched {
+
+/** Fault kinds (see file comment). */
+enum class FaultKind { CycleSpike, SensorDrop, ComputeStall };
+
+/** Printable kind name ("spike" / "drop" / "stall"). */
+const char *faultKindName(FaultKind k);
+
+/** One fault event, active over [t0, t0 + lenS). */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::CycleSpike;
+    std::string task;    ///< empty = applies to every task
+    double t0 = 0.0;     ///< window start (s)
+    double lenS = 0.0;   ///< window length (s)
+    double factor = 1.0; ///< spike: solve-cycle multiplier
+    double cycles = 0.0; ///< stall: extra cycles per affected solve
+
+    /** Does this event hit @p task_name at time @p t? */
+    bool
+    applies(const std::string &task_name, double t) const
+    {
+        return t >= t0 && t < t0 + lenS &&
+               (task.empty() || task == task_name);
+    }
+};
+
+/** An ordered set of fault events (one reproducible overload trace). */
+struct FaultTrace
+{
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /** Product of active spike factors for @p task at @p t (>= 1). */
+    double spikeFactor(const std::string &task, double t) const;
+
+    /** Sum of active stall cycles for @p task at @p t. */
+    double stallCycles(const std::string &task, double t) const;
+
+    /** True when a sensor-drop window covers (@p task, @p t). */
+    bool sensorDropped(const std::string &task, double t) const;
+
+    /** RTOC_FAULT-syntax round trip (tables, JSON manifests). */
+    std::string spec() const;
+
+    /** Parse RTOC_FAULT syntax; nullopt when malformed. */
+    static std::optional<FaultTrace> parse(const std::string &spec);
+
+    /**
+     * The process-wide trace parsed once from RTOC_FAULT (empty when
+     * the knob is unset; fatal when set but malformed — a mistyped
+     * overload trace must never silently run fault-free).
+     */
+    static const FaultTrace &env();
+};
+
+/**
+ * fault.* counter bumps, interning lazily on first use (fault-off
+ * processes must never grow the obs metrics section — same contract
+ * as the fmt.* counters).
+ */
+void countSpikedSolve();
+void countStalledSolve();
+void countDroppedTick();
+
+} // namespace rtoc::sched
+
+#endif // RTOC_SCHED_FAULT_HH

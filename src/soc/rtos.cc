@@ -24,16 +24,36 @@ simulateSchedule(const PeriodicTask &rt_task, double background_cycles,
     double bg_progress = 0.0; // seconds of CPU into current frame
     double rt_busy = 0.0;
     double bg_busy = 0.0;
+    double rt_done_at = 0.0;  // completion time of the previous
+                              // activation (backlog carrier)
+    double lateness_sum = 0.0;
 
     while (t < horizon_s) {
-        // One period: RT task runs first (highest priority), the
+        // One period: RT work runs first (highest priority), the
         // background thread gets the remainder; if the RT task
-        // overruns its period it monopolizes the core.
+        // overruns its period it monopolizes the core and the
+        // overhang is carried into the next period as backlog.
         double slice = std::min(rt_task.periodS, horizon_s - t);
         res.periodicActivations += 1;
-        double rt_time = std::min(rt_exec_s, slice);
-        if (rt_exec_s > rt_task.periodS)
+
+        // Completion-based deadline accounting: this activation
+        // releases at t, starts once the backlog drains, and misses
+        // when it *finishes* past t + period — which catches both an
+        // oversized execution time and a late start behind backlog.
+        double backlog = std::max(0.0, rt_done_at - t);
+        rt_done_at = std::max(rt_done_at, t) + rt_exec_s;
+        double deadline = t + rt_task.periodS;
+        if (rt_done_at > deadline + 1e-12) {
             res.periodicDeadlineMisses += 1;
+            double late = rt_done_at - deadline;
+            lateness_sum += late;
+            res.latenessMaxS = std::max(res.latenessMaxS, late);
+        }
+
+        // RT occupancy of this slice: pending work is the carried
+        // backlog plus this activation. With zero backlog this is the
+        // historical min(exec, slice) arithmetic, bit-identically.
+        double rt_time = std::min(backlog + rt_exec_s, slice);
         double bg_time = slice - rt_time;
 
         rt_busy += rt_time;
@@ -46,6 +66,10 @@ simulateSchedule(const PeriodicTask &rt_task, double background_cycles,
         t += slice;
     }
 
+    if (res.periodicDeadlineMisses > 0)
+        res.latenessAvgS =
+            lateness_sum /
+            static_cast<double>(res.periodicDeadlineMisses);
     res.periodicUtilization = rt_busy / horizon_s;
     res.backgroundUtilization = bg_busy / horizon_s;
     res.backgroundFps =

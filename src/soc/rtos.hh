@@ -32,9 +32,17 @@ struct ScheduleResult
     double periodicUtilization = 0.0; ///< CPU fraction of the RT task
     double backgroundUtilization = 0.0;
     uint64_t periodicActivations = 0;
-    uint64_t periodicDeadlineMisses = 0; ///< activation overran period
+    /** Activations whose solve *completed* past the deadline
+     *  (release + period), including backlog carried over from
+     *  earlier overruns — not merely activations whose own execution
+     *  time exceeds the period. */
+    uint64_t periodicDeadlineMisses = 0;
     uint64_t backgroundCompletions = 0;  ///< background frames finished
     double backgroundFps = 0.0;
+    /** Worst completion-past-deadline lateness (s; 0 when no miss). */
+    double latenessMaxS = 0.0;
+    /** Mean lateness over missed activations (s; 0 when no miss). */
+    double latenessAvgS = 0.0;
 };
 
 /**

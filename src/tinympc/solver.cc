@@ -331,13 +331,17 @@ Solver::checkResiduals(SolveResult &res)
 }
 
 SolveResult
-Solver::solve()
+Solver::solve(int max_iters)
 {
     checkFusedEmission();
     SolveResult res;
     const Settings &s = ws_.settings;
+    // Anytime budget: <=0 means the configured bound (the historical
+    // path); a positive budget caps the iteration count.
+    const int bound = max_iters > 0 ? std::min(max_iters, s.maxIters)
+                                    : s.maxIters;
 
-    for (int iter = 1; iter <= s.maxIters; ++iter) {
+    for (int iter = 1; iter <= bound; ++iter) {
         forwardPass();
         updateSlack();
         updateDual();

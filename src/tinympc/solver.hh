@@ -70,8 +70,17 @@ class Solver
      */
     void setup();
 
-    /** Run ADMM from the current workspace state. */
-    SolveResult solve();
+    /**
+     * Run ADMM from the current workspace state.
+     *
+     * @p max_iters is the *anytime* contract: a per-tick iteration
+     * budget chosen by the caller (e.g. a scheduler's slack governor).
+     * <= 0 or >= settings.maxIters runs the full configured bound —
+     * bit-identical to the historical unbudgeted path; a smaller
+     * budget stops the iteration early and returns the best iterate
+     * so far (warm starting keeps it usable as a degraded command).
+     */
+    SolveResult solve(int max_iters = 0);
 
     /** First planned input (the command sent to actuators). */
     matlib::Mat firstInput() { return ws_.u.row(0); }

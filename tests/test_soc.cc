@@ -196,5 +196,48 @@ TEST(Rtos, OverrunDetection)
     EXPECT_NEAR(r.periodicUtilization, 1.0, 1e-6);
 }
 
+
+TEST(Rtos, Sec53RegressionPinned)
+{
+    // The Â§5.3 table inputs, pinned to the values the completion-
+    // based accounting rewrite must preserve exactly: when the task
+    // fits its period, the backlog recurrence degenerates to the
+    // historical min(exec, slice) arithmetic bit for bit.
+    PeriodicTask scalar_mpc{"mpc", 0.02, 570000.0};
+    ScheduleResult rs = simulateSchedule(scalar_mpc, 12.5e6, 100e6, 10.0);
+    EXPECT_EQ(rs.periodicActivations, 501u);
+    EXPECT_EQ(rs.periodicDeadlineMisses, 0u);
+    EXPECT_EQ(rs.backgroundCompletions, 57u);
+    EXPECT_NEAR(rs.periodicUtilization, 0.285, 1e-12);
+    EXPECT_EQ(rs.backgroundFps, 5.7);
+    EXPECT_EQ(rs.latenessMaxS, 0.0);
+    EXPECT_EQ(rs.latenessAvgS, 0.0);
+
+    PeriodicTask vector_mpc{"mpc", 0.02, 66000.0};
+    ScheduleResult rv = simulateSchedule(vector_mpc, 12.5e6, 100e6, 10.0);
+    EXPECT_EQ(rv.periodicActivations, 501u);
+    EXPECT_EQ(rv.periodicDeadlineMisses, 0u);
+    EXPECT_EQ(rv.backgroundCompletions, 77u);
+    EXPECT_NEAR(rv.periodicUtilization, 0.033, 1e-12);
+    EXPECT_EQ(rv.backgroundFps, 7.7);
+}
+
+TEST(Rtos, OverrunBacklogAndLateness)
+{
+    // 25 ms of work per 20 ms period: completion-based accounting
+    // carries the 5 ms/period backlog, so activation k completes
+    // (k+1)*5 ms past its deadline â lateness grows linearly instead
+    // of the old per-activation exec-vs-period check that saw every
+    // miss as identical.
+    PeriodicTask mpc{"mpc", 0.02, 2.5e6};
+    ScheduleResult r = simulateSchedule(mpc, 1e6, 100e6, 5.0);
+    EXPECT_EQ(r.periodicActivations, 251u);
+    EXPECT_EQ(r.periodicDeadlineMisses, 251u);
+    EXPECT_NEAR(r.latenessMaxS, 251 * 0.005, 1e-9);
+    EXPECT_NEAR(r.latenessAvgS, 0.005 * 252.0 / 2.0, 1e-9);
+    EXPECT_LT(r.latenessAvgS, r.latenessMaxS);
+    EXPECT_NEAR(r.periodicUtilization, 1.0, 1e-6);
+}
+
 } // namespace
 } // namespace rtoc::soc
